@@ -1,0 +1,63 @@
+"""Ablation — per-leaf-category graphs vs one pooled meta graph.
+
+Section III-F argues separate leaf graphs "help in recommending more
+relevant keyphrases" because items and keyphrases in a leaf belong to the
+same product family.  This bench quantifies that: the same curated
+keyphrases served through per-leaf graphs vs a single pooled graph.
+"""
+
+from __future__ import annotations
+
+from repro.core import GraphExModel, curate
+from repro.eval.metrics import judge_model_predictions
+from repro.eval.reporting import render_table
+
+from _helpers import METAS, emit
+
+
+def _evaluate(experiment, meta, use_pooled):
+    curated = curate(experiment.keyphrase_stats(meta),
+                     experiment.config.curation)
+    model = GraphExModel.construct(curated, build_pooled=use_pooled)
+    items = experiment.test_items(meta)
+    predictions = {
+        item.item_id: [
+            rec.text for rec in model.recommend(
+                item.title, item.leaf_id, k=10, hard_limit=20,
+                use_pooled=use_pooled)]
+        for item in items
+    }
+    titles = {item.item_id: item.title for item in items}
+    return judge_model_predictions(
+        "pooled" if use_pooled else "per-leaf", predictions, titles,
+        experiment.judge, experiment.head_classifier(meta))
+
+
+def _compute(experiment):
+    rows = []
+    shape = {}
+    for meta in METAS:
+        per_leaf = _evaluate(experiment, meta, use_pooled=False)
+        pooled = _evaluate(experiment, meta, use_pooled=True)
+        shape[meta] = (per_leaf.rp, pooled.rp)
+        rows.append([meta, "per-leaf", per_leaf.rp, per_leaf.hp,
+                     per_leaf.total / max(1, per_leaf.n_items)])
+        rows.append([meta, "pooled", pooled.rp, pooled.hp,
+                     pooled.total / max(1, pooled.n_items)])
+    return rows, shape
+
+
+def test_ablation_pooled_graphs(experiment, results_dir, benchmark):
+    rows, shape = benchmark.pedantic(_compute, args=(experiment,),
+                                     rounds=1, iterations=1)
+    table = render_table(
+        ["category", "graph layout", "RP", "HP", "preds/item"], rows,
+        title="Ablation — per-leaf graphs vs pooled meta graph "
+              "(Section III-F claim)")
+    emit(results_dir, "ablation_pooled_graphs", table)
+
+    # Per-leaf graphs are at least as relevant as the pooled graph in
+    # every category (leaf isolation blocks cross-product candidates).
+    for meta, (per_leaf_rp, pooled_rp) in shape.items():
+        assert per_leaf_rp >= pooled_rp - 0.02
+    assert any(per > pooled for per, pooled in shape.values())

@@ -1,0 +1,53 @@
+"""Figure 4 — average relevant head/tail and irrelevant keyphrases per item.
+
+Paper shape: fastText emits the most predictions (and the most irrelevant
+ones); RE emits few, almost all relevant; GraphEx sits in between with a
+high relevant count and the largest relevant-head count among cold-start
+models.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import render_table
+
+from _helpers import METAS, MODEL_ORDER, emit
+
+
+def _compute(experiment):
+    rows = []
+    for meta in METAS:
+        judged = experiment.judged(meta)
+        for name in MODEL_ORDER:
+            j = judged[name]
+            avg = j.averages_per_item()
+            rows.append([
+                meta, name,
+                avg["relevant_head"], avg["relevant_tail"],
+                avg["irrelevant"],
+                j.total / max(1, j.n_items),
+            ])
+    return rows
+
+
+def test_figure4_relevance_counts(experiment, results_dir, benchmark):
+    rows = benchmark.pedantic(_compute, args=(experiment,),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["category", "model", "avg relevant head", "avg relevant tail",
+         "avg irrelevant", "avg total"],
+        rows,
+        title="Figure 4 — per-item average keyphrase composition")
+    emit(results_dir, "figure4_relevance_counts", table)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for meta in METAS:
+        # fastText floods: it has the highest total prediction count.
+        totals = {name: by_key[(meta, name)][5] for name in MODEL_ORDER}
+        assert totals["fastText"] == max(totals.values())
+        # RE reflects clicks back: very few predictions per item.
+        assert totals["RE"] == min(totals.values())
+        # More predictions come with more irrelevant ones (paper's
+        # monotonicity remark): fastText has the most irrelevant.
+        irrelevant = {name: by_key[(meta, name)][4]
+                      for name in MODEL_ORDER}
+        assert irrelevant["fastText"] == max(irrelevant.values())

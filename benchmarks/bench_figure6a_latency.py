@@ -1,0 +1,62 @@
+"""Figure 6a — amortized per-record inference latency.
+
+Paper: all models within 10 ms/record; GraphEx fastest, up to 17x faster
+than fastText and 13x faster than Graphite on CAT 1.  Absolute numbers
+here are pure-Python, but the *ranking* (GraphEx <= Graphite < fastText)
+is the reproduction target.  These use pytest-benchmark's real timing
+machinery — one benchmark per (model, category).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from _helpers import METAS
+
+MODELS = ["GraphEx", "Graphite", "fastText"]
+
+_measured = {}
+
+
+def _make_runner(experiment, meta, model_name):
+    model = experiment.models(meta)[model_name]
+    items = experiment.test_items(meta)
+    cycle = itertools.cycle(items)
+
+    def run():
+        item = next(cycle)
+        model.recommend(item.item_id, item.title, item.leaf_id, k=20)
+
+    return run
+
+
+@pytest.mark.parametrize("meta", METAS)
+@pytest.mark.parametrize("model_name", MODELS)
+def test_figure6a_latency(experiment, benchmark, meta, model_name):
+    runner = _make_runner(experiment, meta, model_name)
+    benchmark.pedantic(runner, rounds=60, iterations=1, warmup_rounds=5)
+    _measured[(meta, model_name)] = benchmark.stats.stats.mean
+
+
+def test_figure6a_shape(experiment, results_dir, benchmark):
+    """GraphEx is the fastest model on the largest category."""
+    from repro.eval.reporting import render_table
+    from _helpers import emit
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_measured) < len(METAS) * len(MODELS):
+        pytest.skip("latency benchmarks did not run (need --benchmark-only)")
+    rows = [[meta, name, _measured[(meta, name)] * 1e3]
+            for meta in METAS for name in MODELS]
+    table = render_table(
+        ["category", "model", "mean latency (ms/record)"], rows,
+        title="Figure 6a — amortized per-record inference latency")
+    emit(results_dir, "figure6a_latency", table)
+
+    for meta in ("CAT_1",):
+        graphex = _measured[(meta, "GraphEx")]
+        fasttext = _measured[(meta, "fastText")]
+        assert graphex <= fasttext * 1.2, (
+            "GraphEx should not be slower than fastText")

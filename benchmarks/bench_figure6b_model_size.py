@@ -1,0 +1,54 @@
+"""Figure 6b — model size comparison.
+
+Paper: fastText is by far the largest (weight matrices + embeddings, up
+to ~800 MB); Graphite sizeable on CAT 1; GraphEx minimal even with many
+leaf-category graphs.  We measure serialized GraphEx size and in-memory
+array footprints for the two other models, per category.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import render_table
+
+from _helpers import METAS, emit
+
+
+def _compute(experiment, tmp_root):
+    from repro.core.serialization import model_size_bytes, save_model
+
+    rows = []
+    shape = {}
+    for meta in METAS:
+        models = experiment.models(meta)
+        graphex = models["GraphEx"].model
+        path = tmp_root / f"graphex_{meta}"
+        save_model(graphex, path)
+        sizes = {
+            "GraphEx": model_size_bytes(path),
+            "Graphite": models["Graphite"].memory_bytes(),
+            "fastText": models["fastText"].memory_bytes(),
+        }
+        shape[meta] = sizes
+        for name in ("fastText", "Graphite", "GraphEx"):
+            rows.append([meta, name, sizes[name] / 1024.0])
+    return rows, shape
+
+
+def test_figure6b_model_size(experiment, results_dir, benchmark,
+                             tmp_path_factory):
+    tmp_root = tmp_path_factory.mktemp("models")
+    rows, shape = benchmark.pedantic(
+        _compute, args=(experiment, tmp_root), rounds=1, iterations=1)
+    table = render_table(
+        ["category", "model", "size (KiB)"], rows,
+        title="Figure 6b — model sizes "
+              "(GraphEx serialized; others: weight/array footprint)")
+    emit(results_dir, "figure6b_model_size", table)
+
+    for meta in METAS:
+        sizes = shape[meta]
+        # fastText's hashed weight matrices dwarf the graph models.
+        assert sizes["fastText"] > sizes["GraphEx"]
+        assert sizes["fastText"] > sizes["Graphite"]
+        # GraphEx stays small even with one graph per leaf category.
+        assert sizes["GraphEx"] < 32 * 1024 * 1024

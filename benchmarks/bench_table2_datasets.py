@@ -1,0 +1,49 @@
+"""Table II — dataset statistics per meta category.
+
+Paper (absolute scale): CAT 1 = 200M items / 3.6M keyphrases / 115K
+GraphEx keyphrases; CAT 2 = 14M / 0.83M / 252K; CAT 3 = 7M / 0.46M / 47K.
+Reproduction target is the *ordering* (CAT 1 > CAT 2 > CAT 3 in items and
+click-keyphrase volume) and the curation shrink factor, at laptop scale.
+"""
+
+from __future__ import annotations
+
+from repro.core import curate
+from repro.eval.reporting import render_table
+
+from _helpers import METAS, emit
+
+
+def _compute_rows(experiment):
+    rows = []
+    for meta in METAS:
+        n_items = len(experiment.dataset.catalog.items_in_meta(meta))
+        stats = experiment.keyphrase_stats(meta)
+        # "# Keyphrases" in the paper = unique keyphrases incorporated by
+        # the XMC models (all clicked/searched keyphrases).
+        n_keyphrases = len(stats)
+        curated = curate(stats, experiment.config.curation)
+        rows.append([meta, n_items, n_keyphrases, curated.n_keyphrases,
+                     curated.effective_threshold])
+    return rows
+
+
+def test_table2_dataset_stats(experiment, results_dir, benchmark):
+    rows = benchmark.pedantic(_compute_rows, args=(experiment,),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["MetaCat", "# Items", "# Keyphrases", "# GraphEx Keyphrases",
+         "Effective SC threshold"],
+        rows,
+        title="Table II — synthetic meta-category statistics "
+              "(scaled; paper: 200M/14M/7M items)")
+    emit(results_dir, "table2_datasets", table)
+
+    # Reproduction shape: strict large > medium > small ordering.
+    items = [row[1] for row in rows]
+    keyphrases = [row[2] for row in rows]
+    assert items[0] > items[1] > items[2]
+    assert keyphrases[0] > keyphrases[2]
+    # Curation shrinks the label space substantially (paper: 3-30x).
+    for row in rows:
+        assert row[3] < row[2]

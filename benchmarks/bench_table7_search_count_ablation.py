@@ -1,0 +1,91 @@
+"""Table VII — Search-Count threshold ablation (paper: 90 vs 180).
+
+The paper builds two GraphEx models with thresholds 90 and 180 (0.5/day
+vs 1/day over six months), then measures, on the *disparate* parts of
+their recommendations, the share of relevant and relevant-head
+keyphrases.  Finding: the higher threshold loses a little relevance but
+gains a lot of head coverage.  Our thresholds keep the paper's 1:2 ratio,
+scaled to simulation volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import CurationConfig
+from repro.eval.reporting import render_table
+
+from _helpers import emit
+
+#: Scaled analogues of the paper's 90 / 180 (same 1:2 ratio).
+LOW_THRESHOLD = 8
+HIGH_THRESHOLD = 16
+
+
+def _predictions(experiment, meta, threshold):
+    config = replace(experiment.config.curation,
+                     min_search_count=threshold, min_keyphrases=0)
+    recommender = experiment.build_graphex(meta, curation=config)
+    return {
+        item.item_id: [
+            p.text for p in recommender.recommend(
+                item.item_id, item.title, item.leaf_id,
+                k=experiment.config.prediction_limit)]
+        for item in experiment.test_items(meta)
+    }
+
+
+def _compute(experiment):
+    meta = "CAT_1"
+    low = _predictions(experiment, meta, LOW_THRESHOLD)
+    high = _predictions(experiment, meta, HIGH_THRESHOLD)
+    judge = experiment.judge
+    head = experiment.head_classifier(meta)
+    titles = {item.item_id: item.title
+              for item in experiment.test_items(meta)}
+
+    identical_items = 0
+    stats = {LOW_THRESHOLD: {"n": 0, "relevant": 0, "head": 0},
+             HIGH_THRESHOLD: {"n": 0, "relevant": 0, "head": 0}}
+    for item_id in low:
+        set_low, set_high = set(low[item_id]), set(high[item_id])
+        if set_low == set_high:
+            identical_items += 1
+            continue
+        exclusive = {LOW_THRESHOLD: set_low - set_high,
+                     HIGH_THRESHOLD: set_high - set_low}
+        for threshold, texts in exclusive.items():
+            for text in texts:
+                stats[threshold]["n"] += 1
+                if judge.is_relevant(item_id, titles[item_id], text):
+                    stats[threshold]["relevant"] += 1
+                    if head.is_head(text):
+                        stats[threshold]["head"] += 1
+    frac_identical = identical_items / max(1, len(low))
+    return stats, frac_identical
+
+
+def test_table7_search_count_ablation(experiment, results_dir, benchmark):
+    stats, frac_identical = benchmark.pedantic(
+        _compute, args=(experiment,), rounds=1, iterations=1)
+
+    rows = []
+    for threshold in (LOW_THRESHOLD, HIGH_THRESHOLD):
+        s = stats[threshold]
+        n = max(1, s["n"])
+        rows.append([threshold, 100.0 * s["relevant"] / n,
+                     100.0 * s["head"] / n])
+    table = render_table(
+        ["SC threshold", "% relevant (exclusive)",
+         "% relevant head (exclusive)"],
+        rows,
+        title=("Table VII — Search-Count threshold ablation on CAT_1 "
+               f"(identical rec-sets: {frac_identical:.1%}; paper ~20%)"))
+    emit(results_dir, "table7_search_count_ablation", table)
+
+    low_rel, low_head = rows[0][1], rows[0][2]
+    high_rel, high_head = rows[1][1], rows[1][2]
+    # Paper's trade-off: the higher threshold's exclusive keyphrases carry
+    # a much larger head share, at a modest relevance cost.
+    assert high_head > low_head
+    assert low_rel > 0

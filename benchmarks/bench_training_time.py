@@ -1,0 +1,59 @@
+"""Section IV-G — training / construction time comparison.
+
+Paper: GraphEx constructs in under 1 minute, Graphite in 1-6 minutes,
+fastText in 4+ hours.  Reproduction target: GraphEx's construction is the
+fastest, and orders of magnitude below the SGD-trained fastText.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FastTextLike, Graphite
+from repro.core import GraphExModel, curate
+
+from _helpers import emit
+
+META = "CAT_1"
+
+_timings = {}
+
+
+def test_training_time_graphex(experiment, benchmark):
+    stats = curate(experiment.keyphrase_stats(META),
+                   experiment.config.curation)
+    result = benchmark.pedantic(
+        GraphExModel.construct, args=(stats,), rounds=3, iterations=1)
+    assert result.n_leaves > 0
+    _timings["GraphEx"] = benchmark.stats.stats.mean
+
+
+def test_training_time_graphite(experiment, benchmark):
+    data = experiment.training_data(META)
+    benchmark.pedantic(Graphite, args=(data,), rounds=3, iterations=1)
+    _timings["Graphite"] = benchmark.stats.stats.mean
+
+
+def test_training_time_fasttext(experiment, benchmark):
+    data = experiment.training_data(META)
+    benchmark.pedantic(
+        lambda: FastTextLike(data, epochs=5), rounds=1, iterations=1)
+    _timings["fastText"] = benchmark.stats.stats.mean
+
+
+def test_training_time_shape(results_dir, benchmark):
+    from repro.eval.reporting import render_table
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_timings) < 3:
+        pytest.skip("training benchmarks did not run")
+    rows = [[name, seconds]
+            for name, seconds in sorted(_timings.items(),
+                                        key=lambda kv: kv[1])]
+    table = render_table(
+        ["model", "construction/training time (s)"], rows,
+        title="Section IV-G — model construction times on CAT_1 "
+              "(paper: GraphEx < 1 min, Graphite 1-6 min, fastText 4+ h)")
+    emit(results_dir, "training_time", table)
+
+    assert _timings["GraphEx"] < _timings["fastText"]

@@ -1,0 +1,90 @@
+"""The Figure 7 production loop: daily refresh + batch + NRT serving.
+
+Walks two simulated "days" of the serving architecture:
+
+* Day 1 — full batch inference over the catalog into the KV store.
+* Day 2 — 2% query churn arrives (new keyphrases in the logs); the model
+  is re-constructed in seconds (the daily refresh fastText cannot do),
+  the daily differential re-infers only changed items, and the NRT
+  service handles a seller revising a listing mid-day.
+
+Run:  python examples/daily_refresh_serving.py
+"""
+
+import time
+
+from repro import (
+    CurationConfig,
+    SessionSimulator,
+    TINY_PROFILE,
+    curate,
+    generate_dataset,
+)
+from repro.core import GraphExModel
+from repro.serving import (
+    BatchPipeline,
+    ItemEvent,
+    ItemEventKind,
+    KeyValueStore,
+    NRTService,
+)
+
+CURATION = CurationConfig(min_search_count=4, min_keyphrases=200,
+                          floor_search_count=2)
+
+
+def construct_model(log):
+    start = time.perf_counter()
+    model = GraphExModel.construct(curate(log.keyphrase_stats(), CURATION))
+    elapsed = time.perf_counter() - start
+    print(f"   constructed {model.n_leaves} leaf graphs / "
+          f"{model.n_keyphrases} labels in {elapsed * 1e3:.0f} ms")
+    return model
+
+
+def main() -> None:
+    dataset = generate_dataset(TINY_PROFILE)
+    simulator = SessionSimulator(dataset.catalog, dataset.queries, seed=7)
+
+    print("Day 1: training window + full batch load")
+    day1_log = simulator.run(25_000, day_start=1, day_end=180, rounds=3)
+    model = construct_model(day1_log)
+
+    store = KeyValueStore()
+    pipeline = BatchPipeline(model, store=store, workers=4)
+    requests = [(it.item_id, it.title, it.leaf_id)
+                for it in dataset.catalog.items]
+    report = pipeline.full_load(requests)
+    print(f"   full load: {report.n_inferred} items inferred, "
+          f"{report.n_served} served from KV version {report.version}")
+
+    sample = dataset.catalog.items[0]
+    print(f"   serving {sample.item_id}: {pipeline.serve(sample.item_id)[:3]}")
+
+    print("\nDay 2: query churn -> daily model refresh")
+    day2_log = day1_log.merged_with(
+        simulator.run(3_000, day_start=181, day_end=181, rounds=1))
+    pipeline.refresh_model(construct_model(day2_log))
+
+    changed = requests[:25]  # items created/revised since yesterday
+    report = pipeline.daily_differential(changed,
+                                         deleted_item_ids=[requests[-1][0]])
+    print(f"   differential: {report.n_inferred} re-inferred, "
+          f"{report.n_deleted} deleted, {report.n_served} now served")
+
+    print("\nDay 2, 14:02: seller revises a listing (NRT path)")
+    nrt = NRTService(pipeline.model, store, window_size=8,
+                     window_seconds=0.5)
+    revised_title = sample.title + " bluetooth"
+    nrt.submit(ItemEvent(kind=ItemEventKind.REVISED,
+                         item_id=sample.item_id, title=revised_title,
+                         leaf_id=sample.leaf_id, timestamp=0.0))
+    stats = nrt.flush()
+    print(f"   window processed: {stats.n_events} events, "
+          f"{stats.n_inferred} inferred")
+    print(f"   serving {sample.item_id} now: "
+          f"{pipeline.serve(sample.item_id)[:3]}")
+
+
+if __name__ == "__main__":
+    main()

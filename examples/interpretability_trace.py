@@ -1,0 +1,75 @@
+"""Interpretability (paper Section III-G): trace every recommendation.
+
+GraphEx's three phases are transparent: curation, keyphrase mapping, and
+ranking.  This example picks one item and shows, for each recommended
+keyphrase, exactly which title tokens mapped to it through the bipartite
+graph and how the LTA score and tie-breaks ordered it — the audit trail
+a black-box DNN cannot give without LIME/SHAP.
+
+Run:  python examples/interpretability_trace.py
+"""
+
+from repro import (
+    CurationConfig,
+    SessionSimulator,
+    TINY_PROFILE,
+    curate,
+    generate_dataset,
+)
+from repro.core import GraphExModel
+from repro.core.inference import enumerate_candidates
+
+
+def main() -> None:
+    dataset = generate_dataset(TINY_PROFILE)
+    simulator = SessionSimulator(dataset.catalog, dataset.queries, seed=7)
+    log = simulator.run_training_window(n_events=30_000)
+    curated = curate(log.keyphrase_stats(),
+                     CurationConfig(min_search_count=4, min_keyphrases=200,
+                                    floor_search_count=2))
+    model = GraphExModel.construct(curated)
+
+    item = dataset.catalog.items[0]
+    graph = model.leaf_graph(item.leaf_id)
+    tokens = model.tokenizer(item.title)
+
+    print(f"TITLE : {item.title}")
+    print(f"LEAF  : {item.leaf_id} "
+          f"({dataset.catalog.tree.leaf_by_id(item.leaf_id).name})\n")
+
+    print("Phase 1 — curation: the leaf's label space")
+    print(f"  {graph.n_labels} curated keyphrases; every one was searched "
+          f">= {curated.effective_threshold} times in the window.\n")
+
+    print("Phase 2 — keyphrase mapping (Enumeration):")
+    labels, counts, _ = enumerate_candidates(graph, tokens)
+    print(f"  {len(labels)} candidate keyphrases reached from the title "
+          f"tokens")
+    for token in dict.fromkeys(tokens):
+        word_id = graph.word_vocab.get(token)
+        degree = graph.graph.degree(word_id) if word_id is not None else 0
+        marker = "->" if degree else "  (ignored: in no keyphrase)"
+        print(f"    token {token!r:18s} {marker} {degree} keyphrases")
+    print()
+
+    print("Phase 3 — ranking (LTA + tie-breaks):")
+    title_set = set(tokens)
+    for rec in model.recommend(item.title, item.leaf_id, k=6, hard_limit=8):
+        phrase_tokens = rec.text.split()
+        shared = [t for t in phrase_tokens if t in title_set]
+        missing = [t for t in phrase_tokens if t not in title_set]
+        print(f"  {rec.text!r}")
+        print(f"    matched tokens : {shared}")
+        if missing:
+            print(f"    risky tokens   : {missing} "
+                  f"(penalised by LTA denominator)")
+        print(f"    LTA = c/(|l|-c+1) = {rec.common}/"
+              f"({len(set(phrase_tokens))}-{rec.common}+1) = {rec.score:.2f}"
+              f"; tie-breaks: searches={rec.search_count}, "
+              f"recall={rec.recall_count}")
+    print("\nEvery prediction above is reconstructible by hand from the "
+          "curated table and the title — no post-hoc explainer needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""The five eBay production baselines the paper compares GraphEx against.
+
+* :class:`RulesEngine` (RE) — 30-day click lookup, 100% recall.
+* :class:`SLQuery` — shared-keyphrase neighbour queries (rule-based).
+* :class:`SLEmb` — title embeddings + ANN over similar listings.
+* :class:`FastTextLike` — hashed linear BoW classifier on click data.
+* :class:`Graphite` — word→item→label bipartite XMC tagger (paper [6]).
+"""
+
+from .ann import ExactIndex, NavigableGraphIndex
+from .base import KeyphraseRecommender, Prediction, TrainingData
+from .embeddings import TitleEmbedder
+from .fasttext_like import FastTextLike
+from .graphite import Graphite
+from .keybert_like import KeyBERTLike
+from .rules_engine import RulesEngine
+from .sl_emb import SLEmb
+from .sl_query import SLQuery, jaccard
+
+__all__ = [
+    "ExactIndex",
+    "NavigableGraphIndex",
+    "KeyphraseRecommender",
+    "Prediction",
+    "TrainingData",
+    "TitleEmbedder",
+    "FastTextLike",
+    "Graphite",
+    "KeyBERTLike",
+    "RulesEngine",
+    "SLEmb",
+    "SLQuery",
+    "jaccard",
+]

@@ -1,0 +1,106 @@
+"""Nearest-neighbour indexes for dense retrieval (SL-emb's second stage).
+
+The paper's SL-emb uses HNSW [28] on CPU.  We provide an exact index (the
+reference) and a light graph-based approximate index in the HNSW spirit:
+a navigable k-NN graph traversed by greedy best-first search from a few
+entry points.  Both speak the same interface so SL-emb can swap them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class ExactIndex:
+    """Brute-force cosine-similarity index (vectors must be L2-normalized)."""
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D array")
+        self._vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def query(self, vector: np.ndarray, k: int) -> List[Tuple[int, float]]:
+        """Top-k rows by cosine similarity, as (row, similarity) pairs."""
+        if len(self._vectors) == 0 or k <= 0:
+            return []
+        sims = self._vectors @ np.asarray(vector, dtype=np.float64)
+        k = min(k, len(sims))
+        top = np.argpartition(-sims, k - 1)[:k]
+        order = top[np.argsort(-sims[top], kind="stable")]
+        return [(int(i), float(sims[i])) for i in order]
+
+
+class NavigableGraphIndex:
+    """Approximate index: greedy best-first search on a k-NN graph.
+
+    A single-layer analogue of HNSW: each vector keeps edges to its
+    ``graph_degree`` nearest neighbours (built exactly — fine at training
+    scale), and queries walk the graph greedily with a beam from
+    ``n_entry_points`` deterministic entry points.
+
+    Args:
+        vectors: L2-normalized data matrix.
+        graph_degree: Out-degree of every node.
+        n_entry_points: Entry points sampled evenly over the data.
+        beam_width: Beam size during search; larger is more accurate.
+    """
+
+    def __init__(self, vectors: np.ndarray, graph_degree: int = 12,
+                 n_entry_points: int = 4, beam_width: int = 24) -> None:
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D array")
+        self._vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+        n = len(self._vectors)
+        self._beam_width = beam_width
+        if n == 0:
+            self._neighbors = np.empty((0, 0), dtype=np.int64)
+            self._entries: List[int] = []
+            return
+        degree = min(graph_degree, max(1, n - 1))
+        sims = self._vectors @ self._vectors.T
+        np.fill_diagonal(sims, -np.inf)
+        self._neighbors = np.argpartition(
+            -sims, min(degree - 1, n - 1), axis=1)[:, :degree].astype(np.int64)
+        step = max(1, n // max(1, n_entry_points))
+        self._entries = list(range(0, n, step))[:n_entry_points]
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def query(self, vector: np.ndarray, k: int) -> List[Tuple[int, float]]:
+        """Approximate top-k rows by cosine similarity."""
+        n = len(self._vectors)
+        if n == 0 or k <= 0:
+            return []
+        vector = np.asarray(vector, dtype=np.float64)
+        visited = set(self._entries)
+        frontier = list(self._entries)
+        scores = {i: float(self._vectors[i] @ vector) for i in frontier}
+
+        improved = True
+        while improved and frontier:
+            improved = False
+            beam = sorted(frontier, key=lambda i: -scores[i])
+            beam = beam[:self._beam_width]
+            next_frontier: List[int] = []
+            worst_in_beam = scores[beam[-1]] if beam else -np.inf
+            for node in beam:
+                for neighbor in self._neighbors[node]:
+                    ni = int(neighbor)
+                    if ni in visited:
+                        continue
+                    visited.add(ni)
+                    sim = float(self._vectors[ni] @ vector)
+                    scores[ni] = sim
+                    if sim > worst_in_beam:
+                        improved = True
+                    next_frontier.append(ni)
+            frontier = beam + next_frontier
+
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])[:k]
+        return [(i, s) for i, s in ranked]

@@ -1,0 +1,70 @@
+"""Shared interface for every keyphrase recommender under comparison.
+
+All six systems (GraphEx + five eBay production baselines) answer the same
+question — "which buyer queries should this item bid on?" — but from very
+different inputs: RE and SL-query look items up by id in click logs, the
+XMC models and GraphEx read the title.  The harness therefore passes all
+three of (item_id, title, leaf_id) to every model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One recommended keyphrase with a model-specific score."""
+
+    text: str
+    score: float
+
+
+class KeyphraseRecommender(abc.ABC):
+    """Base class for all recommenders in the comparison."""
+
+    #: Display name used in every table and figure.
+    name: str = "recommender"
+
+    @abc.abstractmethod
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Recommend up to ``k`` keyphrases for one item.
+
+        Args:
+            item_id: Item identifier (used by lookup-based models).
+            title: Raw item title (used by extraction/tagging models).
+            leaf_id: The item's leaf category.
+            k: Maximum number of predictions.
+
+        Returns:
+            Predictions in decreasing relevance order (may be shorter than
+            ``k``, or empty for cold items under lookup-based models).
+        """
+
+    def coverage(self, item_ids: Sequence[int]) -> float:
+        """Fraction of the given items this model can say anything about.
+
+        Default implementation assumes full coverage (extraction models);
+        lookup-based models override it.
+        """
+        return 1.0 if item_ids else 0.0
+
+
+@dataclass(frozen=True)
+class TrainingData:
+    """Everything a baseline may train on, for one meta category.
+
+    Attributes:
+        items: ``(item_id, title, leaf_id)`` triples for the meta's items.
+        click_pairs: Click-based ground truths
+            ``item_id -> {query_text: clicks}`` (the MNAR-biased signal
+            the paper's XMC models consume).
+        query_leaf: ``query_text -> leaf_id`` attribution.
+    """
+
+    items: Sequence[tuple]
+    click_pairs: Dict[int, Dict[str, int]]
+    query_leaf: Dict[str, int]

@@ -1,0 +1,115 @@
+"""Title embeddings: TF-IDF + truncated SVD.
+
+Stands in for SL-emb's neural title encoder (see DESIGN.md): the paper's
+hypothesis — "semantically close items have similar keyphrases" — only
+needs an embedding space where similar titles land close together, which
+latent semantic analysis provides without GPUs or pretrained weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from ..core.tokenize import DEFAULT_TOKENIZER, Tokenizer
+
+
+class TitleEmbedder:
+    """TF-IDF + truncated-SVD embedder for short item titles.
+
+    Args:
+        dim: Embedding dimensionality (clipped to the vocabulary rank).
+        tokenizer: Tokenizer applied to every title.
+        min_df: Drop tokens appearing in fewer documents than this.
+    """
+
+    def __init__(self, dim: int = 64,
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+                 min_df: int = 2) -> None:
+        self._dim = dim
+        self._tokenizer = tokenizer
+        self._min_df = min_df
+        self._token_ids: Dict[str, int] = {}
+        self._idf: np.ndarray = np.empty(0)
+        self._projection: np.ndarray = np.empty((0, 0))
+        self._fitted = False
+
+    @property
+    def dim(self) -> int:
+        """Actual embedding dimensionality after fitting."""
+        return self._projection.shape[1] if self._fitted else self._dim
+
+    def _tfidf_matrix(self, titles: Sequence[str],
+                      building: bool) -> sparse.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for row, title in enumerate(titles):
+            counts: Dict[int, int] = {}
+            for token in self._tokenizer(title):
+                token_id = self._token_ids.get(token)
+                if token_id is None:
+                    continue
+                counts[token_id] = counts.get(token_id, 0) + 1
+            for token_id, count in counts.items():
+                rows.append(row)
+                cols.append(token_id)
+                weight = (1.0 + math.log(count))
+                if not building:
+                    weight *= self._idf[token_id]
+                vals.append(weight)
+        return sparse.csr_matrix(
+            (vals, (rows, cols)),
+            shape=(len(titles), max(1, len(self._token_ids))))
+
+    def fit(self, titles: Sequence[str]) -> "TitleEmbedder":
+        """Learn vocabulary, IDF weights and the SVD projection.
+
+        Raises:
+            ValueError: If ``titles`` is empty.
+        """
+        if not titles:
+            raise ValueError("cannot fit embedder on an empty corpus")
+        doc_freq: Dict[str, int] = {}
+        for title in titles:
+            for token in set(self._tokenizer(title)):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+        kept = sorted(t for t, df in doc_freq.items() if df >= self._min_df)
+        if not kept:  # degenerate corpus: keep everything
+            kept = sorted(doc_freq)
+        self._token_ids = {token: i for i, token in enumerate(kept)}
+        n_docs = len(titles)
+        self._idf = np.array(
+            [math.log((1 + n_docs) / (1 + doc_freq[t])) + 1.0 for t in kept],
+            dtype=np.float64)
+
+        counts = self._tfidf_matrix(titles, building=True)
+        tfidf = counts.multiply(self._idf[np.newaxis, :]).tocsr()
+        rank_cap = min(tfidf.shape) - 1
+        dim = max(1, min(self._dim, rank_cap))
+        _, _, vt = svds(tfidf.astype(np.float64), k=dim)
+        self._projection = vt.T  # (vocab, dim)
+        self._fitted = True
+        return self
+
+    def transform(self, titles: Sequence[str]) -> np.ndarray:
+        """Embed titles into the fitted space (rows are L2-normalized).
+
+        Raises:
+            RuntimeError: If called before :meth:`fit`.
+        """
+        if not self._fitted:
+            raise RuntimeError("TitleEmbedder.transform before fit")
+        tfidf = self._tfidf_matrix(titles, building=False)
+        dense = tfidf @ self._projection
+        norms = np.linalg.norm(dense, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return np.asarray(dense / norms)
+
+    def fit_transform(self, titles: Sequence[str]) -> np.ndarray:
+        """Fit on the corpus and return its embeddings."""
+        return self.fit(titles).transform(titles)

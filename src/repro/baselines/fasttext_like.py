@@ -1,0 +1,143 @@
+"""fastText-like linear text classifier over click data.
+
+Stands in for eBay's production fastText model (see DESIGN.md): the same
+model family — hashed bag-of-words/bigram features, averaged into a dense
+hidden vector, linear label scoring — trained with negative-sampling SGD
+on click-based item→keyphrase pairs.  Like the original, it is CPU-only,
+and like the original it inherits every bias of its click training data
+(the paper's central criticism of the XMC family).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.tokenize import DEFAULT_TOKENIZER, Tokenizer
+from .base import KeyphraseRecommender, Prediction, TrainingData
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class FastTextLike(KeyphraseRecommender):
+    """Hashed linear bag-of-words classifier with negative sampling.
+
+    Args:
+        data: Click-based training data.
+        dim: Hidden/embedding dimensionality.
+        buckets: Feature-hashing buckets for unigrams and bigrams.
+        epochs: SGD passes over the training pairs.
+        lr: Initial learning rate (linearly decayed to ~0).
+        negatives: Negative labels sampled per positive.
+        seed: RNG seed for init and sampling.
+    """
+
+    name = "fastText"
+
+    def __init__(self, data: TrainingData, dim: int = 48,
+                 buckets: int = 1 << 16, epochs: int = 15,
+                 lr: float = 0.5, negatives: int = 5,
+                 seed: int = 31,
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        self._tokenizer = tokenizer
+        self._buckets = buckets
+        rng = np.random.default_rng(seed)
+
+        # Label universe = every clicked keyphrase (head AND tail, as the
+        # paper notes the XMC label space contains both).
+        label_counts: Dict[str, int] = {}
+        for queries in data.click_pairs.values():
+            for query, clicks in queries.items():
+                label_counts[query] = label_counts.get(query, 0) + clicks
+        self._labels: List[str] = sorted(label_counts)
+        label_ids = {label: i for i, label in enumerate(self._labels)}
+        n_labels = len(self._labels)
+
+        # Init scale 1/sqrt(dim): large enough that the averaged hidden
+        # vector carries signal from the first update (tiny corpora need
+        # this; the original's 1/dim init relies on web-scale data).
+        self._input = (rng.random((buckets, dim)) - 0.5) / np.sqrt(dim)
+        self._output = np.zeros((max(1, n_labels), dim))
+
+        if n_labels == 0:
+            return
+
+        # Unigram^0.75 negative-sampling table, as in word2vec/fastText.
+        freqs = np.array([label_counts[label] for label in self._labels],
+                         dtype=np.float64) ** 0.75
+        neg_probs = freqs / freqs.sum()
+
+        titles_by_item = {item_id: title
+                          for item_id, title, _leaf in data.items}
+        pairs: List[Tuple[np.ndarray, int]] = []
+        for item_id, queries in data.click_pairs.items():
+            title = titles_by_item.get(item_id)
+            if title is None:
+                continue
+            features = self._hash_features(title)
+            if len(features) == 0:
+                continue
+            for query in queries:
+                pairs.append((features, label_ids[query]))
+        if not pairs:
+            return
+
+        n_updates = epochs * len(pairs)
+        update = 0
+        for _epoch in range(epochs):
+            order = rng.permutation(len(pairs))
+            neg_draws = rng.choice(n_labels, size=(len(pairs), negatives),
+                                   p=neg_probs)
+            for row, pair_idx in enumerate(order):
+                features, positive = pairs[pair_idx]
+                rate = lr * max(0.05, 1.0 - update / n_updates)
+                update += 1
+                hidden = self._input[features].mean(axis=0)
+                targets = np.concatenate(
+                    ([positive], neg_draws[row]))
+                signs = np.zeros(len(targets))
+                signs[0] = 1.0
+                vectors = self._output[targets]
+                scores = _sigmoid(vectors @ hidden)
+                grad = (signs - scores) * rate
+                hidden_grad = grad @ vectors
+                self._output[targets] += np.outer(grad, hidden)
+                self._input[features] += hidden_grad / len(features)
+
+    def _hash_features(self, text: str) -> np.ndarray:
+        # zlib.crc32 is process-independent, unlike Python's salted
+        # hash(): the model must behave identically across runs.
+        tokens = self._tokenizer(text)
+        feats = [zlib.crc32(t.encode()) % self._buckets for t in tokens]
+        feats += [zlib.crc32((a + "__" + b).encode()) % self._buckets
+                  for a, b in zip(tokens, tokens[1:])]
+        return np.asarray(sorted(set(feats)), dtype=np.int64)
+
+    @property
+    def n_labels(self) -> int:
+        """Size of the label space."""
+        return len(self._labels)
+
+    def memory_bytes(self) -> int:
+        """Weight-matrix footprint (dominates model size, as in Figure 6b)."""
+        return self._input.nbytes + self._output.nbytes
+
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Score all labels against the hashed title representation."""
+        if not self._labels:
+            return []
+        features = self._hash_features(title)
+        if len(features) == 0:
+            return []
+        hidden = self._input[features].mean(axis=0)
+        scores = self._output @ hidden
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        return [Prediction(text=self._labels[i], score=float(scores[i]))
+                for i in order]

@@ -1,0 +1,126 @@
+"""keyBERT-style extractive baseline (paper Section II, Related Work).
+
+The paper describes keyBERT's formulation: "keyphrase generation as an
+n-gram-based permutation problem, i.e., it generates all possible n-grams
+for a given n-gram range", followed by an embedding-based ranking of the
+candidates against the document.  It then names the two failure modes
+GraphEx is designed around:
+
+1. the token space is limited by **token adjacency** and token presence
+   in the item's text;
+2. nothing constrains candidates to the **universe of queries buyers
+   actually search** — recommendations can be un-targetable.
+
+This implementation reproduces both the method and the failure modes: it
+emits contiguous title n-grams ranked by embedding similarity to the full
+title, with an optional query-universe filter so the targeting loss is
+measurable (``bench_ablation_keybert_targeting``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.tokenize import DEFAULT_TOKENIZER, Tokenizer
+from .base import KeyphraseRecommender, Prediction, TrainingData
+from .embeddings import TitleEmbedder
+
+
+class KeyBERTLike(KeyphraseRecommender):
+    """Contiguous n-gram extraction + embedding ranking.
+
+    Args:
+        data: Training data; titles fit the ranking embedder (standing in
+            for the pretrained encoder keyBERT downloads).
+        ngram_range: Candidate n-gram lengths, inclusive.
+        diversity_penalty: Maximal-marginal-relevance style penalty in
+            [0, 1): 0 ranks purely by similarity; higher values penalise
+            candidates similar to already-selected ones.
+        known_queries: Optional query universe; when given, candidates
+            outside it are dropped (what a production deployment would
+            have to bolt on — and exactly what vanilla keyBERT lacks).
+        tokenizer: Tokenizer for titles.
+    """
+
+    name = "keyBERT-like"
+
+    def __init__(self, data: TrainingData,
+                 ngram_range: tuple = (1, 3),
+                 diversity_penalty: float = 0.3,
+                 known_queries: Optional[Set[str]] = None,
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        lo, hi = ngram_range
+        if not 1 <= lo <= hi:
+            raise ValueError("invalid ngram_range")
+        self._lo, self._hi = lo, hi
+        if not 0.0 <= diversity_penalty < 1.0:
+            raise ValueError("diversity_penalty must be in [0, 1)")
+        self._diversity = diversity_penalty
+        self._known_queries = known_queries
+        self._tokenizer = tokenizer
+        titles = [title for _id, title, _leaf in data.items]
+        self._embedder = (TitleEmbedder(dim=64, tokenizer=tokenizer)
+                          .fit(titles) if titles else None)
+
+    def _candidates(self, tokens: Sequence[str]) -> List[str]:
+        """All contiguous n-grams in the configured range (adjacency-
+        limited, as the paper notes)."""
+        seen: Dict[str, None] = {}
+        for n in range(self._lo, self._hi + 1):
+            for start in range(0, len(tokens) - n + 1):
+                seen[" ".join(tokens[start:start + n])] = None
+        out = list(seen)
+        if self._known_queries is not None:
+            out = [c for c in out if c in self._known_queries]
+        return out
+
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Rank title n-grams by embedding similarity to the title."""
+        if self._embedder is None:
+            return []
+        tokens = self._tokenizer(title)
+        candidates = self._candidates(tokens)
+        if not candidates:
+            return []
+        title_vec = self._embedder.transform([title])[0]
+        cand_vecs = self._embedder.transform(candidates)
+        sims = cand_vecs @ title_vec
+
+        if self._diversity <= 0.0:
+            order = np.argsort(-sims, kind="stable")[:k]
+            return [Prediction(text=candidates[i], score=float(sims[i]))
+                    for i in order]
+
+        # Greedy MMR selection.
+        selected: List[int] = []
+        remaining = list(range(len(candidates)))
+        while remaining and len(selected) < k:
+            best, best_score = None, -np.inf
+            for idx in remaining:
+                redundancy = max(
+                    (float(cand_vecs[idx] @ cand_vecs[s])
+                     for s in selected), default=0.0)
+                score = ((1.0 - self._diversity) * float(sims[idx])
+                         - self._diversity * redundancy)
+                if score > best_score:
+                    best, best_score = idx, score
+            selected.append(best)
+            remaining.remove(best)
+        return [Prediction(text=candidates[i], score=float(sims[i]))
+                for i in selected]
+
+    def targeting_rate(self, predictions: Sequence[Prediction],
+                       query_universe: Set[str]) -> float:
+        """Fraction of predictions that are real buyer queries.
+
+        The paper's Challenge I-A4: exact-match auctions make untargetable
+        keyphrases worthless.  GraphEx is 1.0 by construction; vanilla
+        n-gram extraction is not.
+        """
+        if not predictions:
+            return 0.0
+        hits = sum(1 for p in predictions if p.text in query_universe)
+        return hits / len(predictions)

@@ -1,0 +1,64 @@
+"""Rules Engine (RE): the 100% recall click-lookup recommender.
+
+Paper, Section II: "Rules Engine (RE) is a simple technique that stores
+item-keyphrase associations based on their co-occurrences (associated with
+buyer activity) in the search logs during the last 30 days ... It
+recommends keyphrases only for items in which buyers have shown interest
+and not for any new items.  This is a 100% recall model in which buyers'
+interest is reflected back to them."
+
+Because RE *is* the click ground truth, Table V uses its recommendations
+as labels to score every other model's precision/recall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..search.logs import SearchLog
+from .base import KeyphraseRecommender, Prediction
+
+
+class RulesEngine(KeyphraseRecommender):
+    """Item → clicked-keyphrase lookup over a recent log window.
+
+    Args:
+        log: The search log to mine.
+        lookback_days: Window length counted back from the log's last day.
+        min_activity: Minimum clicks for an (item, keyphrase) pair to be
+            stored ("a minimum amount of buyer activity").
+    """
+
+    name = "RE"
+
+    def __init__(self, log: SearchLog, lookback_days: int = 30,
+                 min_activity: int = 1) -> None:
+        min_day = log.day_end - lookback_days + 1
+        self._table: Dict[int, Dict[str, int]] = log.item_query_pairs(
+            min_day=min_day, min_clicks=min_activity)
+
+    @property
+    def n_items_covered(self) -> int:
+        """Items with at least one stored association."""
+        return len(self._table)
+
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Return the item's clicked keyphrases, most-clicked first."""
+        queries = self._table.get(item_id)
+        if not queries:
+            return []
+        ranked = sorted(queries.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [Prediction(text=text, score=float(clicks))
+                for text, clicks in ranked[:k]]
+
+    def coverage(self, item_ids: Sequence[int]) -> float:
+        """Fraction of items with any stored association (~13% at eBay)."""
+        if not item_ids:
+            return 0.0
+        hits = sum(1 for item_id in item_ids if item_id in self._table)
+        return hits / len(item_ids)
+
+    def ground_truth(self, item_id: int) -> Dict[str, int]:
+        """The raw click associations for one item (Table V labels)."""
+        return dict(self._table.get(item_id, {}))

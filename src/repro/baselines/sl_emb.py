@@ -1,0 +1,93 @@
+"""SL-emb: dense retrieval of similar listings, then their queries.
+
+Paper, Section II: "SL-emb uses embeddings of the item's title to compare
+and find similar listings, and then recommend the related queries ...
+inference is implemented in two stages, namely, embedding generation and
+ANN."  Predictions are truncated with a Jaccard threshold like SL-query.
+Unlike the rule-based SL-query, SL-emb covers cold items (any title can
+be embedded) and does not need daily retraining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.tokenize import DEFAULT_TOKENIZER, Tokenizer
+from .ann import ExactIndex, NavigableGraphIndex
+from .base import KeyphraseRecommender, Prediction, TrainingData
+from .embeddings import TitleEmbedder
+from .sl_query import jaccard
+
+
+class SLEmb(KeyphraseRecommender):
+    """Embedding-based similar-listing recommender.
+
+    Args:
+        data: Training data; only items with click queries are indexed
+            (they are the ones whose queries can be propagated).
+        n_neighbors: Similar listings retrieved per seed item.
+        jaccard_threshold: Token-level Jaccard cut-off for candidate
+            keyphrases against the seed title.
+        embedding_dim: Dimensionality of the title embedding.
+        approximate: Use the navigable-graph ANN instead of exact search.
+        tokenizer: Tokenizer for the Jaccard truncation.
+    """
+
+    name = "SL-emb"
+
+    def __init__(self, data: TrainingData, n_neighbors: int = 12,
+                 jaccard_threshold: float = 0.15,
+                 embedding_dim: int = 64,
+                 approximate: bool = True,
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        self._tokenizer = tokenizer
+        self._threshold = jaccard_threshold
+        self._n_neighbors = n_neighbors
+
+        self._indexed_items: List[int] = []
+        titles: List[str] = []
+        for item_id, title, _leaf in data.items:
+            if item_id in data.click_pairs:
+                self._indexed_items.append(item_id)
+                titles.append(title)
+        self._item_queries: Dict[int, Dict[str, int]] = data.click_pairs
+
+        if titles:
+            self._embedder = TitleEmbedder(
+                dim=embedding_dim, tokenizer=tokenizer).fit(titles)
+            vectors = self._embedder.transform(titles)
+            if approximate and len(titles) > 64:
+                self._index = NavigableGraphIndex(vectors)
+            else:
+                self._index = ExactIndex(vectors)
+        else:
+            self._embedder = None
+            self._index = ExactIndex(np.empty((0, 1)))
+
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Embed the title, find similar listings, return their queries."""
+        if self._embedder is None or len(self._index) == 0:
+            return []
+        vector = self._embedder.transform([title])[0]
+        neighbors = self._index.query(vector, self._n_neighbors)
+
+        scores: Dict[str, float] = {}
+        for row, similarity in neighbors:
+            neighbor_id = self._indexed_items[row]
+            if neighbor_id == item_id:
+                continue
+            weight = max(0.0, similarity)
+            for query, clicks in self._item_queries[neighbor_id].items():
+                scores[query] = scores.get(query, 0.0) + weight * clicks
+
+        title_tokens = set(self._tokenizer(title))
+        survivors = [
+            (query, score) for query, score in scores.items()
+            if jaccard(set(self._tokenizer(query)), title_tokens)
+            >= self._threshold
+        ]
+        survivors.sort(key=lambda kv: (-kv[1], kv[0]))
+        return [Prediction(text=q, score=s) for q, s in survivors[:k]]

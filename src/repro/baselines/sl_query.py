@@ -1,0 +1,90 @@
+"""SL-query: similar listings share similar queries (rule-based).
+
+Paper, Section II: "SL-query recommends the associated queries of listings
+that share a keyphrase with the seed item ... predictions are truncated
+from a higher number of predictions using a Jaccard coefficient threshold
+to ensure relevance."  Like RE it has low item coverage and cannot serve
+cold items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..core.tokenize import DEFAULT_TOKENIZER, Tokenizer
+from .base import KeyphraseRecommender, Prediction, TrainingData
+
+
+def jaccard(a: Set[str], b: Set[str]) -> float:
+    """Jaccard coefficient between two token sets (0 when both empty)."""
+    if not a and not b:
+        return 0.0
+    inter = len(a & b)
+    union = len(a | b)
+    return inter / union if union else 0.0
+
+
+class SLQuery(KeyphraseRecommender):
+    """Shared-keyphrase neighbour queries with Jaccard truncation.
+
+    Args:
+        data: Training data with click pairs.
+        jaccard_threshold: Minimum Jaccard similarity between a candidate
+            keyphrase's tokens and the seed title's tokens for the
+            candidate to survive truncation.
+        tokenizer: Tokenizer for titles and keyphrases.
+    """
+
+    name = "SL-query"
+
+    def __init__(self, data: TrainingData, jaccard_threshold: float = 0.2,
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        self._threshold = jaccard_threshold
+        self._tokenizer = tokenizer
+        self._item_queries: Dict[int, Dict[str, int]] = {
+            item_id: dict(queries)
+            for item_id, queries in data.click_pairs.items()
+        }
+        self._query_items: Dict[str, List[int]] = {}
+        for item_id, queries in self._item_queries.items():
+            for query in queries:
+                self._query_items.setdefault(query, []).append(item_id)
+
+    def recommend(self, item_id: int, title: str, leaf_id: int,
+                  k: int = 20) -> List[Prediction]:
+        """Collect queries of listings sharing a keyphrase with the seed."""
+        seed_queries = self._item_queries.get(item_id)
+        if not seed_queries:
+            return []
+        neighbor_ids: Set[int] = set()
+        for query in seed_queries:
+            neighbor_ids.update(self._query_items.get(query, ()))
+        neighbor_ids.discard(item_id)
+
+        scores: Dict[str, float] = {}
+        for neighbor in neighbor_ids:
+            for query, clicks in self._item_queries[neighbor].items():
+                if query in seed_queries:
+                    continue
+                scores[query] = scores.get(query, 0.0) + float(clicks)
+
+        title_tokens = set(self._tokenizer(title))
+        survivors = [
+            (query, score) for query, score in scores.items()
+            if jaccard(set(self._tokenizer(query)), title_tokens)
+            >= self._threshold
+        ]
+        survivors.sort(key=lambda kv: (-kv[1], kv[0]))
+        # The seed's own queries lead (they are certain), then neighbours'.
+        own = sorted(seed_queries.items(), key=lambda kv: (-kv[1], kv[0]))
+        out = [Prediction(text=q, score=float(c)) for q, c in own]
+        out.extend(Prediction(text=q, score=s) for q, s in survivors)
+        return out[:k]
+
+    def coverage(self, item_ids: Sequence[int]) -> float:
+        """Fraction of items with click history (cold items uncovered)."""
+        if not item_ids:
+            return 0.0
+        hits = sum(1 for item_id in item_ids
+                   if item_id in self._item_queries)
+        return hits / len(item_ids)

@@ -1,0 +1,203 @@
+"""Command-line interface for the GraphEx reproduction.
+
+Mirrors a production workflow in five subcommands::
+
+    repro-graphex simulate  --out logs.json [--profile tiny|default]
+    repro-graphex curate    --log logs.json --out curated.json [--min-search-count N]
+    repro-graphex construct --curated curated.json --out model_dir/
+    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N]
+    repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
+
+``simulate`` writes aggregated keyphrase stats (the only GraphEx training
+input) as JSON; ``construct`` persists the model with
+:func:`repro.core.serialization.save_model`; ``recommend`` loads and
+serves.  ``evaluate`` runs the miniature Table III comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.curation import CurationConfig, curate
+from .core.model import GraphExModel
+from .core.serialization import load_model, save_model
+from .data.generator import DEFAULT_PROFILE, TINY_PROFILE, generate_dataset
+from .search.logs import KeyphraseStat
+from .search.sessions import SessionSimulator
+
+_PROFILES = {"tiny": TINY_PROFILE, "default": DEFAULT_PROFILE}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = _PROFILES[args.profile]
+    dataset = generate_dataset(profile)
+    simulator = SessionSimulator(dataset.catalog, dataset.queries,
+                                 seed=args.seed)
+    log = simulator.run_training_window(n_events=args.events)
+    stats = [
+        {"text": s.text, "leaf_id": s.leaf_id,
+         "search_count": s.search_count, "recall_count": s.recall_count}
+        for s in log.keyphrase_stats()
+    ]
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump({"profile": args.profile, "stats": stats}, fh)
+    print(f"wrote {len(stats)} keyphrase stats to {args.out}")
+    return 0
+
+
+def _load_stats(path: str) -> List[KeyphraseStat]:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return [KeyphraseStat(text=s["text"], leaf_id=s["leaf_id"],
+                          search_count=s["search_count"],
+                          recall_count=s["recall_count"])
+            for s in payload["stats"]]
+
+
+def _cmd_curate(args: argparse.Namespace) -> int:
+    stats = _load_stats(args.log)
+    curated = curate(stats, CurationConfig(
+        min_search_count=args.min_search_count,
+        min_keyphrases=args.min_keyphrases,
+        floor_search_count=args.floor))
+    payload = {
+        "effective_threshold": curated.effective_threshold,
+        "leaves": {
+            str(leaf_id): {
+                "texts": leaf.texts,
+                "search_counts": leaf.search_counts,
+                "recall_counts": leaf.recall_counts,
+            }
+            for leaf_id, leaf in curated.leaves.items()
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    print(f"curated {curated.n_keyphrases} keyphrases "
+          f"(effective threshold {curated.effective_threshold}) "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    from .core.curation import CuratedKeyphrases, CuratedLeaf
+
+    with open(args.curated, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    leaves = {}
+    for leaf_id_str, data in payload["leaves"].items():
+        leaf = CuratedLeaf(leaf_id=int(leaf_id_str))
+        for text, search, recall in zip(
+                data["texts"], data["search_counts"],
+                data["recall_counts"]):
+            leaf.add(text, search, recall)
+        leaves[int(leaf_id_str)] = leaf
+    curated = CuratedKeyphrases(
+        leaves=leaves,
+        effective_threshold=payload["effective_threshold"],
+        config=CurationConfig())
+    model = GraphExModel.construct(curated, alignment=args.alignment)
+    save_model(model, args.out)
+    print(f"constructed {model.n_leaves} leaf graphs / "
+          f"{model.n_keyphrases} labels -> {args.out}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    recs = model.recommend(args.title, args.leaf, k=args.k)
+    if not recs:
+        print("(no recommendations)")
+        return 0
+    for rec in recs:
+        print(f"{rec.score:8.3f}  S={rec.search_count:<8d} "
+              f"R={rec.recall_count:<8d} {rec.text}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .eval import Experiment, ExperimentConfig
+    from .eval.metrics import (relative_head_ratio,
+                               relative_relevant_ratio)
+    from .eval.reporting import render_table
+
+    if args.profile == "tiny":
+        config = ExperimentConfig(
+            profile=TINY_PROFILE, n_train_events=30_000,
+            n_test_events=5_000,
+            curation=CurationConfig(min_search_count=3,
+                                    min_keyphrases=100,
+                                    floor_search_count=2),
+            test_items_per_meta={"CAT_1": 60, "CAT_2": 40, "CAT_3": 20})
+    else:
+        config = ExperimentConfig()
+    experiment = Experiment(config).prepare()
+    metas = [args.meta] if args.meta else experiment.metas
+    for meta in metas:
+        judged = experiment.judged(meta)
+        reference = judged["GraphEx"]
+        rows = [[name, j.rp, j.hp,
+                 relative_relevant_ratio(j, reference),
+                 relative_head_ratio(j, reference)]
+                for name, j in judged.items()]
+        print(render_table(["model", "RP", "HP", "RRR", "RHR"], rows,
+                           title=f"\n{meta}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-graphex",
+        description="GraphEx reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate",
+                           help="simulate buyer sessions, write stats")
+    p_sim.add_argument("--out", required=True)
+    p_sim.add_argument("--profile", choices=_PROFILES, default="tiny")
+    p_sim.add_argument("--events", type=int, default=30_000)
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cur = sub.add_parser("curate", help="curate head keyphrases")
+    p_cur.add_argument("--log", required=True)
+    p_cur.add_argument("--out", required=True)
+    p_cur.add_argument("--min-search-count", type=int, default=4)
+    p_cur.add_argument("--min-keyphrases", type=int, default=200)
+    p_cur.add_argument("--floor", type=int, default=2)
+    p_cur.set_defaults(func=_cmd_curate)
+
+    p_con = sub.add_parser("construct", help="construct the GraphEx model")
+    p_con.add_argument("--curated", required=True)
+    p_con.add_argument("--out", required=True)
+    p_con.add_argument("--alignment", choices=["lta", "wmr", "jac"],
+                       default="lta")
+    p_con.set_defaults(func=_cmd_construct)
+
+    p_rec = sub.add_parser("recommend", help="serve one title")
+    p_rec.add_argument("--model", required=True)
+    p_rec.add_argument("--title", required=True)
+    p_rec.add_argument("--leaf", type=int, required=True)
+    p_rec.add_argument("-k", type=int, default=10)
+    p_rec.set_defaults(func=_cmd_recommend)
+
+    p_eval = sub.add_parser("evaluate", help="run the model bake-off")
+    p_eval.add_argument("--profile", choices=_PROFILES, default="tiny")
+    p_eval.add_argument("--meta", default=None)
+    p_eval.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

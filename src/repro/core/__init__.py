@@ -1,0 +1,62 @@
+"""GraphEx core: curation, construction, inference, persistence."""
+
+from .alignment import ALIGNMENTS, get_alignment, jac, lta, wmr
+from .batch import batch_recommend, differential_update
+from .csr import CSRGraph
+from .curation import (
+    CuratedKeyphrases,
+    CuratedLeaf,
+    CurationConfig,
+    curate,
+    head_threshold,
+)
+from .inference import (
+    Recommendation,
+    enumerate_candidates,
+    prune_by_count_groups,
+    rank_candidates,
+    recommend_from_graph,
+)
+from .model import GraphExModel, LeafGraph, build_leaf_graph
+from .serialization import load_model, model_size_bytes, save_model
+from .tokenize import (
+    DEFAULT_TOKENIZER,
+    STEMMING_TOKENIZER,
+    SpaceTokenizer,
+    light_stem,
+    normalize_token,
+)
+from .vocab import Vocabulary
+
+__all__ = [
+    "ALIGNMENTS",
+    "get_alignment",
+    "lta",
+    "wmr",
+    "jac",
+    "batch_recommend",
+    "differential_update",
+    "CSRGraph",
+    "CurationConfig",
+    "CuratedKeyphrases",
+    "CuratedLeaf",
+    "curate",
+    "head_threshold",
+    "Recommendation",
+    "enumerate_candidates",
+    "prune_by_count_groups",
+    "rank_candidates",
+    "recommend_from_graph",
+    "GraphExModel",
+    "LeafGraph",
+    "build_leaf_graph",
+    "save_model",
+    "load_model",
+    "model_size_bytes",
+    "SpaceTokenizer",
+    "DEFAULT_TOKENIZER",
+    "STEMMING_TOKENIZER",
+    "light_stem",
+    "normalize_token",
+    "Vocabulary",
+]

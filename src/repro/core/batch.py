@@ -1,0 +1,94 @@
+"""Batch and differential inference (paper Sections III-F, IV-H).
+
+Production GraphEx runs batch inference over all items plus a *daily
+differential* — only items created or revised since the last run are
+re-inferred and merged with the existing predictions.  Inference is
+embarrassingly parallel ("coarse-grained multithreading, assigning each
+input's inference to an individual thread"); here each worker handles a
+contiguous shard of items.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .inference import Recommendation
+from .model import GraphExModel
+
+#: One inference request: (item_id, title, leaf_id).
+InferenceRequest = Tuple[int, str, int]
+
+#: Batch output: item id → ranked recommendations.
+BatchResult = Dict[int, List[Recommendation]]
+
+
+def batch_recommend(model: GraphExModel,
+                    requests: Sequence[InferenceRequest],
+                    k: int = 10,
+                    hard_limit: Optional[int] = None,
+                    workers: int = 1) -> BatchResult:
+    """Run inference over a batch of items.
+
+    Args:
+        model: A constructed :class:`GraphExModel`.
+        requests: ``(item_id, title, leaf_id)`` triples.
+        k: Target predictions per item.
+        hard_limit: Optional strict cap per item.
+        workers: Worker threads; each handles a contiguous shard.
+
+    Returns:
+        Mapping from item id to its ranked recommendations.
+    """
+    if workers <= 1 or len(requests) < 2 * workers:
+        return {
+            item_id: model.recommend(title, leaf_id, k=k,
+                                     hard_limit=hard_limit)
+            for item_id, title, leaf_id in requests
+        }
+
+    def run_shard(shard: Sequence[InferenceRequest]) -> BatchResult:
+        return {
+            item_id: model.recommend(title, leaf_id, k=k,
+                                     hard_limit=hard_limit)
+            for item_id, title, leaf_id in shard
+        }
+
+    shard_size = (len(requests) + workers - 1) // workers
+    shards = [requests[i:i + shard_size]
+              for i in range(0, len(requests), shard_size)]
+    out: BatchResult = {}
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for result in pool.map(run_shard, shards):
+            out.update(result)
+    return out
+
+
+def differential_update(model: GraphExModel,
+                        previous: BatchResult,
+                        changed: Sequence[InferenceRequest],
+                        deleted_item_ids: Iterable[int] = (),
+                        k: int = 10,
+                        hard_limit: Optional[int] = None,
+                        workers: int = 1) -> BatchResult:
+    """Daily differential: re-infer changed items, merge with old results.
+
+    Args:
+        model: Current (possibly refreshed) model.
+        previous: Yesterday's batch output.
+        changed: Items created or revised since then.
+        deleted_item_ids: Items to drop from the output.
+        k: Target predictions per item.
+        hard_limit: Optional strict cap per item.
+        workers: Worker threads for the re-inference.
+
+    Returns:
+        The merged batch output (new dict; ``previous`` is not mutated).
+    """
+    merged: BatchResult = dict(previous)
+    for item_id in deleted_item_ids:
+        merged.pop(item_id, None)
+    fresh = batch_recommend(model, changed, k=k, hard_limit=hard_limit,
+                            workers=workers)
+    merged.update(fresh)
+    return merged

@@ -1,0 +1,159 @@
+"""Keyphrase curation from search logs (paper Section III-B).
+
+Curation aggregates unique keyphrases per meta category, grouped by leaf
+category, each with a Search Count and Recall Count.  Crucially it never
+looks at item-keyphrase click associations — that decoupling is what rids
+GraphEx of the click biases (Challenge I-A2) — and it keeps only heavily
+searched (head) keyphrases via the Search-Count threshold (Challenge
+I-A1 / Table VII).
+
+The paper eases the threshold for small categories "due to a lack of
+enough keyphrases" (footnote 5); :class:`CurationConfig.min_keyphrases`
+reproduces that relaxation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..search.logs import KeyphraseStat
+
+
+@dataclass(frozen=True)
+class CurationConfig:
+    """Knobs of the curation process.
+
+    Attributes:
+        min_search_count: Keep keyphrases searched at least this many times
+            in the window.  The paper's ideal is once per day (180 over six
+            months); at simulation scale the benches pass scaled values.
+        min_keyphrases: If a curation yields fewer unique keyphrases than
+            this, the threshold is repeatedly halved (down to
+            ``floor_search_count``) until satisfied — the CAT 3 relaxation.
+        floor_search_count: Lower bound the relaxation will not cross.
+        max_tokens: Drop keyphrases longer than this many tokens.
+        min_tokens: Drop keyphrases shorter than this many tokens.
+    """
+
+    min_search_count: int = 180
+    min_keyphrases: int = 0
+    floor_search_count: int = 2
+    max_tokens: int = 10
+    min_tokens: int = 1
+
+
+@dataclass
+class CuratedLeaf:
+    """Curated keyphrases of one leaf category, parallel-array style."""
+
+    leaf_id: int
+    texts: List[str] = field(default_factory=list)
+    search_counts: List[int] = field(default_factory=list)
+    recall_counts: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.texts)
+
+    def add(self, text: str, search_count: int, recall_count: int) -> None:
+        """Append one keyphrase."""
+        self.texts.append(text)
+        self.search_counts.append(search_count)
+        self.recall_counts.append(recall_count)
+
+
+@dataclass
+class CuratedKeyphrases:
+    """Curation output: keyphrases grouped per leaf category.
+
+    Attributes:
+        leaves: Mapping from leaf id to :class:`CuratedLeaf`.
+        effective_threshold: The Search-Count threshold actually applied
+            (may be lower than requested after relaxation).
+        config: The configuration used.
+    """
+
+    leaves: Dict[int, CuratedLeaf]
+    effective_threshold: int
+    config: CurationConfig
+
+    @property
+    def n_keyphrases(self) -> int:
+        """Total curated keyphrases across all leaves (duplicates across
+        leaves count separately, as in the paper)."""
+        return sum(len(leaf) for leaf in self.leaves.values())
+
+    @property
+    def n_unique_texts(self) -> int:
+        """Unique keyphrase strings across the whole meta category."""
+        texts = set()
+        for leaf in self.leaves.values():
+            texts.update(leaf.texts)
+        return len(texts)
+
+    def leaf(self, leaf_id: int) -> Optional[CuratedLeaf]:
+        """Curated keyphrases for one leaf, or None."""
+        return self.leaves.get(leaf_id)
+
+
+def _apply_threshold(stats: Sequence[KeyphraseStat], threshold: int,
+                     config: CurationConfig) -> Dict[int, CuratedLeaf]:
+    leaves: Dict[int, CuratedLeaf] = {}
+    for stat in stats:
+        if stat.search_count < threshold:
+            continue
+        n_tokens = len(stat.text.split())
+        if not config.min_tokens <= n_tokens <= config.max_tokens:
+            continue
+        leaf = leaves.setdefault(stat.leaf_id, CuratedLeaf(stat.leaf_id))
+        leaf.add(stat.text, stat.search_count, stat.recall_count)
+    return leaves
+
+
+def curate(stats: Iterable[KeyphraseStat],
+           config: Optional[CurationConfig] = None) -> CuratedKeyphrases:
+    """Curate keyphrases from aggregated search-log statistics.
+
+    Args:
+        stats: Per-(keyphrase, leaf) stats, e.g. from
+            :meth:`repro.search.logs.SearchLog.keyphrase_stats`.
+        config: Curation knobs; defaults to :class:`CurationConfig`.
+
+    Returns:
+        :class:`CuratedKeyphrases` with the effective threshold recorded.
+    """
+    config = config or CurationConfig()
+    stat_list = list(stats)
+    threshold = config.min_search_count
+    leaves = _apply_threshold(stat_list, threshold, config)
+
+    def total(ls: Dict[int, CuratedLeaf]) -> int:
+        return sum(len(leaf) for leaf in ls.values())
+
+    # CAT 3-style relaxation: halve the threshold until enough keyphrases.
+    while (config.min_keyphrases
+           and total(leaves) < config.min_keyphrases
+           and threshold > config.floor_search_count):
+        threshold = max(config.floor_search_count, threshold // 2)
+        leaves = _apply_threshold(stat_list, threshold, config)
+
+    return CuratedKeyphrases(
+        leaves=leaves, effective_threshold=threshold, config=config)
+
+
+def head_threshold(stats: Iterable[KeyphraseStat],
+                   percentile: float = 90.0) -> float:
+    """Search-count value at the given percentile of unique keyphrases.
+
+    The evaluation framework (Section IV-C) labels a relevant keyphrase
+    *head* when its search count exceeds the 90th percentile for the
+    category, "ensuring 10% exceed this limit".
+    """
+    counts = sorted(stat.search_count for stat in stats)
+    if not counts:
+        return 0.0
+    rank = (percentile / 100.0) * (len(counts) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(counts) - 1)
+    frac = rank - lower
+    return counts[lower] * (1.0 - frac) + counts[upper] * frac

@@ -1,0 +1,157 @@
+"""GraphEx inference: the Enumeration and Ranking steps (Algorithm 1).
+
+Enumeration maps the (de-duplicated) title tokens through the leaf's
+bipartite graph, gathering candidate labels; the duplication count ``c``
+of a label equals ``|T ∩ l|``, the number of title tokens it shares.  The
+implementation uses the paper's count-array optimisation: candidates are
+counted with a vectorized unique-count, then *whole count-groups* are
+pruned so the number of survivors is at least the requested prediction
+count ("groups with larger redundancy counts are preferred, and all
+keyphrases in the threshold group are included even if the group size
+exceeds the number of required predictions", Section III-F).
+
+Ranking sorts by alignment score (LTA by default) with ties broken by
+higher Search Count, then lower Recall Count (Section III-E2), then label
+id for full determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from .alignment import AlignmentFunction, lta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .model import LeafGraph
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended keyphrase with its ranking attributes.
+
+    Attributes:
+        text: The keyphrase string.
+        score: Alignment score (LTA/WMR/JAC) used as the primary sort key.
+        search_count: ``S(l)`` — tie-break one (higher preferred).
+        recall_count: ``R(l)`` — tie-break two (lower preferred).
+        common: ``c = |T ∩ l]``, shared-token count with the title.
+    """
+
+    text: str
+    score: float
+    search_count: int
+    recall_count: int
+    common: int
+
+
+def enumerate_candidates(graph: "LeafGraph",
+                         title_tokens: Sequence[str]):
+    """Enumeration step: candidate label ids and duplication counts.
+
+    Args:
+        graph: The leaf's bipartite graph.
+        title_tokens: Tokenized title (duplicates are collapsed here, so
+            ``c`` is a true set-intersection size).
+
+    Returns:
+        ``(labels, counts, n_title_tokens)`` where ``labels`` is an int
+        array of candidate label ids and ``counts[i]`` is the number of
+        title tokens shared with ``labels[i]``.  Both arrays are empty when
+        no title token occurs in the graph vocabulary.
+    """
+    unique_tokens = list(dict.fromkeys(title_tokens))
+    neighbor_lists = []
+    for token in unique_tokens:
+        word_id = graph.word_vocab.get(token)
+        if word_id is None:
+            continue
+        adjacency = graph.graph.neighbors(word_id)
+        if len(adjacency):
+            neighbor_lists.append(adjacency)
+    if not neighbor_lists:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, len(unique_tokens)
+    # Each adjacency list holds distinct labels, so the multiplicity of a
+    # label across the concatenation is exactly |T ∩ l| — the DC function
+    # of Algorithm 1 realised as one vectorized unique-count.
+    candidates = np.concatenate(neighbor_lists)
+    labels, counts = np.unique(candidates, return_counts=True)
+    return labels.astype(np.int64), counts.astype(np.int64), len(unique_tokens)
+
+
+def prune_by_count_groups(labels: np.ndarray, counts: np.ndarray,
+                          k: int):
+    """Keep the largest count-groups until at least ``k`` labels survive.
+
+    The threshold group is kept whole even if that overshoots ``k``.
+
+    Returns:
+        Filtered ``(labels, counts)`` arrays.
+    """
+    if len(labels) <= k or k <= 0:
+        return labels, counts
+    order = np.argsort(-counts, kind="stable")
+    cutoff = counts[order[k - 1]]
+    mask = counts >= cutoff
+    return labels[mask], counts[mask]
+
+
+def rank_candidates(graph: "LeafGraph", labels: np.ndarray,
+                    counts: np.ndarray, n_title_tokens: int,
+                    alignment_fn: AlignmentFunction = lta) -> np.ndarray:
+    """Ranking step: order candidate labels.
+
+    Sort keys (major → minor): alignment score desc, Search Count desc,
+    Recall Count asc, label id asc.
+
+    Returns:
+        Indices into ``labels`` in rank order.
+    """
+    scores = alignment_fn(counts, graph.label_lengths[labels],
+                          n_title_tokens)
+    search = graph.search_counts[labels]
+    recall = graph.recall_counts[labels]
+    # np.lexsort sorts by the LAST key first.
+    return np.lexsort((labels, recall, -search, -scores))
+
+
+def recommend_from_graph(graph: "LeafGraph",
+                         title_tokens: Sequence[str],
+                         k: int = 10,
+                         alignment_fn: AlignmentFunction = lta,
+                         hard_limit: Optional[int] = None
+                         ) -> List[Recommendation]:
+    """Full Algorithm 1: enumerate, prune, rank, materialise.
+
+    Args:
+        graph: Leaf bipartite graph.
+        title_tokens: Tokenized item title.
+        k: Target prediction count (whole threshold group kept).
+        alignment_fn: Scoring function (LTA default).
+        hard_limit: Optional strict cap applied after ranking.
+
+    Returns:
+        Ranked :class:`Recommendation` list.
+    """
+    labels, counts, n_tokens = enumerate_candidates(graph, title_tokens)
+    if len(labels) == 0:
+        return []
+    labels, counts = prune_by_count_groups(labels, counts, k)
+    order = rank_candidates(graph, labels, counts, n_tokens, alignment_fn)
+    scores = alignment_fn(counts, graph.label_lengths[labels], n_tokens)
+    out: List[Recommendation] = []
+    for idx in order:
+        label = int(labels[idx])
+        out.append(Recommendation(
+            text=graph.label_texts[label],
+            score=float(scores[idx]),
+            search_count=int(graph.search_counts[label]),
+            recall_count=int(graph.recall_counts[label]),
+            common=int(counts[idx]),
+        ))
+    if hard_limit is not None:
+        out = out[:hard_limit]
+    return out

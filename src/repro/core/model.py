@@ -1,0 +1,237 @@
+"""GraphEx model: per-leaf-category bipartite graph construction.
+
+Construction (paper Section III-D) is training-free: for each leaf
+category, unique words of the curated keyphrases form the left vertex set
+``X``, the keyphrases form the right set ``Y``, and an edge ``(x, y)``
+exists whenever word ``x`` occurs in keyphrase ``y``.  Graphs are stored
+in CSR with words and labels interned as integers; Search and Recall
+counts live in parallel arrays indexed by label id (O(1) lookup).
+
+One :class:`GraphExModel` covers a whole meta category — the leaf graphs
+are handled internally via a dict, so no per-leaf model management is
+needed (Section III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .alignment import AlignmentFunction, get_alignment
+from .csr import CSRGraph
+from .curation import CuratedKeyphrases, CuratedLeaf
+from .inference import Recommendation, recommend_from_graph
+from .tokenize import DEFAULT_TOKENIZER, Tokenizer
+from .vocab import Vocabulary
+
+
+@dataclass
+class LeafGraph:
+    """The bipartite word→keyphrase graph of one leaf category.
+
+    Attributes:
+        leaf_id: Leaf category id this graph serves.
+        word_vocab: Interning of the unique words (left vertices).
+        graph: CSR adjacency from word id to label id.
+        label_texts: Keyphrase strings in label-id order.
+        label_lengths: Unique-token count ``|l|`` per label.
+        search_counts: Search Count ``S(l)`` per label.
+        recall_counts: Recall Count ``R(l)`` per label.
+    """
+
+    leaf_id: int
+    word_vocab: Vocabulary
+    graph: CSRGraph
+    label_texts: List[str]
+    label_lengths: np.ndarray
+    search_counts: np.ndarray
+    recall_counts: np.ndarray
+
+    @property
+    def n_labels(self) -> int:
+        """Number of keyphrases on the right side."""
+        return len(self.label_texts)
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the numeric structures plus
+        the label strings (used for Figure 6b model sizing)."""
+        numeric = (self.graph.memory_bytes()
+                   + self.label_lengths.nbytes
+                   + self.search_counts.nbytes
+                   + self.recall_counts.nbytes)
+        strings = sum(len(t) for t in self.label_texts)
+        words = sum(len(w) for w in self.word_vocab)
+        return numeric + strings + words
+
+
+def build_leaf_graph(curated: CuratedLeaf,
+                     tokenizer: Tokenizer) -> LeafGraph:
+    """Construct one leaf's bipartite graph from curated keyphrases."""
+    vocab = Vocabulary()
+    edges: List[Tuple[int, int]] = []
+    label_lengths = np.empty(len(curated), dtype=np.int32)
+    for label_id, text in enumerate(curated.texts):
+        unique_tokens = list(dict.fromkeys(tokenizer(text)))
+        label_lengths[label_id] = max(1, len(unique_tokens))
+        for token in unique_tokens:
+            edges.append((vocab.add(token), label_id))
+    graph = CSRGraph.from_edges(edges, n_left=max(1, len(vocab)),
+                                n_right=max(1, len(curated)))
+    return LeafGraph(
+        leaf_id=curated.leaf_id,
+        word_vocab=vocab,
+        graph=graph,
+        label_texts=list(curated.texts),
+        label_lengths=label_lengths,
+        search_counts=np.asarray(curated.search_counts, dtype=np.int64),
+        recall_counts=np.asarray(curated.recall_counts, dtype=np.int64),
+    )
+
+
+def _pool_leaves(leaves: Sequence[CuratedLeaf]) -> CuratedLeaf:
+    """Merge all leaves into one pooled pseudo-leaf (ablation).
+
+    Duplicate texts across leaves are merged keeping the maximum Search
+    Count and minimum Recall Count.
+    """
+    best: Dict[str, Tuple[int, int]] = {}
+    for leaf in leaves:
+        for text, search, recall in zip(
+                leaf.texts, leaf.search_counts, leaf.recall_counts):
+            prev = best.get(text)
+            if prev is None:
+                best[text] = (search, recall)
+            else:
+                best[text] = (max(prev[0], search), min(prev[1], recall))
+    pooled = CuratedLeaf(leaf_id=-1)
+    for text, (search, recall) in best.items():
+        pooled.add(text, search, recall)
+    return pooled
+
+
+class GraphExModel:
+    """The GraphEx keyphrase recommender for one meta category.
+
+    Use :meth:`construct` to build from curated keyphrases; construction
+    involves no weight updates or hyper-parameter training and completes
+    in seconds even for large categories (paper Section IV-G).
+
+    Args:
+        leaf_graphs: Leaf-id → :class:`LeafGraph` mapping.
+        tokenizer: Tokenizer shared by construction and inference.
+        alignment: Alignment function or registry name ("lta"/"wmr"/"jac").
+        pooled_graph: Optional single pooled graph covering every leaf
+            (per-leaf vs pooled ablation; also the fallback for items whose
+            leaf has no graph).
+    """
+
+    def __init__(self, leaf_graphs: Dict[int, LeafGraph],
+                 tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+                 alignment: Union[str, AlignmentFunction] = "lta",
+                 pooled_graph: Optional[LeafGraph] = None) -> None:
+        self._leaf_graphs = dict(leaf_graphs)
+        self._tokenizer = tokenizer
+        self._alignment_name = (alignment if isinstance(alignment, str)
+                                else getattr(alignment, "__name__", "custom"))
+        self._alignment = get_alignment(alignment)
+        self._pooled = pooled_graph
+
+    @classmethod
+    def construct(cls, curated: CuratedKeyphrases,
+                  tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+                  alignment: Union[str, AlignmentFunction] = "lta",
+                  build_pooled: bool = False) -> "GraphExModel":
+        """Build the model from curated keyphrases (the "training" phase).
+
+        Args:
+            curated: Output of :func:`repro.core.curation.curate`.
+            tokenizer: Tokenization scheme (must stay fixed for the model's
+                lifetime; paper footnote 3).
+            alignment: Ranking alignment function; default LTA.
+            build_pooled: Also build a single pooled graph over all leaves
+                for the per-leaf-vs-pooled ablation and leaf fallback.
+        """
+        leaf_graphs = {
+            leaf_id: build_leaf_graph(leaf, tokenizer)
+            for leaf_id, leaf in curated.leaves.items()
+            if len(leaf) > 0
+        }
+        pooled = None
+        if build_pooled and curated.leaves:
+            pooled = build_leaf_graph(
+                _pool_leaves(list(curated.leaves.values())), tokenizer)
+        return cls(leaf_graphs, tokenizer=tokenizer, alignment=alignment,
+                   pooled_graph=pooled)
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The tokenizer shared by construction and inference."""
+        return self._tokenizer
+
+    @property
+    def alignment_name(self) -> str:
+        """Registry name of the alignment function in use."""
+        return self._alignment_name
+
+    @property
+    def leaf_ids(self) -> List[int]:
+        """Leaf categories with a constructed graph."""
+        return sorted(self._leaf_graphs)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf graphs."""
+        return len(self._leaf_graphs)
+
+    @property
+    def n_keyphrases(self) -> int:
+        """Total labels across all leaf graphs."""
+        return sum(g.n_labels for g in self._leaf_graphs.values())
+
+    @property
+    def pooled_graph(self) -> Optional[LeafGraph]:
+        """The pooled all-leaves graph, if built."""
+        return self._pooled
+
+    def leaf_graph(self, leaf_id: int) -> Optional[LeafGraph]:
+        """The graph serving one leaf, or None."""
+        return self._leaf_graphs.get(leaf_id)
+
+    def recommend(self, title: str, leaf_id: int, k: int = 10,
+                  hard_limit: Optional[int] = None,
+                  use_pooled: bool = False) -> List[Recommendation]:
+        """Recommend keyphrases for an item title (Algorithm 1).
+
+        Args:
+            title: Raw item title string.
+            leaf_id: Leaf category of the item; selects the graph in O(1).
+            k: Target number of predictions.  Whole count-groups are kept,
+                so slightly more than ``k`` may be returned (paper III-F).
+            hard_limit: If given, truncate the ranked list to this length
+                (the experiments cap at 40).
+            use_pooled: Rank against the pooled graph instead of the leaf
+                graph (ablation).
+
+        Returns:
+            Ranked recommendations; empty when the leaf is unknown and no
+            pooled fallback exists, or no title token matches.
+        """
+        if use_pooled:
+            graph = self._pooled
+        else:
+            graph = self._leaf_graphs.get(leaf_id) or self._pooled
+        if graph is None:
+            return []
+        tokens = self._tokenizer(title)
+        return recommend_from_graph(
+            graph, tokens, k=k, alignment_fn=self._alignment,
+            hard_limit=hard_limit)
+
+    def memory_bytes(self) -> int:
+        """Approximate model footprint (all leaf graphs; Figure 6b)."""
+        total = sum(g.memory_bytes() for g in self._leaf_graphs.values())
+        if self._pooled is not None:
+            total += self._pooled.memory_bytes()
+        return total

@@ -1,0 +1,139 @@
+"""Model persistence and size accounting.
+
+A :class:`~repro.core.model.GraphExModel` serializes to a directory:
+
+* ``arrays.npz`` — every leaf's CSR arrays, label lengths and Search /
+  Recall counts (compressed).
+* ``model.json`` — word vocabularies, label texts, alignment name and
+  leaf ids.
+
+``model_size_bytes`` of the serialized form backs the Figure 6b model-size
+comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .alignment import get_alignment
+from .csr import CSRGraph
+from .model import GraphExModel, LeafGraph
+from .tokenize import SpaceTokenizer
+from .vocab import Vocabulary
+
+_ARRAYS_FILE = "arrays.npz"
+_META_FILE = "model.json"
+_POOLED_KEY = "pooled"
+
+
+def _leaf_key(leaf_id: int) -> str:
+    return _POOLED_KEY if leaf_id == -1 else str(leaf_id)
+
+
+def _pack_leaf(prefix: str, leaf: LeafGraph,
+               arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+    arrays[f"{prefix}/indptr"] = leaf.graph.indptr
+    arrays[f"{prefix}/indices"] = leaf.graph.indices
+    arrays[f"{prefix}/label_lengths"] = leaf.label_lengths
+    arrays[f"{prefix}/search_counts"] = leaf.search_counts
+    arrays[f"{prefix}/recall_counts"] = leaf.recall_counts
+    return {
+        "leaf_id": leaf.leaf_id,
+        "words": leaf.word_vocab.tokens,
+        "label_texts": leaf.label_texts,
+    }
+
+
+def _unpack_leaf(meta: Dict[str, object],
+                 arrays: Dict[str, np.ndarray], prefix: str) -> LeafGraph:
+    label_texts = list(meta["label_texts"])
+    graph = CSRGraph(
+        indptr=arrays[f"{prefix}/indptr"],
+        indices=arrays[f"{prefix}/indices"],
+        n_right=max(1, len(label_texts)),
+    )
+    return LeafGraph(
+        leaf_id=int(meta["leaf_id"]),
+        word_vocab=Vocabulary(meta["words"]),
+        graph=graph,
+        label_texts=label_texts,
+        label_lengths=arrays[f"{prefix}/label_lengths"],
+        search_counts=arrays[f"{prefix}/search_counts"],
+        recall_counts=arrays[f"{prefix}/recall_counts"],
+    )
+
+
+def save_model(model: GraphExModel, directory: Union[str, Path]) -> Path:
+    """Serialize a model to a directory (created if needed).
+
+    Returns:
+        The directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    leaves_meta: Dict[str, Dict[str, object]] = {}
+    for leaf_id in model.leaf_ids:
+        leaf = model.leaf_graph(leaf_id)
+        key = _leaf_key(leaf_id)
+        leaves_meta[key] = _pack_leaf(key, leaf, arrays)
+    if model.pooled_graph is not None:
+        leaves_meta[_POOLED_KEY] = _pack_leaf(
+            _POOLED_KEY, model.pooled_graph, arrays)
+
+    tokenizer = model.tokenizer
+    stems = bool(getattr(tokenizer, "stems", False))
+    meta = {
+        "format_version": 1,
+        "alignment": model.alignment_name,
+        "tokenizer": {"type": "space", "stem": stems},
+        "leaves": leaves_meta,
+    }
+    np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+    with open(directory / _META_FILE, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+    return directory
+
+
+def load_model(directory: Union[str, Path]) -> GraphExModel:
+    """Load a model previously written by :func:`save_model`.
+
+    Raises:
+        FileNotFoundError: If the directory lacks the expected files.
+        ValueError: On unknown format versions.
+    """
+    directory = Path(directory)
+    with open(directory / _META_FILE, encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("format_version") != 1:
+        raise ValueError(
+            f"unsupported model format: {meta.get('format_version')!r}")
+    with np.load(directory / _ARRAYS_FILE) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+
+    leaf_graphs: Dict[int, LeafGraph] = {}
+    pooled = None
+    for key, leaf_meta in meta["leaves"].items():
+        leaf = _unpack_leaf(leaf_meta, arrays, key)
+        if key == _POOLED_KEY:
+            pooled = leaf
+        else:
+            leaf_graphs[leaf.leaf_id] = leaf
+
+    tokenizer = SpaceTokenizer(stem=bool(meta["tokenizer"].get("stem")))
+    alignment = meta["alignment"]
+    if alignment == "custom":
+        alignment = "lta"
+    get_alignment(alignment)  # fail fast on unknown names
+    return GraphExModel(leaf_graphs, tokenizer=tokenizer,
+                        alignment=alignment, pooled_graph=pooled)
+
+
+def model_size_bytes(directory: Union[str, Path]) -> int:
+    """Total on-disk size of a serialized model (Figure 6b)."""
+    directory = Path(directory)
+    return sum(f.stat().st_size for f in directory.iterdir() if f.is_file())

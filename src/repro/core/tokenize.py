@@ -1,0 +1,90 @@
+"""Tokenization for titles and keyphrases.
+
+The paper (Section III-C, footnote 3) allows any tokenization scheme as
+long as string comparison is well-defined and consistent; the default is
+space-delimited.  We provide that default plus normalization and an
+optional light stemmer — the paper mentions a proprietary stemming
+function used "to increase the reach of token matches" (Section IV-F1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Sequence
+
+#: A tokenizer maps a raw string to a list of tokens.
+Tokenizer = Callable[[str], List[str]]
+
+_PUNCT_EDGES = re.compile(r"^[^\w]+|[^\w]+$")
+_WS = re.compile(r"\s+")
+
+
+def normalize_token(token: str) -> str:
+    """Lowercase a token and strip punctuation from its edges.
+
+    Interior punctuation ("16gb", "1:64", "wi-fi") is preserved, matching
+    how marketplace search treats alphanumeric model codes.
+    """
+    return _PUNCT_EDGES.sub("", token.lower())
+
+
+def light_stem(token: str) -> str:
+    """Conservative suffix-stripping stemmer.
+
+    Only plural suffixes are removed, so "headphones" and "headphone"
+    compare equal while short tokens and model codes are left intact.
+    """
+    if len(token) <= 3:
+        return token
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    if token.endswith("sses"):
+        return token[:-2]
+    if token.endswith("ss") or token.endswith("us") or token.endswith("is"):
+        return token
+    if token.endswith("s"):
+        return token[:-1]
+    return token
+
+
+class SpaceTokenizer:
+    """Space-delimited tokenizer with normalization and optional stemming.
+
+    Args:
+        stem: Apply :func:`light_stem` to every token.
+        drop_stopwords: Tokens to drop entirely (e.g. "for", "with").
+
+    The same tokenizer instance must be used at construction and inference
+    time so that string comparisons stay consistent (paper footnote 3);
+    :class:`~repro.core.model.GraphExModel` enforces this by owning its
+    tokenizer.
+    """
+
+    def __init__(self, stem: bool = False,
+                 drop_stopwords: Sequence[str] = ()) -> None:
+        self._stem = stem
+        self._stopwords = frozenset(drop_stopwords)
+
+    @property
+    def stems(self) -> bool:
+        """Whether this tokenizer applies stemming."""
+        return self._stem
+
+    def __call__(self, text: str) -> List[str]:
+        """Tokenize, normalize and optionally stem a string."""
+        out: List[str] = []
+        for raw in _WS.split(text.strip()):
+            token = normalize_token(raw)
+            if not token or token in self._stopwords:
+                continue
+            if self._stem:
+                token = light_stem(token)
+            out.append(token)
+        return out
+
+
+#: Default tokenizer: space-delimited, normalized, no stemming.
+DEFAULT_TOKENIZER = SpaceTokenizer()
+
+#: Tokenizer with the paper's "increase the reach" stemming enabled.
+STEMMING_TOKENIZER = SpaceTokenizer(stem=True)

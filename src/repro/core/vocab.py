@@ -1,0 +1,56 @@
+"""String↔integer interning for words and keyphrases.
+
+The paper stores words and labels as unsigned integers "to occupy minimal
+space and convert string comparisons to integer ones" (Section III-F).
+:class:`Vocabulary` is that mapping: append-only, dense ids from 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """Append-only bidirectional mapping between strings and dense ids."""
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._tokens: List[str] = []
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Intern a token, returning its id (existing or newly assigned)."""
+        existing = self._ids.get(token)
+        if existing is not None:
+            return existing
+        new_id = len(self._tokens)
+        self._ids[token] = new_id
+        self._tokens.append(token)
+        return new_id
+
+    def get(self, token: str) -> Optional[int]:
+        """Id of a token, or None if it was never interned."""
+        return self._ids.get(token)
+
+    def token(self, token_id: int) -> str:
+        """Token string for an id.
+
+        Raises:
+            IndexError: If the id was never assigned.
+        """
+        return self._tokens[token_id]
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    @property
+    def tokens(self) -> List[str]:
+        """All interned tokens in id order (a copy)."""
+        return list(self._tokens)

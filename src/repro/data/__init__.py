@@ -1,0 +1,56 @@
+"""Synthetic e-commerce substrate: catalog, titles and buyer queries.
+
+This subpackage substitutes for the proprietary eBay data the paper uses
+(see DESIGN.md, substitutions table).  It produces exactly the interfaces
+GraphEx and the baselines consume: items with titles and leaf categories,
+and a query universe with Zipf-skewed search popularity.
+"""
+
+from .catalog import (
+    Catalog,
+    CategoryTree,
+    Item,
+    LeafCategory,
+    Product,
+    build_catalog,
+)
+from .generator import (
+    DEFAULT_PROFILE,
+    TINY_PROFILE,
+    Dataset,
+    DatasetProfile,
+    generate_dataset,
+)
+from .lexicon import (
+    COLLECTIBLES,
+    ELECTRONICS,
+    HOME_GARDEN,
+    META_LEXICONS,
+    LeafLexicon,
+    MetaLexicon,
+)
+from .queries import QUERY_STOPWORDS, Query, QueryUniverse, build_query_universe
+
+__all__ = [
+    "Catalog",
+    "CategoryTree",
+    "Item",
+    "LeafCategory",
+    "Product",
+    "build_catalog",
+    "Dataset",
+    "DatasetProfile",
+    "DEFAULT_PROFILE",
+    "TINY_PROFILE",
+    "generate_dataset",
+    "LeafLexicon",
+    "MetaLexicon",
+    "META_LEXICONS",
+    "ELECTRONICS",
+    "HOME_GARDEN",
+    "COLLECTIBLES",
+    "Query",
+    "QueryUniverse",
+    "QUERY_STOPWORDS",
+    "build_query_universe",
+]

@@ -1,0 +1,325 @@
+"""Synthetic product catalog: category tree, products, items and titles.
+
+Mirrors the structure GraphEx assumes at eBay: a *meta category* (top of the
+categorization tree) contains many *leaf categories* (lowest-level product
+categorization).  Items live in exactly one leaf.  Titles are noisy,
+seller-authored strings: brand + model + attributes + product type + filler.
+
+A :class:`Product` is the latent "true product" behind one or more item
+listings; its ``concept_tokens`` are the ground-truth semantic vocabulary
+used by the oracle relevance judge (``repro.eval.judge.OracleJudge``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .lexicon import LeafLexicon, MetaLexicon
+
+
+@dataclass(frozen=True)
+class LeafCategory:
+    """One leaf category in the categorization tree."""
+
+    leaf_id: int
+    name: str
+    meta: str
+
+
+class CategoryTree:
+    """Two-level categorization tree: meta category -> leaf categories.
+
+    Leaf ids are globally unique integers (the paper notes leaf ids are
+    generally unique across meta categories, letting one model serve a whole
+    site).
+    """
+
+    def __init__(self, metas: Sequence[MetaLexicon],
+                 first_leaf_id: int = 100) -> None:
+        self._leaves: List[LeafCategory] = []
+        self._by_id: Dict[int, LeafCategory] = {}
+        self._by_name: Dict[str, LeafCategory] = {}
+        self._by_meta: Dict[str, List[LeafCategory]] = {}
+        next_id = first_leaf_id
+        for meta in metas:
+            self._by_meta[meta.name] = []
+            for leaf_lex in meta.leaves:
+                leaf = LeafCategory(next_id, leaf_lex.name, meta.name)
+                next_id += 1
+                self._leaves.append(leaf)
+                self._by_id[leaf.leaf_id] = leaf
+                self._by_name[leaf.name] = leaf
+                self._by_meta[meta.name].append(leaf)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __iter__(self) -> Iterator[LeafCategory]:
+        return iter(self._leaves)
+
+    @property
+    def metas(self) -> List[str]:
+        """Names of the meta categories, in insertion order."""
+        return list(self._by_meta)
+
+    def leaf_by_id(self, leaf_id: int) -> LeafCategory:
+        """Look up a leaf by its integer id."""
+        return self._by_id[leaf_id]
+
+    def leaf_by_name(self, name: str) -> LeafCategory:
+        """Look up a leaf by its name."""
+        return self._by_name[name]
+
+    def leaves_of(self, meta: str) -> List[LeafCategory]:
+        """All leaves under the given meta category."""
+        return list(self._by_meta[meta])
+
+
+@dataclass(frozen=True)
+class Product:
+    """A latent product: the ground truth behind one or more listings.
+
+    Attributes:
+        product_id: Unique integer id.
+        leaf_id: Leaf category the product belongs to.
+        brand: Brand token.
+        model: Synthetic model code token (e.g. ``"mx450"``).
+        ptype: Product-type tokens, e.g. ``("gaming", "headphones")``.
+        attrs: Chosen attribute value per group, e.g.
+            ``{"color": ("black",)}``.
+        compatibles: Compatibility tokens this product advertises.
+        concept_tokens: Frozen set of all tokens that are semantically true
+            of this product; the oracle judge deems a query relevant when
+            every content token of the query is in this set.
+    """
+
+    product_id: int
+    leaf_id: int
+    brand: str
+    model: str
+    ptype: Tuple[str, ...]
+    attrs: Dict[str, Tuple[str, ...]] = field(hash=False)
+    compatibles: Tuple[str, ...]
+    concept_tokens: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class Item:
+    """A single listed item (one listing of one product)."""
+
+    item_id: int
+    product_id: int
+    leaf_id: int
+    title: str
+
+    @property
+    def title_tokens(self) -> List[str]:
+        """Space-delimited tokens of the title."""
+        return self.title.split()
+
+
+def _make_model_code(rng: np.random.Generator) -> str:
+    """Generate a plausible alphanumeric model code like ``mx450``."""
+    letters = "abcdefghjkmnprstvwxz"
+    prefix = "".join(rng.choice(list(letters), size=2))
+    number = int(rng.integers(10, 9900))
+    return f"{prefix}{number}"
+
+
+class ProductFactory:
+    """Deterministically samples products from a leaf lexicon."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._next_product_id = 1
+
+    def make(self, leaf: LeafCategory, lexicon: LeafLexicon) -> Product:
+        """Sample one product for the given leaf."""
+        rng = self._rng
+        brand = str(rng.choice(lexicon.brands))
+        model = _make_model_code(rng)
+        ptype = lexicon.product_types[
+            int(rng.integers(len(lexicon.product_types)))]
+        attrs: Dict[str, Tuple[str, ...]] = {}
+        for group, values in lexicon.attributes.items():
+            # Most products specify most attribute groups; a few omit some,
+            # like real listings do.
+            if rng.random() < 0.95:
+                attrs[group] = values[int(rng.integers(len(values)))]
+        n_compat = min(len(lexicon.compatibles), int(rng.integers(0, 3)))
+        compatibles: Tuple[str, ...] = ()
+        if n_compat and lexicon.compatibles:
+            picked = rng.choice(
+                len(lexicon.compatibles), size=n_compat, replace=False)
+            compatibles = tuple(lexicon.compatibles[i] for i in picked)
+
+        concept = {brand, model}
+        concept.update(ptype)
+        for value in attrs.values():
+            concept.update(value)
+        concept.update(compatibles)
+        # Generic type words shared by every product of the leaf: the head
+        # noun of every product type containing the product's head noun.
+        concept.add(ptype[-1])
+
+        product = Product(
+            product_id=self._next_product_id,
+            leaf_id=leaf.leaf_id,
+            brand=brand,
+            model=model,
+            ptype=ptype,
+            attrs=attrs,
+            compatibles=compatibles,
+            concept_tokens=frozenset(concept),
+        )
+        self._next_product_id += 1
+        return product
+
+
+class TitleWriter:
+    """Composes noisy seller-style titles for a product.
+
+    Titles interleave true product tokens with filler ("new", "free
+    shipping") and occasionally drop attributes — so extraction models see
+    realistic incomplete surface forms.  A fraction of titles is
+    *keyword-stuffed* with competitor brand tokens ("fits audeze klaro"),
+    a real marketplace pathology: those tokens are in the title but not
+    true of the product, so lexical full-matches are not automatically
+    relevant.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 filler_words: Sequence[str],
+                 stuffing_vocab: Sequence[str] = (),
+                 stuffing_rate: float = 0.3) -> None:
+        self._rng = rng
+        self._filler = list(filler_words)
+        self._stuffing = list(stuffing_vocab)
+        self._stuffing_rate = stuffing_rate
+
+    def write(self, product: Product) -> str:
+        """Return a title string for the product."""
+        rng = self._rng
+        parts: List[str] = []
+        if rng.random() < 0.25:
+            parts.append(str(rng.choice(self._filler)))
+        parts.append(product.brand)
+        parts.append(product.model)
+        attr_groups = list(product.attrs.values())
+        rng.shuffle(attr_groups)
+        # Include most attributes in the surface title; occasionally one
+        # is dropped, like real listings omit a spec.
+        keep = len(attr_groups)
+        if attr_groups and rng.random() < 0.35:
+            keep -= 1
+        for value in attr_groups[:keep]:
+            parts.extend(value)
+        parts.extend(product.ptype)
+        if product.compatibles and rng.random() < 0.7:
+            parts.append("for")
+            parts.append(product.compatibles[0])
+        n_filler = int(rng.integers(0, 3))
+        for _ in range(n_filler):
+            parts.append(str(rng.choice(self._filler)))
+        stuffable = [t for t in self._stuffing
+                     if t != product.brand and t not in parts]
+        if stuffable and rng.random() < self._stuffing_rate:
+            n_stuffed = int(rng.integers(1, 3))
+            picks = rng.choice(len(stuffable),
+                               size=min(n_stuffed, len(stuffable)),
+                               replace=False)
+            parts.append("fits")
+            parts.extend(stuffable[i] for i in picks)
+        return " ".join(parts)
+
+
+@dataclass
+class Catalog:
+    """A complete synthetic catalog for one or more meta categories."""
+
+    tree: CategoryTree
+    products: List[Product]
+    items: List[Item]
+
+    def __post_init__(self) -> None:
+        self._items_by_id = {it.item_id: it for it in self.items}
+        self._products_by_id = {p.product_id: p for p in self.products}
+        self._items_by_leaf: Dict[int, List[Item]] = {}
+        for it in self.items:
+            self._items_by_leaf.setdefault(it.leaf_id, []).append(it)
+
+    def item(self, item_id: int) -> Item:
+        """Look up an item by id."""
+        return self._items_by_id[item_id]
+
+    def product(self, product_id: int) -> Product:
+        """Look up a product by id."""
+        return self._products_by_id[product_id]
+
+    def product_of_item(self, item_id: int) -> Product:
+        """The latent product behind an item."""
+        return self.product(self.item(item_id).product_id)
+
+    def items_in_leaf(self, leaf_id: int) -> List[Item]:
+        """All items listed in the given leaf category."""
+        return list(self._items_by_leaf.get(leaf_id, []))
+
+    def items_in_meta(self, meta: str) -> List[Item]:
+        """All items listed under the given meta category."""
+        out: List[Item] = []
+        for leaf in self.tree.leaves_of(meta):
+            out.extend(self._items_by_leaf.get(leaf.leaf_id, []))
+        return out
+
+
+def build_catalog(metas: Sequence[MetaLexicon],
+                  items_per_meta: Dict[str, int],
+                  seed: int = 7,
+                  listings_per_product: float = 1.6) -> Catalog:
+    """Build a reproducible catalog.
+
+    Args:
+        metas: Meta-category lexicons to include.
+        items_per_meta: Target number of items per meta-category name.
+        seed: RNG seed; identical seeds give identical catalogs.
+        listings_per_product: Average number of item listings per latent
+            product (eBay has many duplicate listings of the same product).
+
+    Returns:
+        A fully-populated :class:`Catalog`.
+    """
+    rng = np.random.default_rng(seed)
+    tree = CategoryTree(metas)
+    factory = ProductFactory(rng)
+    products: List[Product] = []
+    items: List[Item] = []
+    next_item_id = 1
+
+    for meta in metas:
+        n_items = items_per_meta[meta.name]
+        leaves = tree.leaves_of(meta.name)
+        # Skew item volume across leaves (real categories are imbalanced).
+        weights = rng.dirichlet(np.full(len(leaves), 2.0))
+        counts = np.maximum(1, (weights * n_items).astype(int))
+        for leaf, leaf_count in zip(leaves, counts):
+            lexicon = meta.leaf(leaf.name)
+            writer = TitleWriter(rng, meta.filler_words,
+                                 stuffing_vocab=lexicon.brands)
+            n_products = max(1, int(leaf_count / listings_per_product))
+            leaf_products = [factory.make(leaf, lexicon)
+                             for _ in range(n_products)]
+            products.extend(leaf_products)
+            for _ in range(int(leaf_count)):
+                product = leaf_products[int(rng.integers(n_products))]
+                items.append(Item(
+                    item_id=next_item_id,
+                    product_id=product.product_id,
+                    leaf_id=leaf.leaf_id,
+                    title=writer.write(product),
+                ))
+                next_item_id += 1
+
+    return Catalog(tree=tree, products=products, items=items)

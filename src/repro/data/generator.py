@@ -1,0 +1,87 @@
+"""One-call dataset factory reproducing the paper's CAT 1/2/3 profiles.
+
+Table II of the paper describes three meta categories: large (CAT 1, 200M
+items / 3.6M keyphrases), medium (CAT 2, 14M / 0.83M) and small (CAT 3,
+7M / 0.46M).  We reproduce the *ordering and ratios* at laptop scale —
+all reported metrics are proportions, so absolute scale is immaterial
+(see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .catalog import Catalog, build_catalog
+from .lexicon import COLLECTIBLES, ELECTRONICS, HOME_GARDEN, MetaLexicon
+from .queries import QueryUniverse, build_query_universe
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Sizing knobs for one synthetic dataset."""
+
+    name: str
+    items_per_meta: Dict[str, int]
+    seed: int = 7
+    query_seed: int = 11
+
+    @property
+    def total_items(self) -> int:
+        """Total items across all meta categories."""
+        return sum(self.items_per_meta.values())
+
+
+#: Default scaled-down profile mirroring the paper's large/medium/small split.
+DEFAULT_PROFILE = DatasetProfile(
+    name="default",
+    items_per_meta={"CAT_1": 3000, "CAT_2": 1200, "CAT_3": 500},
+)
+
+#: Small profile for fast tests.
+TINY_PROFILE = DatasetProfile(
+    name="tiny",
+    items_per_meta={"CAT_1": 300, "CAT_2": 150, "CAT_3": 80},
+    seed=13,
+    query_seed=17,
+)
+
+
+@dataclass
+class Dataset:
+    """A catalog plus its buyer query universe."""
+
+    profile: DatasetProfile
+    catalog: Catalog
+    queries: QueryUniverse
+
+    @property
+    def metas(self) -> List[str]:
+        """Meta-category names in the dataset."""
+        return self.catalog.tree.metas
+
+
+_META_LEXICONS: Dict[str, MetaLexicon] = {
+    "CAT_1": ELECTRONICS,
+    "CAT_2": HOME_GARDEN,
+    "CAT_3": COLLECTIBLES,
+}
+
+
+def generate_dataset(profile: Optional[DatasetProfile] = None) -> Dataset:
+    """Build a reproducible synthetic dataset.
+
+    Args:
+        profile: Sizing profile; defaults to :data:`DEFAULT_PROFILE`.
+
+    Returns:
+        A :class:`Dataset` with catalog and query universe.  Identical
+        profiles (same seeds) produce identical datasets.
+    """
+    profile = profile or DEFAULT_PROFILE
+    metas = [_META_LEXICONS[name] for name in profile.items_per_meta]
+    catalog = build_catalog(
+        metas, profile.items_per_meta, seed=profile.seed)
+    queries = build_query_universe(
+        catalog, metas, seed=profile.query_seed)
+    return Dataset(profile=profile, catalog=catalog, queries=queries)

@@ -1,0 +1,47 @@
+"""Bias-aware evaluation framework (paper Section IV-C).
+
+Relevance judging (oracle / lexical / LLM-prompt), the RP/HP/RRR/RHR
+metric family, exclusive diversity, click-based precision/recall, and the
+end-to-end :class:`Experiment` harness shared by every bench.
+"""
+
+from .diversity import diversity_ratios, exclusive_relevant_head_counts
+from .harness import Experiment, ExperimentConfig, GraphExRecommender
+from .judge import (
+    CallableJudge,
+    LexicalJudge,
+    MixtralPromptBuilder,
+    OracleJudge,
+    RelevanceJudge,
+)
+from .metrics import (
+    HeadClassifier,
+    JudgedPredictions,
+    judge_model_predictions,
+    precision_recall,
+    relative_head_ratio,
+    relative_relevant_ratio,
+)
+from .reporting import render_bar_chart, render_markdown, render_table
+
+__all__ = [
+    "diversity_ratios",
+    "exclusive_relevant_head_counts",
+    "Experiment",
+    "ExperimentConfig",
+    "GraphExRecommender",
+    "CallableJudge",
+    "LexicalJudge",
+    "MixtralPromptBuilder",
+    "OracleJudge",
+    "RelevanceJudge",
+    "HeadClassifier",
+    "JudgedPredictions",
+    "judge_model_predictions",
+    "precision_recall",
+    "relative_head_ratio",
+    "relative_relevant_ratio",
+    "render_bar_chart",
+    "render_markdown",
+    "render_table",
+]

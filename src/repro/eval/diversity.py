@@ -1,0 +1,71 @@
+"""Exclusive-diversity metric (paper Section IV-D2, Table IV, Figure 5).
+
+In a multi-source recommendation system only keyphrases *unique to a
+model* — present in no other retrieval source for the same item — create
+incremental impact.  The metric: per item, count each model's relevant
+head keyphrases that no other model recommended; average over items.
+Table IV reports GraphEx's average divided by each other model's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Set
+
+from .metrics import JudgedPredictions
+
+
+def exclusive_relevant_head_counts(
+    judged: Mapping[str, JudgedPredictions],
+) -> Dict[str, float]:
+    """Average per-item count of *exclusive* relevant head keyphrases.
+
+    Args:
+        judged: model name → judged predictions (all over the same items).
+
+    Returns:
+        model name → average exclusive relevant-head keyphrases per item.
+    """
+    model_names = list(judged)
+    item_ids: Set[int] = set()
+    for result in judged.values():
+        item_ids.update(result.per_item)
+
+    totals = {name: 0 for name in model_names}
+    for item_id in item_ids:
+        # All keyphrases any model predicted for this item, by model.
+        predicted_by: Dict[str, Set[str]] = {
+            name: {text for text, _rel, _head
+                   in judged[name].per_item.get(item_id, [])}
+            for name in model_names
+        }
+        for name in model_names:
+            others: Set[str] = set()
+            for other in model_names:
+                if other != name:
+                    others |= predicted_by[other]
+            for text, relevant, head in judged[name].per_item.get(item_id, []):
+                if relevant and head and text not in others:
+                    totals[name] += 1
+
+    n_items = len(item_ids) or 1
+    return {name: totals[name] / n_items for name in model_names}
+
+
+def diversity_ratios(judged: Mapping[str, JudgedPredictions],
+                     reference: str = "GraphEx") -> Dict[str, float]:
+    """Table IV: reference model's exclusive count over each other model's.
+
+    Values above 1 mean the reference contributes more unique relevant
+    head keyphrases than the compared model.
+
+    Raises:
+        KeyError: If ``reference`` is not among the judged models.
+    """
+    counts = exclusive_relevant_head_counts(judged)
+    ref = counts[reference]
+    out: Dict[str, float] = {}
+    for name, value in counts.items():
+        if name == reference:
+            continue
+        out[name] = ref / value if value else float("inf")
+    return out

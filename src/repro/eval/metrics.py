@@ -1,0 +1,190 @@
+"""Evaluation metrics of Section IV-C.
+
+Within-model proportions::
+
+    RP = # relevant predictions / # total predictions
+    HP = # head predictions / # total predictions
+
+Cross-model ratios (counts, not proportions — they reward volume)::
+
+    RRR = # relevant model1 predictions / # relevant model2 predictions
+    RHR = # head model1 predictions / # head model2 predictions
+
+plus click-based precision/recall used only in Table V (with RE as the
+ground truth) to show *why* traditional metrics mislead here.
+
+A relevant prediction is *head* when its test-window search count exceeds
+the category's 90th-percentile threshold (:class:`HeadClassifier`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+class HeadClassifier:
+    """Head/tail split at a search-count percentile (default P90).
+
+    Args:
+        search_counts: Test-window search count per unique keyphrase text
+            (aggregated across leaves of the category).
+        percentile: Percentile above which a keyphrase is *head*;
+            the paper uses 90 ("ensuring 10% exceed this limit").
+    """
+
+    def __init__(self, search_counts: Mapping[str, int],
+                 percentile: float = 90.0) -> None:
+        self._counts = dict(search_counts)
+        values = sorted(self._counts.values())
+        if values:
+            rank = (percentile / 100.0) * (len(values) - 1)
+            lower = int(rank)
+            upper = min(lower + 1, len(values) - 1)
+            frac = rank - lower
+            self._threshold = (values[lower] * (1.0 - frac)
+                               + values[upper] * frac)
+        else:
+            self._threshold = float("inf")
+
+    @property
+    def threshold(self) -> float:
+        """The search-count cut-off for head keyphrases."""
+        return self._threshold
+
+    def is_head(self, keyphrase: str) -> bool:
+        """True when the keyphrase's search count exceeds the threshold."""
+        return self._counts.get(keyphrase, 0) > self._threshold
+
+    def search_count(self, keyphrase: str) -> int:
+        """Test-window search count (0 for unseen keyphrases)."""
+        return self._counts.get(keyphrase, 0)
+
+
+@dataclass
+class JudgedPredictions:
+    """Judged predictions of one model over a test set.
+
+    Attributes:
+        model: Model display name.
+        n_items: Number of test items evaluated.
+        relevant_head: Total relevant head predictions.
+        relevant_tail: Total relevant tail predictions.
+        irrelevant: Total irrelevant predictions.
+        per_item: item_id → list of (keyphrase, relevant, head) triples.
+    """
+
+    model: str
+    n_items: int = 0
+    relevant_head: int = 0
+    relevant_tail: int = 0
+    irrelevant: int = 0
+    per_item: Dict[int, List[Tuple[str, bool, bool]]] = field(
+        default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Total predictions across all items."""
+        return self.relevant_head + self.relevant_tail + self.irrelevant
+
+    @property
+    def relevant(self) -> int:
+        """Total relevant predictions (head + tail)."""
+        return self.relevant_head + self.relevant_tail
+
+    @property
+    def rp(self) -> float:
+        """Relevant Proportion."""
+        return self.relevant / self.total if self.total else 0.0
+
+    @property
+    def hp(self) -> float:
+        """Head Proportion (relevant head / total)."""
+        return self.relevant_head / self.total if self.total else 0.0
+
+    def averages_per_item(self) -> Dict[str, float]:
+        """Figure 4 series: avg relevant-head / relevant-tail / irrelevant
+        predictions per item."""
+        n = self.n_items or 1
+        return {
+            "relevant_head": self.relevant_head / n,
+            "relevant_tail": self.relevant_tail / n,
+            "irrelevant": self.irrelevant / n,
+        }
+
+
+def judge_model_predictions(
+    model_name: str,
+    predictions: Mapping[int, Sequence[str]],
+    titles: Mapping[int, str],
+    judge,
+    head: HeadClassifier,
+) -> JudgedPredictions:
+    """Judge every prediction of one model.
+
+    Args:
+        model_name: Display name.
+        predictions: item_id → predicted keyphrase texts.
+        titles: item_id → title (for the judge).
+        judge: A :class:`~repro.eval.judge.RelevanceJudge`.
+        head: Head/tail classifier for the category.
+
+    Returns:
+        Aggregated :class:`JudgedPredictions`.
+    """
+    out = JudgedPredictions(model=model_name, n_items=len(predictions))
+    for item_id, texts in predictions.items():
+        title = titles[item_id]
+        verdicts = judge.judge_batch(item_id, title, list(texts))
+        triples: List[Tuple[str, bool, bool]] = []
+        for text, relevant in zip(texts, verdicts):
+            is_head = relevant and head.is_head(text)
+            if relevant and is_head:
+                out.relevant_head += 1
+            elif relevant:
+                out.relevant_tail += 1
+            else:
+                out.irrelevant += 1
+            triples.append((text, relevant, is_head))
+        out.per_item[item_id] = triples
+    return out
+
+
+def relative_relevant_ratio(model1: JudgedPredictions,
+                            model2: JudgedPredictions) -> float:
+    """RRR — relevant-count ratio of model1 over model2 (paper: model2 =
+    GraphEx)."""
+    return model1.relevant / model2.relevant if model2.relevant else 0.0
+
+
+def relative_head_ratio(model1: JudgedPredictions,
+                        model2: JudgedPredictions) -> float:
+    """RHR — head-count ratio of model1 over model2."""
+    return (model1.relevant_head / model2.relevant_head
+            if model2.relevant_head else 0.0)
+
+
+def precision_recall(predictions: Mapping[int, Sequence[str]],
+                     ground_truth: Mapping[int, Iterable[str]]
+                     ) -> Tuple[float, float]:
+    """Micro-averaged precision/recall against click ground truths.
+
+    Items absent from ``ground_truth`` contribute predictions (hurting
+    precision) but no recall mass, mirroring evaluation against the
+    sparse click data (Table V uses RE's associations as the truth).
+
+    Returns:
+        ``(precision, recall)``.
+    """
+    tp = 0
+    n_pred = 0
+    n_truth = 0
+    for item_id, texts in predictions.items():
+        truths = set(ground_truth.get(item_id, ()))
+        preds = set(texts)
+        tp += len(preds & truths)
+        n_pred += len(preds)
+        n_truth += len(truths)
+    precision = tp / n_pred if n_pred else 0.0
+    recall = tp / n_truth if n_truth else 0.0
+    return precision, recall

@@ -1,0 +1,22 @@
+"""Search substrate: Cassini-like engine, biased clicks, search logs.
+
+Substitutes for eBay's search stack (see DESIGN.md): produces Search
+Counts, Recall Counts, query→leaf attribution and MNAR-biased click logs.
+"""
+
+from .clicks import ClickModel, ClickModelConfig
+from .engine import SearchEngine, SearchResult
+from .logs import ClickEvent, KeyphraseStat, SearchLog, click_sparsity
+from .sessions import SessionSimulator
+
+__all__ = [
+    "ClickModel",
+    "ClickModelConfig",
+    "SearchEngine",
+    "SearchResult",
+    "ClickEvent",
+    "KeyphraseStat",
+    "SearchLog",
+    "click_sparsity",
+    "SessionSimulator",
+]

@@ -1,0 +1,89 @@
+"""Biased click model for simulated buyer sessions.
+
+Reproduces the three biases the paper contextualises (Section I-A2):
+
+* **Position bias** — click probability decays with rank
+  (``1 / (1 + position) ** exponent``).
+* **Exposure bias** — only the top-k impressions are ever shown, so
+  low-ranked relevant items collect no clicks (Missing-Not-At-Random).
+* **Popularity bias** — emerges from the feedback loop: clicks recorded
+  into the :class:`~repro.search.engine.SearchEngine` boost future rank.
+
+Relevant items are clicked with probability proportional to a static
+per-item attractiveness; irrelevant ones receive a small noise click rate,
+matching the paper's observation that clicks are reliable positives while
+missing clicks are unreliable negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..data.catalog import Catalog
+from ..data.relevance import oracle_relevant
+
+
+@dataclass(frozen=True)
+class ClickModelConfig:
+    """Knobs of the click model."""
+
+    position_exponent: float = 1.15
+    base_click_rate: float = 0.32
+    noise_click_rate: float = 0.12
+    attractiveness_low: float = 0.35
+    attractiveness_high: float = 1.0
+
+
+class ClickModel:
+    """Samples clicks for ranked impressions of a query.
+
+    Args:
+        catalog: Catalog (provides the latent product for relevance).
+        config: Click-model parameters.
+        seed: RNG seed for per-item attractiveness and click sampling.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 config: ClickModelConfig = ClickModelConfig(),
+                 seed: int = 23) -> None:
+        self._catalog = catalog
+        self._config = config
+        self._rng = np.random.default_rng(seed)
+        self._attractiveness: Dict[int, float] = {}
+
+    def _attract(self, item_id: int) -> float:
+        value = self._attractiveness.get(item_id)
+        if value is None:
+            cfg = self._config
+            value = float(self._rng.uniform(
+                cfg.attractiveness_low, cfg.attractiveness_high))
+            self._attractiveness[item_id] = value
+        return value
+
+    def position_bias(self, position: int) -> float:
+        """Probability multiplier for a 0-based rank position."""
+        return 1.0 / (1.0 + position) ** self._config.position_exponent
+
+    def click_probability(self, item_id: int, query_tokens: Sequence[str],
+                          position: int) -> float:
+        """Per-impression click probability for one (item, query, rank)."""
+        cfg = self._config
+        product = self._catalog.product_of_item(item_id)
+        if oracle_relevant(product, query_tokens):
+            rate = cfg.base_click_rate * self._attract(item_id)
+        else:
+            rate = cfg.noise_click_rate
+        return min(1.0, rate * self.position_bias(position))
+
+    def sample_clicks(self, item_id: int, query_tokens: Sequence[str],
+                      position: int, n_impressions: int) -> int:
+        """Binomially sample clicks over ``n_impressions`` impressions."""
+        if n_impressions <= 0:
+            return 0
+        p = self.click_probability(item_id, query_tokens, position)
+        if p <= 0.0:
+            return 0
+        return int(self._rng.binomial(n_impressions, p))

@@ -1,0 +1,156 @@
+"""Cassini-like search engine over item titles.
+
+Implements the two behaviours the paper relies on:
+
+* **Recall Count** — "Cassini shows a sufficient number of items for each
+  input query"; the recall count of a query is how many items it recalls
+  (strict AND semantics over content tokens).
+* **Leaf attribution** — "Cassini determines the leaf category of the
+  keyphrase and it is the same as the top-ranked item's leaf category."
+
+Ranking mixes lexical match with accumulated click *popularity*, which is
+the feedback loop that produces the popularity/exposure biases of
+Section I-A2: items that got clicks rank higher, get more exposure, and
+collect even more clicks (MNAR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.catalog import Item
+from ..data.queries import QUERY_STOPWORDS
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked search result."""
+
+    item_id: int
+    score: float
+    position: int
+
+
+class SearchEngine:
+    """Inverted-index search with popularity-biased ranking.
+
+    Args:
+        items: Items to index.
+        seed: Seed for the static per-item attractiveness jitter used to
+            break ties deterministically.
+        popularity_weight: How strongly accumulated clicks boost ranking;
+            0 disables the popularity-bias feedback loop.
+    """
+
+    def __init__(self, items: Sequence[Item], seed: int = 0,
+                 popularity_weight: float = 0.35) -> None:
+        self._items = list(items)
+        self._popularity_weight = popularity_weight
+        self._item_index: Dict[int, int] = {
+            item.item_id: idx for idx, item in enumerate(self._items)}
+        self._leaf_of = np.array([item.leaf_id for item in self._items],
+                                 dtype=np.int64)
+        self._item_ids = np.array([item.item_id for item in self._items],
+                                  dtype=np.int64)
+        self._title_len = np.zeros(len(self._items), dtype=np.float64)
+        self._postings: Dict[str, np.ndarray] = {}
+        buckets: Dict[str, List[int]] = {}
+        for idx, item in enumerate(self._items):
+            tokens = set(item.title_tokens)
+            self._title_len[idx] = max(1, len(tokens))
+            for token in tokens:
+                buckets.setdefault(token, []).append(idx)
+        for token, idxs in buckets.items():
+            self._postings[token] = np.asarray(idxs, dtype=np.int64)
+
+        rng = np.random.default_rng(seed)
+        # Static per-item tie-break jitter, standing in for listing quality.
+        self._jitter = rng.random(len(self._items)) * 1e-3
+        self._clicks = np.zeros(len(self._items), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _content_tokens(self, query_tokens: Iterable[str]) -> List[str]:
+        return [t for t in query_tokens if t not in QUERY_STOPWORDS]
+
+    def _match_counts(self, tokens: Sequence[str]):
+        """Candidate item row indices and per-candidate matched-token counts."""
+        unique = list(dict.fromkeys(tokens))
+        posting_lists = [self._postings[t] for t in unique
+                         if t in self._postings]
+        if not posting_lists:
+            return None, None, 0
+        all_rows = np.concatenate(posting_lists)
+        rows, counts = np.unique(all_rows, return_counts=True)
+        return rows, counts, len(unique)
+
+    def search(self, query_tokens: Sequence[str],
+               top_k: int = 50) -> List[SearchResult]:
+        """Rank items for a query.
+
+        Score = fraction of query tokens present in the title, boosted by
+        log-popularity (clicks seen so far) and a static jitter.
+
+        Args:
+            query_tokens: Tokenized query.
+            top_k: Maximum results to return.
+
+        Returns:
+            Results in decreasing score order with 0-based positions.
+        """
+        content = self._content_tokens(query_tokens)
+        rows, counts, n_terms = self._match_counts(content)
+        if rows is None or n_terms == 0:
+            return []
+        frac = counts / n_terms
+        pop = 1.0 + self._popularity_weight * np.log1p(self._clicks[rows])
+        scores = frac * pop + self._jitter[rows]
+        if len(rows) > top_k:
+            top = np.argpartition(scores, -top_k)[-top_k:]
+            rows, scores = rows[top], scores[top]
+        order = np.argsort(-scores, kind="stable")
+        return [
+            SearchResult(item_id=int(self._item_ids[r]),
+                         score=float(s), position=pos)
+            for pos, (r, s) in enumerate(zip(rows[order], scores[order]))
+        ]
+
+    def recall_count(self, query_tokens: Sequence[str]) -> int:
+        """Number of items recalled under strict AND semantics.
+
+        An item is recalled when *every* content token of the query occurs
+        in its title — matching the exact-query-match auction semantics the
+        paper emphasises.
+        """
+        content = self._content_tokens(query_tokens)
+        rows, counts, n_terms = self._match_counts(content)
+        if rows is None or n_terms == 0:
+            return 0
+        return int(np.count_nonzero(counts == n_terms))
+
+    def assign_leaf(self, query_tokens: Sequence[str]) -> Optional[int]:
+        """Leaf category of the top-ranked item, or None if nothing matches."""
+        results = self.search(query_tokens, top_k=1)
+        if not results:
+            return None
+        row = self._item_index[results[0].item_id]
+        return int(self._leaf_of[row])
+
+    def record_click(self, item_id: int, amount: float = 1.0) -> None:
+        """Feed a click back into the popularity signal."""
+        row = self._item_index.get(item_id)
+        if row is not None:
+            self._clicks[row] += amount
+
+    def popularity_of(self, item_id: int) -> float:
+        """Accumulated click count for one item."""
+        row = self._item_index.get(item_id)
+        return float(self._clicks[row]) if row is not None else 0.0
+
+    def reset_popularity(self) -> None:
+        """Clear the popularity feedback signal."""
+        self._clicks[:] = 0.0

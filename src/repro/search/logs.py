@@ -1,0 +1,161 @@
+"""Search-log records and window aggregations.
+
+The log is the raw material for everything downstream:
+
+* GraphEx curation consumes ``keyphrase_stats`` — (text, leaf, Search
+  Count, Recall Count) tuples with **no item association** (Section III-B).
+* The XMC baselines and the Rules Engine consume ``item_query_pairs`` —
+  click-based item↔keyphrase ground truths, complete with the MNAR biases
+  the paper warns about (Section I-A2).
+* Figure 2 is the histogram of queries-per-clicked-item from this log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One buyer click on the search result page."""
+
+    day: int
+    query_text: str
+    leaf_id: int
+    item_id: int
+    position: int
+
+
+@dataclass(frozen=True)
+class KeyphraseStat:
+    """Aggregated statistics for one (keyphrase, leaf) pair in a window."""
+
+    text: str
+    leaf_id: int
+    search_count: int
+    recall_count: int
+
+
+@dataclass
+class SearchLog:
+    """Aggregated search activity over a day window.
+
+    Attributes:
+        day_start: First day of the window (inclusive).
+        day_end: Last day of the window (inclusive).
+        search_counts: Searches per (leaf_id, query_text) in the window.
+        recall_counts: Engine recall count per (leaf_id, query_text).
+        clicks: Every click event, with its day.
+    """
+
+    day_start: int
+    day_end: int
+    search_counts: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    recall_counts: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    clicks: List[ClickEvent] = field(default_factory=list)
+
+    @property
+    def n_days(self) -> int:
+        """Window length in days."""
+        return self.day_end - self.day_start + 1
+
+    @property
+    def total_searches(self) -> int:
+        """Total search events aggregated in the window."""
+        return sum(self.search_counts.values())
+
+    def keyphrase_stats(self) -> List[KeyphraseStat]:
+        """Per-(keyphrase, leaf) stats — GraphEx's training input.
+
+        Deliberately contains no item association: this is the click-bias
+        decoupling at the heart of the paper.
+        """
+        return [
+            KeyphraseStat(text=text, leaf_id=leaf_id,
+                          search_count=count,
+                          recall_count=self.recall_counts.get(
+                              (leaf_id, text), 0))
+            for (leaf_id, text), count in self.search_counts.items()
+        ]
+
+    def item_query_pairs(
+        self,
+        min_day: Optional[int] = None,
+        max_day: Optional[int] = None,
+        min_clicks: int = 1,
+    ) -> Dict[int, Dict[str, int]]:
+        """Click-based ground truths: item -> {query_text: click_count}.
+
+        Args:
+            min_day: Restrict to clicks on/after this day (e.g. the RE
+                30-day lookback).
+            max_day: Restrict to clicks on/before this day.
+            min_clicks: Minimum clicks for a pair to be kept.
+
+        Returns:
+            Mapping from item id to its clicked queries and counts.
+        """
+        counts: Dict[int, Counter] = {}
+        for click in self.clicks:
+            if min_day is not None and click.day < min_day:
+                continue
+            if max_day is not None and click.day > max_day:
+                continue
+            counts.setdefault(click.item_id, Counter())[click.query_text] += 1
+        out: Dict[int, Dict[str, int]] = {}
+        for item_id, counter in counts.items():
+            kept = {q: c for q, c in counter.items() if c >= min_clicks}
+            if kept:
+                out[item_id] = kept
+        return out
+
+    def queries_per_item_histogram(self) -> Dict[int, int]:
+        """Figure 2: #clicked items keyed by how many distinct queries each has."""
+        pairs = self.item_query_pairs()
+        hist: Counter = Counter()
+        for queries in pairs.values():
+            hist[len(queries)] += 1
+        return dict(hist)
+
+    def clicked_item_ids(self) -> List[int]:
+        """Ids of items with at least one click in the window."""
+        return sorted({click.item_id for click in self.clicks})
+
+    def search_count(self, leaf_id: int, text: str) -> int:
+        """Search count of one (leaf, query) pair; 0 if never searched."""
+        return self.search_counts.get((leaf_id, text), 0)
+
+    def merged_with(self, other: "SearchLog") -> "SearchLog":
+        """Union of two logs (summed counts, concatenated clicks)."""
+        merged = SearchLog(
+            day_start=min(self.day_start, other.day_start),
+            day_end=max(self.day_end, other.day_end),
+            search_counts=dict(self.search_counts),
+            recall_counts=dict(self.recall_counts),
+            clicks=list(self.clicks) + list(other.clicks),
+        )
+        for key, count in other.search_counts.items():
+            merged.search_counts[key] = merged.search_counts.get(key, 0) + count
+        for key, count in other.recall_counts.items():
+            merged.recall_counts.setdefault(key, count)
+        return merged
+
+
+def click_sparsity(log: SearchLog, n_items_total: int) -> Dict[str, float]:
+    """Summary of the click-data sparsity the paper reports (Section I-A2).
+
+    Returns a dict with:
+        ``frac_items_without_clicks`` — paper: ~96%.
+        ``frac_clicked_items_single_query`` — paper: ~90%.
+    """
+    pairs = log.item_query_pairs()
+    n_clicked = len(pairs)
+    single = sum(1 for qs in pairs.values() if len(qs) == 1)
+    return {
+        "frac_items_without_clicks":
+            1.0 - (n_clicked / n_items_total if n_items_total else 0.0),
+        "frac_clicked_items_single_query":
+            (single / n_clicked) if n_clicked else 0.0,
+    }

@@ -1,0 +1,137 @@
+"""Buyer session simulation: searches, impressions, clicks, logs.
+
+The simulator plays out a window of buyer activity in *rounds* so the
+popularity-bias feedback loop can develop: each round re-ranks every
+active query with the engine's current click counts, allocates a share of
+that query's searches, samples clicks, and feeds them back into the
+engine.  The result is a :class:`~repro.search.logs.SearchLog` with the
+same statistical pathologies the paper describes in real click data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.catalog import Catalog
+from ..data.queries import Query, QueryUniverse
+from .clicks import ClickModel, ClickModelConfig
+from .engine import SearchEngine
+from .logs import ClickEvent, SearchLog
+
+
+class SessionSimulator:
+    """Simulates a window of buyer search sessions.
+
+    Args:
+        catalog: Synthetic catalog backing the engine.
+        universe: Buyer query universe with popularity weights.
+        engine: Search engine (shared across windows so popularity
+            accumulates realistically).
+        click_config: Click-model knobs.
+        seed: RNG seed for search-volume sampling and click draws.
+        top_k: Impressions shown per search (exposure-bias cut-off).
+    """
+
+    def __init__(self, catalog: Catalog, universe: QueryUniverse,
+                 engine: Optional[SearchEngine] = None,
+                 click_config: ClickModelConfig = ClickModelConfig(),
+                 seed: int = 29, top_k: int = 20) -> None:
+        self._catalog = catalog
+        self._universe = universe
+        self._engine = engine or SearchEngine(catalog.items, seed=seed)
+        self._clicks = ClickModel(catalog, click_config, seed=seed + 1)
+        self._rng = np.random.default_rng(seed + 2)
+        self._top_k = top_k
+
+    @property
+    def engine(self) -> SearchEngine:
+        """The engine used by this simulator."""
+        return self._engine
+
+    def _sample_search_volume(self, queries: List[Query],
+                              n_events: int) -> np.ndarray:
+        """Multinomial allocation of total searches across queries."""
+        weights = np.array([q.weight for q in queries], dtype=np.float64)
+        probs = weights / weights.sum()
+        return self._rng.multinomial(n_events, probs)
+
+    def run(self, n_events: int, day_start: int, day_end: int,
+            rounds: int = 4) -> SearchLog:
+        """Simulate one window of buyer activity.
+
+        Args:
+            n_events: Total search events to allocate across the universe.
+            day_start: First day of the window (inclusive).
+            day_end: Last day of the window (inclusive).
+            rounds: Popularity feedback rounds; 1 disables the loop.
+
+        Returns:
+            A :class:`SearchLog` covering the window.
+        """
+        if day_end < day_start:
+            raise ValueError("day_end must be >= day_start")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+
+        queries = list(self._universe)
+        volume = self._sample_search_volume(queries, n_events)
+        log = SearchLog(day_start=day_start, day_end=day_end)
+
+        # Recall counts and leaf attribution are static per window.
+        attributed_leaf: Dict[int, int] = {}
+        for qi, query in enumerate(queries):
+            if volume[qi] <= 0:
+                continue
+            tokens = query.tokens
+            leaf = self._engine.assign_leaf(tokens)
+            if leaf is None:
+                leaf = query.leaf_id
+            attributed_leaf[qi] = leaf
+            key = (leaf, query.text)
+            log.search_counts[key] = (
+                log.search_counts.get(key, 0) + int(volume[qi]))
+            log.recall_counts.setdefault(
+                key, self._engine.recall_count(tokens))
+
+        active = [qi for qi in range(len(queries)) if volume[qi] > 0]
+        per_round = np.ceil(volume / rounds).astype(np.int64)
+
+        for round_idx in range(rounds):
+            for qi in active:
+                remaining = volume[qi] - round_idx * per_round[qi]
+                searches = int(min(per_round[qi], max(0, remaining)))
+                if searches <= 0:
+                    continue
+                query = queries[qi]
+                tokens = query.tokens
+                results = self._engine.search(tokens, top_k=self._top_k)
+                for result in results:
+                    n_clicks = self._clicks.sample_clicks(
+                        result.item_id, tokens, result.position, searches)
+                    if n_clicks <= 0:
+                        continue
+                    self._engine.record_click(result.item_id, n_clicks)
+                    days = self._rng.integers(
+                        day_start, day_end + 1, size=n_clicks)
+                    leaf = attributed_leaf[qi]
+                    for day in days:
+                        log.clicks.append(ClickEvent(
+                            day=int(day),
+                            query_text=query.text,
+                            leaf_id=leaf,
+                            item_id=result.item_id,
+                            position=result.position,
+                        ))
+        return log
+
+    def run_training_window(self, n_events: int = 150_000,
+                            rounds: int = 4) -> SearchLog:
+        """Six-month training window (days 1-180), as the paper uses."""
+        return self.run(n_events, day_start=1, day_end=180, rounds=rounds)
+
+    def run_test_window(self, n_events: int = 12_000) -> SearchLog:
+        """Separate 15-day window (days 181-195) for unbiased test
+        search counts, mirroring Section IV-B."""
+        return self.run(n_events, day_start=181, day_end=195, rounds=1)

@@ -1,0 +1,15 @@
+"""Production serving architecture (paper Figure 7): batch + NRT + KV."""
+
+from .batch_pipeline import BatchPipeline, BatchRunReport
+from .kvstore import KeyValueStore
+from .nrt import ItemEvent, ItemEventKind, NRTService, WindowStats
+
+__all__ = [
+    "BatchPipeline",
+    "BatchRunReport",
+    "KeyValueStore",
+    "ItemEvent",
+    "ItemEventKind",
+    "NRTService",
+    "WindowStats",
+]

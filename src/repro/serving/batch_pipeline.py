@@ -1,0 +1,99 @@
+"""Batch inference pipeline: full load + daily differential (Figure 7).
+
+"The batch inference is done in two parts: 1) for all items in eBay, and
+2) daily differential, i.e. the difference of all new items
+created/revised and then merged with the old existing items."  The merged
+output lands in the KV store via an atomic version promotion, after which
+the seller-facing API serves the fresh predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.batch import BatchResult, InferenceRequest, batch_recommend
+from ..core.model import GraphExModel
+from .kvstore import KeyValueStore
+
+
+@dataclass
+class BatchRunReport:
+    """What one pipeline run did."""
+
+    version: int
+    n_inferred: int
+    n_served: int
+    n_deleted: int = 0
+
+
+class BatchPipeline:
+    """Runs full and differential batch loads into a KV store.
+
+    Args:
+        model: The (daily-refreshed) GraphEx model.
+        store: Destination KV store; predictions are served from it.
+        k: Target predictions per item.
+        hard_limit: Strict per-item cap written to the store.
+        workers: Inference worker threads.
+    """
+
+    def __init__(self, model: GraphExModel,
+                 store: Optional[KeyValueStore] = None,
+                 k: int = 20, hard_limit: int = 40,
+                 workers: int = 1) -> None:
+        self.model = model
+        self.store: KeyValueStore = store if store is not None \
+            else KeyValueStore()
+        self._k = k
+        self._hard_limit = hard_limit
+        self._workers = workers
+
+    def _infer(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        return batch_recommend(
+            self.model, requests, k=self._k,
+            hard_limit=self._hard_limit, workers=self._workers)
+
+    def full_load(self, requests: Sequence[InferenceRequest]
+                  ) -> BatchRunReport:
+        """Part 1: infer every item and promote a fresh version."""
+        results = self._infer(requests)
+        version = self.store.create_version()
+        self.store.bulk_load(
+            version,
+            {item_id: [r.text for r in recs]
+             for item_id, recs in results.items()})
+        self.store.promote(version)
+        return BatchRunReport(version=version, n_inferred=len(results),
+                              n_served=self.store.size())
+
+    def daily_differential(self, changed: Sequence[InferenceRequest],
+                           deleted_item_ids: Iterable[int] = ()
+                           ) -> BatchRunReport:
+        """Part 2: re-infer only changed items, merge with yesterday's
+        table, promote atomically."""
+        results = self._infer(changed)
+        version = self.store.create_version()
+        self.store.copy_from_serving(version)
+        n_deleted = 0
+        for item_id in deleted_item_ids:
+            self.store.delete(version, item_id)
+            n_deleted += 1
+        self.store.bulk_load(
+            version,
+            {item_id: [r.text for r in recs]
+             for item_id, recs in results.items()})
+        self.store.promote(version)
+        self.store.prune()
+        return BatchRunReport(version=version, n_inferred=len(results),
+                              n_served=self.store.size(),
+                              n_deleted=n_deleted)
+
+    def serve(self, item_id: int) -> List[str]:
+        """The seller-facing read path: keyphrases for one item."""
+        return list(self.store.get(item_id) or [])
+
+    def refresh_model(self, model: GraphExModel) -> None:
+        """Swap in a newly constructed model (the daily model refresh the
+        paper's fast construction enables)."""
+        self.model = model

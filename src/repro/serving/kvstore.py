@@ -1,0 +1,115 @@
+"""NuKV-like versioned key-value store.
+
+Production GraphEx writes batch predictions into NuKV, "a Key-Value store
+accessed via eBay's inference API, subsequently serving sellers on the
+platform" (Section IV-H).  This in-process stand-in keeps the same
+contract: versioned bulk loads, point reads, and atomic swap of the
+serving version so a batch refresh never serves a half-written table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Mapping, Optional, TypeVar
+
+V = TypeVar("V")
+
+
+class KeyValueStore(Generic[V]):
+    """Versioned KV store with atomic version promotion.
+
+    Writers stage data into a new version with :meth:`bulk_load` /
+    :meth:`put`, then :meth:`promote` it; readers always see the promoted
+    version.  Old versions are retained until :meth:`prune`.
+    """
+
+    def __init__(self) -> None:
+        self._versions: Dict[int, Dict[int, V]] = {}
+        self._serving_version: Optional[int] = None
+        self._next_version = 1
+
+    def create_version(self) -> int:
+        """Open a new staging version and return its id."""
+        version = self._next_version
+        self._next_version += 1
+        self._versions[version] = {}
+        return version
+
+    def put(self, version: int, key: int, value: V) -> None:
+        """Write one record into a staging version.
+
+        Raises:
+            KeyError: If the version does not exist.
+            ValueError: If the version is already serving (immutable).
+        """
+        if version == self._serving_version:
+            raise ValueError("cannot write to the serving version")
+        self._versions[version][key] = value
+
+    def bulk_load(self, version: int, records: Mapping[int, V]) -> None:
+        """Write many records into a staging version."""
+        if version == self._serving_version:
+            raise ValueError("cannot write to the serving version")
+        self._versions[version].update(records)
+
+    def copy_from_serving(self, version: int) -> None:
+        """Seed a staging version with the current serving data
+        (the daily-differential merge starts from yesterday's table)."""
+        if self._serving_version is not None:
+            self._versions[version].update(
+                self._versions[self._serving_version])
+
+    def promote(self, version: int) -> None:
+        """Atomically make a staged version the serving one.
+
+        Raises:
+            KeyError: If the version does not exist.
+        """
+        if version not in self._versions:
+            raise KeyError(f"unknown version {version}")
+        self._serving_version = version
+
+    def get(self, key: int) -> Optional[V]:
+        """Point read from the serving version (None when absent or no
+        version is serving)."""
+        if self._serving_version is None:
+            return None
+        return self._versions[self._serving_version].get(key)
+
+    def delete(self, version: int, key: int) -> None:
+        """Remove one record from a staging version (no-op when absent)."""
+        if version == self._serving_version:
+            raise ValueError("cannot write to the serving version")
+        self._versions[version].pop(key, None)
+
+    @property
+    def serving_version(self) -> Optional[int]:
+        """The promoted version id, or None before the first promotion."""
+        return self._serving_version
+
+    @property
+    def versions(self) -> List[int]:
+        """All retained version ids."""
+        return sorted(self._versions)
+
+    def size(self, version: Optional[int] = None) -> int:
+        """Record count of a version (default: serving; 0 when none)."""
+        version = self._serving_version if version is None else version
+        if version is None or version not in self._versions:
+            return 0
+        return len(self._versions[version])
+
+    def keys(self, version: Optional[int] = None) -> Iterator[int]:
+        """Keys of a version (default: serving)."""
+        version = self._serving_version if version is None else version
+        if version is None or version not in self._versions:
+            return iter(())
+        return iter(self._versions[version])
+
+    def prune(self, keep_latest: int = 2) -> None:
+        """Drop all but the newest ``keep_latest`` versions (the serving
+        version is always kept)."""
+        keep = set(sorted(self._versions)[-keep_latest:])
+        if self._serving_version is not None:
+            keep.add(self._serving_version)
+        self._versions = {v: data for v, data in self._versions.items()
+                          if v in keep}

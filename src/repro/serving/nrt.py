@@ -1,0 +1,148 @@
+"""Near-real-time (NRT) inference service (Figure 7, right branch).
+
+"NRT serves items on an urgent basis, such as items newly created or
+revised by sellers ... triggered by the event of new item creation or
+revision, behind a Flink processing window and feature enrichment."
+
+We model the Flink window as a count/time-bounded micro-batch buffer:
+events accumulate until the window closes, then the whole window is
+inferred and written through to the KV store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import GraphExModel
+from .kvstore import KeyValueStore
+
+
+class ItemEventKind(Enum):
+    """Seller actions that trigger NRT inference."""
+
+    CREATED = "created"
+    REVISED = "revised"
+    DELETED = "deleted"
+
+
+@dataclass(frozen=True)
+class ItemEvent:
+    """One item lifecycle event entering the NRT stream."""
+
+    kind: ItemEventKind
+    item_id: int
+    title: str
+    leaf_id: int
+    timestamp: float
+
+
+@dataclass
+class WindowStats:
+    """Outcome of one processed window."""
+
+    n_events: int
+    n_inferred: int
+    n_deleted: int
+
+
+class NRTService:
+    """Event-driven near-real-time inference behind a processing window.
+
+    Args:
+        model: The serving GraphEx model.
+        store: KV store shared with the batch pipeline.
+        window_size: Close the window after this many events.
+        window_seconds: ... or after this much event time has elapsed.
+        k: Target predictions per item.
+        hard_limit: Strict per-item cap.
+        enrich: Optional feature-enrichment hook applied to each event
+            before inference (returns a possibly rewritten title).
+    """
+
+    def __init__(self, model: GraphExModel, store: KeyValueStore,
+                 window_size: int = 32, window_seconds: float = 1.0,
+                 k: int = 20, hard_limit: int = 40,
+                 enrich: Optional[Callable[[ItemEvent], str]] = None) -> None:
+        self.model = model
+        self._store = store
+        self._window_size = window_size
+        self._window_seconds = window_seconds
+        self._k = k
+        self._hard_limit = hard_limit
+        self._enrich = enrich
+        self._buffer: List[ItemEvent] = []
+        self._window_opened_at: Optional[float] = None
+        self._processed_windows: List[WindowStats] = []
+
+    @property
+    def pending_events(self) -> int:
+        """Events buffered in the open window."""
+        return len(self._buffer)
+
+    @property
+    def processed_windows(self) -> List[WindowStats]:
+        """Stats of every window processed so far."""
+        return list(self._processed_windows)
+
+    def submit(self, event: ItemEvent) -> Optional[WindowStats]:
+        """Feed one event; returns window stats when the window closes.
+
+        The window closes when it reaches ``window_size`` events or when
+        the incoming event's timestamp is more than ``window_seconds``
+        after the window opened.
+        """
+        if self._window_opened_at is None:
+            self._window_opened_at = event.timestamp
+        time_up = (event.timestamp - self._window_opened_at
+                   >= self._window_seconds)
+        if time_up and self._buffer:
+            stats = self.flush()
+            self._buffer.append(event)
+            self._window_opened_at = event.timestamp
+            return stats
+        self._buffer.append(event)
+        if len(self._buffer) >= self._window_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[WindowStats]:
+        """Process the open window immediately (no-op when empty)."""
+        if not self._buffer:
+            return None
+        events, self._buffer = self._buffer, []
+        self._window_opened_at = None
+
+        # Last event per item wins inside a window (a create followed by a
+        # revise must serve the revised title).
+        latest: Dict[int, ItemEvent] = {}
+        for event in events:
+            latest[event.item_id] = event
+
+        version = self._store.create_version()
+        self._store.copy_from_serving(version)
+        n_inferred = 0
+        n_deleted = 0
+        for event in latest.values():
+            if event.kind is ItemEventKind.DELETED:
+                self._store.delete(version, event.item_id)
+                n_deleted += 1
+                continue
+            title = self._enrich(event) if self._enrich else event.title
+            recs = self.model.recommend(
+                title, event.leaf_id, k=self._k,
+                hard_limit=self._hard_limit)
+            self._store.put(version, event.item_id,
+                            [r.text for r in recs])
+            n_inferred += 1
+        self._store.promote(version)
+        self._store.prune()
+        stats = WindowStats(n_events=len(events), n_inferred=n_inferred,
+                            n_deleted=n_deleted)
+        self._processed_windows.append(stats)
+        return stats
+
+    def serve(self, item_id: int) -> List[str]:
+        """Seller-facing read: current keyphrases for an item."""
+        return list(self._store.get(item_id) or [])

@@ -1,0 +1,95 @@
+"""Shared fixtures: the paper's Figure 3 example and a tiny simulated world.
+
+Session-scoped fixtures keep the suite fast: the tiny dataset and its
+search log are simulated once and shared read-only across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.model import GraphExModel
+from repro.data import TINY_PROFILE, generate_dataset
+from repro.search import SessionSimulator
+
+settings.register_profile(
+    "fast", max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow], deadline=None)
+settings.load_profile("fast")
+
+#: Figure 3 of the paper: (keyphrase, search count, recall count).
+#: Search counts are chosen so the illustrated search-volume ranking holds.
+FIG3_KEYPHRASES = [
+    ("audeze maxwell", 500, 40),
+    ("audeze headphones", 400, 120),
+    ("gaming headphones xbox", 900, 300),
+    ("wireless headphones xbox", 700, 260),
+    ("bluetooth wireless headphones", 800, 350),
+]
+
+#: The worked inference example of Section III-E1.
+FIG3_TITLE = "audeze maxwell gaming headphones for xbox"
+FIG3_LEAF_ID = 100
+
+
+def build_fig3_curated() -> CuratedKeyphrases:
+    """The Figure 3 keyphrase set as a curation output."""
+    leaf = CuratedLeaf(leaf_id=FIG3_LEAF_ID)
+    for text, search, recall in FIG3_KEYPHRASES:
+        leaf.add(text, search, recall)
+    return CuratedKeyphrases(
+        leaves={FIG3_LEAF_ID: leaf},
+        effective_threshold=1,
+        config=CurationConfig(min_search_count=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig3_curated() -> CuratedKeyphrases:
+    """Curated keyphrases of the Figure 3 illustration."""
+    return build_fig3_curated()
+
+
+@pytest.fixture(scope="session")
+def fig3_model(fig3_curated) -> GraphExModel:
+    """GraphEx model constructed from the Figure 3 keyphrases."""
+    return GraphExModel.construct(fig3_curated)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small deterministic synthetic dataset (catalog + queries)."""
+    return generate_dataset(TINY_PROFILE)
+
+
+@pytest.fixture(scope="session")
+def tiny_log(tiny_dataset):
+    """A simulated training-window search log over the tiny dataset."""
+    simulator = SessionSimulator(
+        tiny_dataset.catalog, tiny_dataset.queries, seed=71)
+    return simulator.run(20_000, day_start=1, day_end=180, rounds=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_test_log(tiny_dataset, tiny_log):
+    """A disjoint 15-day test-window log (shares nothing with tiny_log)."""
+    simulator = SessionSimulator(
+        tiny_dataset.catalog, tiny_dataset.queries, seed=72)
+    return simulator.run(4_000, day_start=181, day_end=195, rounds=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_curated(tiny_log):
+    """Curated keyphrases from the tiny log."""
+    from repro.core.curation import curate
+    return curate(tiny_log.keyphrase_stats(),
+                  CurationConfig(min_search_count=3, min_keyphrases=50,
+                                 floor_search_count=2))
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_curated) -> GraphExModel:
+    """GraphEx model over the tiny world."""
+    return GraphExModel.construct(tiny_curated)

@@ -1,0 +1,369 @@
+"""Tests for the five production baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExactIndex,
+    FastTextLike,
+    Graphite,
+    NavigableGraphIndex,
+    RulesEngine,
+    SLEmb,
+    SLQuery,
+    TitleEmbedder,
+    TrainingData,
+    jaccard,
+)
+from repro.search import SearchLog
+from repro.search.logs import ClickEvent
+
+
+def small_training_data() -> TrainingData:
+    items = [
+        (1, "audeze maxwell gaming headphones", 100),
+        (2, "audeze maxwell wireless headphones black", 100),
+        (3, "klaro studio headphones white", 100),
+        (4, "nimbus gaming laptop 16gb ram", 101),
+        (5, "cold item with no clicks at all", 100),
+    ]
+    click_pairs = {
+        1: {"audeze maxwell": 5, "gaming headphones": 3},
+        2: {"audeze maxwell": 4, "wireless headphones": 2},
+        3: {"studio headphones": 6, "klaro headphones": 1},
+        4: {"gaming laptop": 8},
+    }
+    query_leaf = {q: 100 for qs in click_pairs.values() for q in qs}
+    query_leaf["gaming laptop"] = 101
+    return TrainingData(items=items, click_pairs=click_pairs,
+                        query_leaf=query_leaf)
+
+
+def log_from_pairs(pairs, day=170):
+    log = SearchLog(day_start=1, day_end=180)
+    for item_id, queries in pairs.items():
+        for query, clicks in queries.items():
+            for _ in range(clicks):
+                log.clicks.append(ClickEvent(
+                    day=day, query_text=query, leaf_id=100,
+                    item_id=item_id, position=0))
+    return log
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+
+class TestRulesEngine:
+    def test_returns_clicked_queries_most_clicked_first(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs))
+        preds = re_model.recommend(1, "ignored", 100)
+        assert [p.text for p in preds] == ["audeze maxwell",
+                                           "gaming headphones"]
+
+    def test_cold_item_gets_nothing(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs))
+        assert re_model.recommend(5, "cold item", 100) == []
+
+    def test_lookback_window_excludes_old_clicks(self):
+        data = small_training_data()
+        old_log = log_from_pairs(data.click_pairs, day=20)
+        re_model = RulesEngine(old_log, lookback_days=30)
+        assert re_model.recommend(1, "x", 100) == []
+        assert re_model.n_items_covered == 0
+
+    def test_min_activity_filters(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs),
+                               min_activity=2)
+        preds = re_model.recommend(3, "x", 100)
+        assert [p.text for p in preds] == ["studio headphones"]
+
+    def test_coverage(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs))
+        assert re_model.coverage([1, 2, 5]) == pytest.approx(2 / 3)
+        assert re_model.coverage([]) == 0.0
+
+    def test_ground_truth_accessor(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs))
+        assert re_model.ground_truth(1) == {"audeze maxwell": 5,
+                                            "gaming headphones": 3}
+        assert re_model.ground_truth(999) == {}
+
+    def test_k_limits_output(self):
+        data = small_training_data()
+        re_model = RulesEngine(log_from_pairs(data.click_pairs))
+        assert len(re_model.recommend(1, "x", 100, k=1)) == 1
+
+
+class TestSLQuery:
+    def test_propagates_neighbor_queries(self):
+        model = SLQuery(small_training_data(), jaccard_threshold=0.0)
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones", 100)
+        texts = [p.text for p in preds]
+        # Item 2 shares "audeze maxwell" with item 1, so item 2's other
+        # query is propagated.
+        assert "wireless headphones" in texts
+
+    def test_own_queries_lead(self):
+        model = SLQuery(small_training_data(), jaccard_threshold=0.0)
+        preds = model.recommend(1, "audeze maxwell gaming headphones", 100)
+        assert preds[0].text == "audeze maxwell"
+
+    def test_cold_item_uncovered(self):
+        model = SLQuery(small_training_data())
+        assert model.recommend(5, "cold item", 100) == []
+        assert model.coverage([1, 5]) == 0.5
+
+    def test_jaccard_threshold_truncates(self):
+        strict = SLQuery(small_training_data(), jaccard_threshold=0.99)
+        preds = strict.recommend(
+            1, "audeze maxwell gaming headphones", 100)
+        # Only the item's own queries remain under an impossible threshold.
+        assert {p.text for p in preds} \
+            == {"audeze maxwell", "gaming headphones"}
+
+    def test_k_respected(self):
+        model = SLQuery(small_training_data(), jaccard_threshold=0.0)
+        assert len(model.recommend(
+            1, "audeze maxwell gaming headphones", 100, k=1)) == 1
+
+
+class TestTitleEmbedder:
+    CORPUS = [
+        "audeze maxwell gaming headphones",
+        "audeze maxwell wireless headphones",
+        "klaro studio headphones white",
+        "nimbus gaming laptop ram",
+        "voltedge gaming laptop ssd",
+        "inkvale laser printer duplex",
+    ]
+
+    def test_rows_are_normalized(self):
+        emb = TitleEmbedder(dim=4, min_df=1).fit(self.CORPUS)
+        vectors = emb.transform(self.CORPUS)
+        norms = np.linalg.norm(vectors, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-6)
+
+    def test_similar_titles_are_closer(self):
+        emb = TitleEmbedder(dim=4, min_df=1).fit(self.CORPUS)
+        v = emb.transform(["audeze maxwell gaming headphones",
+                           "audeze maxwell wireless headphones",
+                           "inkvale laser printer duplex"])
+        sim_near = float(v[0] @ v[1])
+        sim_far = float(v[0] @ v[2])
+        assert sim_near > sim_far
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TitleEmbedder().transform(["x"])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            TitleEmbedder().fit([])
+
+    def test_dim_clipped_to_rank(self):
+        emb = TitleEmbedder(dim=100, min_df=1).fit(self.CORPUS)
+        assert emb.dim < 100
+
+    def test_unknown_tokens_give_zero_vector(self):
+        emb = TitleEmbedder(dim=4, min_df=1).fit(self.CORPUS)
+        v = emb.transform(["completely unseen vocabulary"])
+        assert np.linalg.norm(v) == pytest.approx(0.0)
+
+    def test_fit_transform_equivalent(self):
+        a = TitleEmbedder(dim=4, min_df=1).fit_transform(self.CORPUS)
+        emb = TitleEmbedder(dim=4, min_df=1).fit(self.CORPUS)
+        b = emb.transform(self.CORPUS)
+        np.testing.assert_allclose(np.abs(a), np.abs(b), atol=1e-8)
+
+
+class TestANN:
+    def _vectors(self, n=100, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=(n, dim))
+        return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+    def test_exact_top1_is_self(self):
+        vectors = self._vectors()
+        index = ExactIndex(vectors)
+        top = index.query(vectors[17], k=1)
+        assert top[0][0] == 17
+
+    def test_exact_scores_sorted(self):
+        vectors = self._vectors()
+        index = ExactIndex(vectors)
+        sims = [s for _i, s in index.query(vectors[3], k=10)]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_exact_k_larger_than_data(self):
+        vectors = self._vectors(n=5)
+        assert len(ExactIndex(vectors).query(vectors[0], k=50)) == 5
+
+    def test_exact_empty(self):
+        index = ExactIndex(np.empty((0, 4)))
+        assert index.query(np.zeros(4), k=3) == []
+
+    def test_exact_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ExactIndex(np.zeros(4))
+
+    def test_approximate_recall_vs_exact(self):
+        vectors = self._vectors(n=300)
+        exact = ExactIndex(vectors)
+        approx = NavigableGraphIndex(vectors, graph_degree=16,
+                                     beam_width=32)
+        hits = 0
+        for probe in range(0, 50):
+            true_top = {i for i, _s in exact.query(vectors[probe], k=10)}
+            got = {i for i, _s in approx.query(vectors[probe], k=10)}
+            hits += len(true_top & got)
+        assert hits / (50 * 10) > 0.6
+
+    def test_approximate_empty(self):
+        index = NavigableGraphIndex(np.empty((0, 4)))
+        assert index.query(np.zeros(4), k=3) == []
+
+    def test_approximate_singleton(self):
+        vectors = self._vectors(n=1)
+        index = NavigableGraphIndex(vectors)
+        assert index.query(vectors[0], k=5)[0][0] == 0
+
+
+class TestSLEmb:
+    def test_covers_cold_items(self):
+        model = SLEmb(small_training_data(), approximate=False,
+                      jaccard_threshold=0.0)
+        preds = model.recommend(
+            5, "audeze maxwell gaming headphones black", 100)
+        assert preds  # cold item still served via similar listings
+
+    def test_neighbor_queries_propagate(self):
+        model = SLEmb(small_training_data(), approximate=False,
+                      jaccard_threshold=0.0)
+        preds = model.recommend(
+            99, "audeze maxwell gaming headphones", 100)
+        assert "audeze maxwell" in {p.text for p in preds}
+
+    def test_empty_training_data(self):
+        data = TrainingData(items=[], click_pairs={}, query_leaf={})
+        model = SLEmb(data)
+        assert model.recommend(1, "anything", 100) == []
+
+    def test_jaccard_truncation(self):
+        relaxed = SLEmb(small_training_data(), approximate=False,
+                        jaccard_threshold=0.0)
+        strict = SLEmb(small_training_data(), approximate=False,
+                       jaccard_threshold=0.9)
+        title = "audeze maxwell gaming headphones"
+        assert len(strict.recommend(9, title, 100)) \
+            <= len(relaxed.recommend(9, title, 100))
+
+
+class TestFastTextLike:
+    def test_label_space_is_click_vocabulary(self):
+        model = FastTextLike(small_training_data(), epochs=2)
+        assert model.n_labels == 6
+
+    def test_predictions_are_in_label_space(self):
+        data = small_training_data()
+        model = FastTextLike(data, epochs=2)
+        labels = {q for qs in data.click_pairs.values() for q in qs}
+        preds = model.recommend(1, "audeze maxwell gaming headphones", 100)
+        assert all(p.text in labels for p in preds)
+
+    def test_k_respected(self):
+        model = FastTextLike(small_training_data(), epochs=2)
+        assert len(model.recommend(1, "audeze headphones", 100, k=2)) == 2
+
+    def test_empty_training(self):
+        data = TrainingData(items=[], click_pairs={}, query_leaf={})
+        model = FastTextLike(data, epochs=1)
+        assert model.recommend(1, "whatever", 100) == []
+
+    def test_deterministic_given_seed(self):
+        a = FastTextLike(small_training_data(), epochs=2, seed=5)
+        b = FastTextLike(small_training_data(), epochs=2, seed=5)
+        pa = a.recommend(1, "audeze maxwell headphones", 100)
+        pb = b.recommend(1, "audeze maxwell headphones", 100)
+        assert [p.text for p in pa] == [p.text for p in pb]
+
+    def test_memory_bytes_positive(self):
+        model = FastTextLike(small_training_data(), epochs=1)
+        assert model.memory_bytes() > 0
+
+    def test_learns_topical_signal(self):
+        """After training, a headphones title should rank a headphones
+        label above the laptop label."""
+        model = FastTextLike(small_training_data(), epochs=30, seed=2)
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones", 100, k=6)
+        ranks = {p.text: i for i, p in enumerate(preds)}
+        assert ranks["audeze maxwell"] < ranks["gaming laptop"]
+
+
+class TestGraphite:
+    def test_labels_come_from_matched_items(self):
+        model = Graphite(small_training_data(), min_wmr=0.0)
+        preds = model.recommend(
+            99, "audeze maxwell gaming headphones", 100)
+        texts = {p.text for p in preds}
+        assert "audeze maxwell" in texts
+        # The shared token "gaming" routes through the laptop item too —
+        # exactly the cross-product leakage tagging models inherit from
+        # click data (it ranks low via WMR, but it is reachable).
+        assert "gaming laptop" in texts
+
+    def test_wmr_ranking(self):
+        model = Graphite(small_training_data(), min_wmr=0.0)
+        preds = model.recommend(
+            99, "audeze maxwell gaming headphones", 100)
+        scores = [p.score for p in preds]
+        assert scores == sorted(scores, reverse=True)
+        assert preds[0].score == pytest.approx(1.0)
+
+    def test_min_wmr_filters(self):
+        strict = Graphite(small_training_data(), min_wmr=1.0)
+        preds = strict.recommend(99, "audeze maxwell", 100)
+        assert all(p.score == pytest.approx(1.0) for p in preds)
+
+    def test_budget_cap(self):
+        model = Graphite(small_training_data(), min_wmr=0.0, budget=1)
+        assert len(model.recommend(
+            99, "audeze maxwell gaming headphones", 100, k=20)) <= 1
+
+    def test_no_match_is_empty(self):
+        model = Graphite(small_training_data())
+        assert model.recommend(99, "zzz qqq", 100) == []
+
+    def test_empty_training(self):
+        data = TrainingData(items=[], click_pairs={}, query_leaf={})
+        model = Graphite(data)
+        assert model.recommend(1, "anything", 100) == []
+
+    def test_memory_bytes_positive(self):
+        model = Graphite(small_training_data())
+        assert model.memory_bytes() > 0
+
+    def test_only_clicked_items_indexed(self):
+        """Item 5 has no clicks, so its tokens must not route labels."""
+        model = Graphite(small_training_data(), min_wmr=0.0)
+        preds = model.recommend(99, "cold clicks", 100)
+        assert preds == []

@@ -1,0 +1,82 @@
+"""Tests for the repro-graphex command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workflow_dir(tmp_path_factory):
+    """Run simulate -> curate -> construct once; share the artifacts."""
+    root = tmp_path_factory.mktemp("cli")
+    log_path = root / "log.json"
+    curated_path = root / "curated.json"
+    model_dir = root / "model"
+    assert main(["simulate", "--out", str(log_path), "--profile", "tiny",
+                 "--events", "8000"]) == 0
+    assert main(["curate", "--log", str(log_path), "--out",
+                 str(curated_path), "--min-search-count", "3"]) == 0
+    assert main(["construct", "--curated", str(curated_path), "--out",
+                 str(model_dir)]) == 0
+    return root
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "x.json"])
+        assert args.profile == "tiny"
+        assert args.events == 30_000
+
+    def test_alignment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["construct", "--curated", "c", "--out", "m",
+                 "--alignment", "cosine"])
+
+
+class TestWorkflow:
+    def test_simulate_output_schema(self, workflow_dir):
+        payload = json.loads((workflow_dir / "log.json").read_text())
+        assert payload["profile"] == "tiny"
+        stat = payload["stats"][0]
+        assert set(stat) == {"text", "leaf_id", "search_count",
+                             "recall_count"}
+
+    def test_curate_output_schema(self, workflow_dir):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        assert "effective_threshold" in payload
+        assert payload["leaves"]
+        leaf = next(iter(payload["leaves"].values()))
+        assert len(leaf["texts"]) == len(leaf["search_counts"])
+
+    def test_constructed_model_loads(self, workflow_dir):
+        from repro.core.serialization import load_model
+        model = load_model(workflow_dir / "model")
+        assert model.n_leaves > 0
+
+    def test_recommend_prints_results(self, workflow_dir, capsys):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        leaf_id = int(next(iter(payload["leaves"])))
+        text = payload["leaves"][str(leaf_id)]["texts"][0]
+        assert main(["recommend", "--model",
+                     str(workflow_dir / "model"), "--title", text,
+                     "--leaf", str(leaf_id), "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert text in out
+
+    def test_recommend_unmatched_title(self, workflow_dir, capsys):
+        assert main(["recommend", "--model", str(workflow_dir / "model"),
+                     "--title", "zzz qqq xxx", "--leaf", "100"]) == 0
+        assert "no recommendations" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for keyphrase curation (Section III-B semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.curation import (
+    CurationConfig,
+    curate,
+    head_threshold,
+)
+from repro.search.logs import KeyphraseStat
+
+
+def stat(text, leaf=1, search=10, recall=5):
+    return KeyphraseStat(text=text, leaf_id=leaf, search_count=search,
+                         recall_count=recall)
+
+
+class TestThresholding:
+    def test_keeps_only_above_threshold(self):
+        stats = [stat("a b", search=100), stat("c d", search=5)]
+        curated = curate(stats, CurationConfig(min_search_count=10))
+        assert curated.leaves[1].texts == ["a b"]
+
+    def test_threshold_is_inclusive(self):
+        stats = [stat("a", search=10)]
+        curated = curate(stats, CurationConfig(min_search_count=10))
+        assert curated.n_keyphrases == 1
+
+    def test_groups_by_leaf(self):
+        stats = [stat("a", leaf=1), stat("b", leaf=2)]
+        curated = curate(stats, CurationConfig(min_search_count=1))
+        assert set(curated.leaves) == {1, 2}
+
+    def test_duplicate_text_across_leaves_kept_separately(self):
+        """The paper: a keyphrase can be duplicated across leaf categories."""
+        stats = [stat("a b", leaf=1), stat("a b", leaf=2)]
+        curated = curate(stats, CurationConfig(min_search_count=1))
+        assert curated.n_keyphrases == 2
+        assert curated.n_unique_texts == 1
+
+    def test_token_length_filters(self):
+        stats = [stat("a"), stat("a b c d e f")]
+        curated = curate(stats, CurationConfig(
+            min_search_count=1, min_tokens=2, max_tokens=4))
+        assert curated.n_keyphrases == 0
+
+    def test_search_and_recall_arrays_parallel(self):
+        stats = [stat("a", search=7, recall=3), stat("b", search=9, recall=1)]
+        curated = curate(stats, CurationConfig(min_search_count=1))
+        leaf = curated.leaves[1]
+        idx = leaf.texts.index("b")
+        assert leaf.search_counts[idx] == 9
+        assert leaf.recall_counts[idx] == 1
+
+    def test_empty_stats(self):
+        curated = curate([], CurationConfig(min_search_count=1))
+        assert curated.n_keyphrases == 0
+        assert curated.leaves == {}
+
+
+class TestRelaxation:
+    """The CAT 3 relaxation: ease the threshold when keyphrases are scarce."""
+
+    def test_threshold_halves_until_satisfied(self):
+        stats = [stat(f"k{i}", search=5) for i in range(20)]
+        curated = curate(stats, CurationConfig(
+            min_search_count=40, min_keyphrases=10, floor_search_count=2))
+        assert curated.effective_threshold <= 5
+        assert curated.n_keyphrases == 20
+
+    def test_relaxation_respects_floor(self):
+        stats = [stat("only", search=1)]
+        curated = curate(stats, CurationConfig(
+            min_search_count=40, min_keyphrases=10, floor_search_count=4))
+        assert curated.effective_threshold == 4
+        assert curated.n_keyphrases == 0
+
+    def test_no_relaxation_without_min_keyphrases(self):
+        stats = [stat("a", search=5)]
+        curated = curate(stats, CurationConfig(min_search_count=40))
+        assert curated.effective_threshold == 40
+        assert curated.n_keyphrases == 0
+
+    def test_no_relaxation_when_enough(self):
+        stats = [stat(f"k{i}", search=50) for i in range(10)]
+        curated = curate(stats, CurationConfig(
+            min_search_count=40, min_keyphrases=5))
+        assert curated.effective_threshold == 40
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=50),
+           st.integers(1, 120))
+    def test_all_survivors_meet_effective_threshold(self, counts, threshold):
+        stats = [stat(f"k{i}", search=c) for i, c in enumerate(counts)]
+        curated = curate(stats, CurationConfig(
+            min_search_count=threshold, min_keyphrases=5,
+            floor_search_count=2))
+        for leaf in curated.leaves.values():
+            assert all(s >= curated.effective_threshold
+                       for s in leaf.search_counts)
+
+
+class TestHeadThreshold:
+    def test_percentile_interpolation(self):
+        stats = [stat(f"k{i}", search=i) for i in range(1, 12)]
+        assert head_threshold(stats, percentile=50.0) == pytest.approx(6.0)
+
+    def test_p90_leaves_roughly_ten_percent_above(self):
+        stats = [stat(f"k{i}", search=i) for i in range(100)]
+        threshold = head_threshold(stats, percentile=90.0)
+        above = sum(1 for s in stats if s.search_count > threshold)
+        assert above == pytest.approx(10, abs=2)
+
+    def test_empty(self):
+        assert head_threshold([]) == 0.0
+
+    def test_single(self):
+        assert head_threshold([stat("a", search=42)]) == 42.0
+
+
+class TestCuratedAccessors:
+    def test_leaf_returns_none_for_unknown(self):
+        curated = curate([stat("a")], CurationConfig(min_search_count=1))
+        assert curated.leaf(999) is None
+
+    def test_len_of_curated_leaf(self):
+        curated = curate([stat("a"), stat("b")],
+                         CurationConfig(min_search_count=1))
+        assert len(curated.leaves[1]) == 2

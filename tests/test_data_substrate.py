@@ -1,0 +1,220 @@
+"""Tests for the synthetic e-commerce substrate (repro.data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    COLLECTIBLES,
+    ELECTRONICS,
+    HOME_GARDEN,
+    META_LEXICONS,
+    QUERY_STOPWORDS,
+    TINY_PROFILE,
+    DatasetProfile,
+    build_catalog,
+    build_query_universe,
+    generate_dataset,
+)
+from repro.data.catalog import CategoryTree
+from repro.data.relevance import oracle_relevant
+
+
+class TestLexicon:
+    def test_three_meta_categories(self):
+        assert set(META_LEXICONS) == {"CAT_1", "CAT_2", "CAT_3"}
+
+    def test_size_ordering_large_medium_small(self):
+        """CAT 1 > CAT 2 > CAT 3 in leaf count, as in Table II's spirit."""
+        assert len(ELECTRONICS.leaves) > len(HOME_GARDEN.leaves) \
+            > len(COLLECTIBLES.leaves)
+
+    def test_leaf_lookup(self):
+        leaf = ELECTRONICS.leaf("headphones")
+        assert "audeze" in leaf.brands
+
+    def test_leaf_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ELECTRONICS.leaf("spaceships")
+
+    def test_every_leaf_has_brands_and_types(self):
+        for meta in META_LEXICONS.values():
+            for leaf in meta.leaves:
+                assert leaf.brands
+                assert leaf.product_types
+                assert leaf.attributes
+
+    def test_attribute_values_are_token_tuples(self):
+        for meta in META_LEXICONS.values():
+            for leaf in meta.leaves:
+                for values in leaf.attributes.values():
+                    assert all(isinstance(v, tuple) for v in values)
+
+
+class TestCategoryTree:
+    def test_leaf_ids_globally_unique(self):
+        tree = CategoryTree([ELECTRONICS, HOME_GARDEN, COLLECTIBLES])
+        ids = [leaf.leaf_id for leaf in tree]
+        assert len(ids) == len(set(ids))
+
+    def test_lookup_by_id_and_name(self):
+        tree = CategoryTree([ELECTRONICS])
+        leaf = tree.leaf_by_name("laptops")
+        assert tree.leaf_by_id(leaf.leaf_id).name == "laptops"
+
+    def test_leaves_of_meta(self):
+        tree = CategoryTree([ELECTRONICS, HOME_GARDEN])
+        assert len(tree.leaves_of("CAT_1")) == len(ELECTRONICS.leaves)
+        assert tree.metas == ["CAT_1", "CAT_2"]
+
+
+class TestCatalog:
+    def test_deterministic_for_same_seed(self):
+        a = build_catalog([COLLECTIBLES], {"CAT_3": 100}, seed=5)
+        b = build_catalog([COLLECTIBLES], {"CAT_3": 100}, seed=5)
+        assert [it.title for it in a.items] == [it.title for it in b.items]
+
+    def test_different_seeds_differ(self):
+        a = build_catalog([COLLECTIBLES], {"CAT_3": 100}, seed=5)
+        b = build_catalog([COLLECTIBLES], {"CAT_3": 100}, seed=6)
+        assert [it.title for it in a.items] != [it.title for it in b.items]
+
+    def test_item_count_close_to_target(self):
+        catalog = build_catalog([COLLECTIBLES], {"CAT_3": 200}, seed=5)
+        assert len(catalog.items) == pytest.approx(200, rel=0.15)
+
+    def test_every_item_has_a_product(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        for item in catalog.items[:200]:
+            product = catalog.product_of_item(item.item_id)
+            assert product.leaf_id == item.leaf_id
+
+    def test_titles_contain_brand_and_type_head(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        for item in catalog.items[:100]:
+            product = catalog.product_of_item(item.item_id)
+            tokens = set(item.title_tokens)
+            assert product.brand in tokens
+            assert product.model in tokens
+
+    def test_items_in_leaf_partition_items_in_meta(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        meta_items = catalog.items_in_meta("CAT_1")
+        by_leaf = sum(
+            len(catalog.items_in_leaf(leaf.leaf_id))
+            for leaf in catalog.tree.leaves_of("CAT_1"))
+        assert len(meta_items) == by_leaf
+
+    def test_concept_tokens_superset_of_core_fields(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        for product in catalog.products[:100]:
+            assert product.brand in product.concept_tokens
+            assert product.model in product.concept_tokens
+            for token in product.ptype:
+                assert token in product.concept_tokens
+
+    def test_multiple_listings_per_product_exist(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        product_ids = [it.product_id for it in catalog.items]
+        assert len(product_ids) > len(set(product_ids))
+
+
+class TestQueryUniverse:
+    def test_deterministic(self, tiny_dataset):
+        again = build_query_universe(
+            tiny_dataset.catalog,
+            [META_LEXICONS[m] for m in tiny_dataset.profile.items_per_meta],
+            seed=TINY_PROFILE.query_seed)
+        assert sorted(q.text for q in again) \
+            == sorted(q.text for q in tiny_dataset.queries)
+
+    def test_queries_have_positive_weight(self, tiny_dataset):
+        assert all(q.weight > 0 for q in tiny_dataset.queries)
+
+    def test_no_stopwords_in_templated_queries(self, tiny_dataset):
+        for query in tiny_dataset.queries:
+            if query.origin_product_id:  # bogus queries may contain typos
+                assert not set(query.tokens) & QUERY_STOPWORDS
+
+    def test_in_leaf_and_in_meta_consistent(self, tiny_dataset):
+        universe = tiny_dataset.queries
+        leaf = tiny_dataset.catalog.tree.leaf_by_name("headphones")
+        for query in universe.in_leaf(leaf.leaf_id)[:50]:
+            assert query in universe.in_meta("CAT_1")
+
+    def test_head_tail_skew(self, tiny_dataset):
+        """Top 10% of queries should carry the majority of search weight."""
+        weights = sorted((q.weight for q in tiny_dataset.queries),
+                         reverse=True)
+        top_decile = sum(weights[:len(weights) // 10])
+        assert top_decile > 0.5 * sum(weights)
+
+    def test_bogus_queries_present_with_tiny_weight(self, tiny_dataset):
+        bogus = [q for q in tiny_dataset.queries
+                 if q.origin_product_id == 0]
+        assert bogus
+        assert all(q.weight == 1.0 for q in bogus)
+
+    def test_generic_head_query_exists(self, tiny_dataset):
+        leaf = tiny_dataset.catalog.tree.leaf_by_name("headphones")
+        texts = {q.text for q in tiny_dataset.queries.in_leaf(leaf.leaf_id)}
+        assert "headphones" in texts
+
+
+class TestOracleRelevance:
+    def test_brand_type_query_is_relevant(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        product = catalog.products[0]
+        query = [product.brand, product.ptype[-1]]
+        assert oracle_relevant(product, query)
+
+    def test_wrong_brand_is_irrelevant(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        product = catalog.products[0]
+        assert not oracle_relevant(
+            product, ["definitelynotabrand", product.ptype[-1]])
+
+    def test_stopwords_do_not_affect_relevance(self, tiny_dataset):
+        product = tiny_dataset.catalog.products[0]
+        base = [product.brand, product.ptype[-1]]
+        assert oracle_relevant(product, base + ["for"])
+
+    def test_stopword_only_query_is_irrelevant(self, tiny_dataset):
+        assert not oracle_relevant(
+            tiny_dataset.catalog.products[0], ["for", "with"])
+
+    def test_empty_query_is_irrelevant(self, tiny_dataset):
+        assert not oracle_relevant(tiny_dataset.catalog.products[0], [])
+
+    def test_templated_queries_relevant_to_their_origin(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        checked = 0
+        for query in tiny_dataset.queries:
+            if not query.origin_product_id:
+                continue
+            product = catalog.product(query.origin_product_id)
+            assert oracle_relevant(product, query.tokens), query.text
+            checked += 1
+            if checked >= 200:
+                break
+        assert checked == 200
+
+
+class TestGenerator:
+    def test_profiles_reproduce(self):
+        a = generate_dataset(TINY_PROFILE)
+        b = generate_dataset(TINY_PROFILE)
+        assert [it.title for it in a.catalog.items] \
+            == [it.title for it in b.catalog.items]
+
+    def test_metas_match_profile(self, tiny_dataset):
+        assert tiny_dataset.metas == list(
+            TINY_PROFILE.items_per_meta)
+
+    def test_custom_profile(self):
+        profile = DatasetProfile(
+            name="custom", items_per_meta={"CAT_3": 60}, seed=3)
+        dataset = generate_dataset(profile)
+        assert dataset.metas == ["CAT_3"]
+        assert profile.total_items == 60

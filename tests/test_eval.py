@@ -1,0 +1,340 @@
+"""Tests for the evaluation framework: judges, metrics, diversity, tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.diversity import (
+    diversity_ratios,
+    exclusive_relevant_head_counts,
+)
+from repro.eval.judge import (
+    CallableJudge,
+    LexicalJudge,
+    MixtralPromptBuilder,
+    OracleJudge,
+)
+from repro.eval.metrics import (
+    HeadClassifier,
+    JudgedPredictions,
+    judge_model_predictions,
+    precision_recall,
+    relative_head_ratio,
+    relative_relevant_ratio,
+)
+from repro.eval.reporting import (
+    format_cell,
+    render_bar_chart,
+    render_markdown,
+    render_table,
+)
+
+
+class TestOracleJudge:
+    def test_matches_generator_ground_truth(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        judge = OracleJudge(catalog)
+        item = catalog.items[0]
+        product = catalog.product_of_item(item.item_id)
+        relevant = f"{product.brand} {product.ptype[-1]}"
+        assert judge.is_relevant(item.item_id, item.title, relevant)
+        assert not judge.is_relevant(item.item_id, item.title,
+                                     "completely unrelated thing")
+
+    def test_judge_batch(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        judge = OracleJudge(catalog)
+        item = catalog.items[0]
+        product = catalog.product_of_item(item.item_id)
+        verdicts = judge.judge_batch(
+            item.item_id, item.title,
+            [product.brand, "zzz nonsense"])
+        assert verdicts == [True, False]
+
+
+class TestLexicalJudge:
+    def test_full_containment_is_relevant(self):
+        judge = LexicalJudge()
+        assert judge.is_relevant(1, "audeze maxwell headphones",
+                                 "audeze headphones")
+
+    def test_partial_containment_fails_strict(self):
+        judge = LexicalJudge(min_coverage=1.0)
+        assert not judge.is_relevant(1, "audeze maxwell headphones",
+                                     "audeze speakers")
+
+    def test_partial_coverage_threshold(self):
+        judge = LexicalJudge(min_coverage=0.5)
+        assert judge.is_relevant(1, "audeze maxwell headphones",
+                                 "audeze speakers")
+
+    def test_stemming_widens_matches(self):
+        judge = LexicalJudge()
+        assert judge.is_relevant(1, "headphone stand", "headphones stand")
+
+    def test_stopword_only_keyphrase_irrelevant(self):
+        assert not LexicalJudge().is_relevant(1, "anything", "for with")
+
+    def test_invalid_coverage_raises(self):
+        with pytest.raises(ValueError):
+            LexicalJudge(min_coverage=0.0)
+        with pytest.raises(ValueError):
+            LexicalJudge(min_coverage=1.5)
+
+
+class TestMixtralPromptBuilder:
+    def test_prompt_contains_paper_wording(self):
+        prompt = MixtralPromptBuilder().build("my title", "my phrase")
+        assert 'title: "my title"' in prompt
+        assert 'keyphrase: "my phrase"' in prompt
+        assert "relevant for cpc targeting" in prompt
+        assert "ONLY yes or no" in prompt
+        assert prompt.startswith("Below is an instruction")
+
+    def test_build_batch(self):
+        prompts = MixtralPromptBuilder().build_batch("t", ["a", "b"])
+        assert len(prompts) == 2
+
+    def test_parse_yes_no(self):
+        parse = MixtralPromptBuilder.parse_response
+        assert parse("yes") is True
+        assert parse("  Yes, it is") is True
+        assert parse("No") is False
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            MixtralPromptBuilder.parse_response("maybe?")
+
+
+class TestCallableJudge:
+    def test_wraps_callable(self):
+        judge = CallableJudge(lambda title, phrase: phrase in title)
+        assert judge.is_relevant(1, "a b c", "b")
+        assert not judge.is_relevant(1, "a b c", "z")
+
+
+class TestHeadClassifier:
+    def test_p90_threshold(self):
+        counts = {f"k{i}": i for i in range(1, 101)}
+        head = HeadClassifier(counts)
+        n_head = sum(1 for k in counts if head.is_head(k))
+        assert n_head == pytest.approx(10, abs=2)
+
+    def test_unknown_keyphrase_is_tail(self):
+        head = HeadClassifier({"a": 100, "b": 1, "c": 1, "d": 1})
+        assert not head.is_head("unseen")
+        assert head.search_count("unseen") == 0
+
+    def test_empty_counts(self):
+        head = HeadClassifier({})
+        assert not head.is_head("anything")
+
+    def test_threshold_strictly_exceeded(self):
+        head = HeadClassifier({"a": 10, "b": 10, "c": 10})
+        assert head.threshold == 10
+        assert not head.is_head("a")
+
+
+class TestJudgedPredictions:
+    def _judged(self):
+        j = JudgedPredictions(model="m", n_items=2)
+        j.relevant_head = 4
+        j.relevant_tail = 6
+        j.irrelevant = 10
+        return j
+
+    def test_totals(self):
+        j = self._judged()
+        assert j.total == 20
+        assert j.relevant == 10
+
+    def test_rp_hp(self):
+        j = self._judged()
+        assert j.rp == pytest.approx(0.5)
+        assert j.hp == pytest.approx(0.2)
+
+    def test_zero_division_safe(self):
+        j = JudgedPredictions(model="empty")
+        assert j.rp == 0.0 and j.hp == 0.0
+
+    def test_averages_per_item(self):
+        j = self._judged()
+        avg = j.averages_per_item()
+        assert avg == {"relevant_head": 2.0, "relevant_tail": 3.0,
+                       "irrelevant": 5.0}
+
+    def test_rrr_rhr(self):
+        a, b = self._judged(), self._judged()
+        b.relevant_tail = 1  # b.relevant = 5
+        assert relative_relevant_ratio(a, b) == pytest.approx(2.0)
+        assert relative_head_ratio(a, b) == pytest.approx(1.0)
+
+    def test_rrr_zero_reference(self):
+        a = self._judged()
+        empty = JudgedPredictions(model="empty")
+        assert relative_relevant_ratio(a, empty) == 0.0
+        assert relative_head_ratio(a, empty) == 0.0
+
+
+class TestJudgeModelPredictions:
+    def test_counts_and_per_item(self, tiny_dataset):
+        catalog = tiny_dataset.catalog
+        judge = OracleJudge(catalog)
+        item = catalog.items[0]
+        product = catalog.product_of_item(item.item_id)
+        relevant_text = f"{product.brand} {product.ptype[-1]}"
+        head = HeadClassifier({relevant_text: 100, "x": 1, "y": 1,
+                               "z": 1, "w": 1})
+        judged = judge_model_predictions(
+            "test",
+            {item.item_id: [relevant_text, "garbage query"]},
+            {item.item_id: item.title},
+            judge, head)
+        assert judged.relevant == 1
+        assert judged.relevant_head == 1
+        assert judged.irrelevant == 1
+        triples = judged.per_item[item.item_id]
+        assert triples[0] == (relevant_text, True, True)
+        assert triples[1][1] is False
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        preds = {1: ["a", "b"]}
+        truth = {1: ["a", "b"]}
+        assert precision_recall(preds, truth) == (1.0, 1.0)
+
+    def test_half_precision(self):
+        preds = {1: ["a", "x"]}
+        truth = {1: ["a", "b"]}
+        p, r = precision_recall(preds, truth)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_items_without_truth_hurt_precision_only(self):
+        preds = {1: ["a"], 2: ["b"]}
+        truth = {1: ["a"]}
+        p, r = precision_recall(preds, truth)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert precision_recall({}, {}) == (0.0, 0.0)
+
+    @given(st.dictionaries(st.integers(0, 5),
+                           st.lists(st.sampled_from("abcdef"), max_size=4),
+                           max_size=5))
+    def test_bounds(self, preds):
+        truth = {1: ["a", "b"], 2: ["c"]}
+        p, r = precision_recall(preds, truth)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+
+
+def _judged_with(model, per_item):
+    """Build a JudgedPredictions from item -> (text, rel, head) triples."""
+    j = JudgedPredictions(model=model, n_items=len(per_item))
+    for item_id, triples in per_item.items():
+        j.per_item[item_id] = triples
+        for _text, rel, head in triples:
+            if rel and head:
+                j.relevant_head += 1
+            elif rel:
+                j.relevant_tail += 1
+            else:
+                j.irrelevant += 1
+    return j
+
+
+class TestDiversity:
+    def test_exclusive_counts(self):
+        judged = {
+            "A": _judged_with("A", {1: [("x", True, True),
+                                        ("shared", True, True)]}),
+            "B": _judged_with("B", {1: [("shared", True, True),
+                                        ("y", True, True)]}),
+        }
+        counts = exclusive_relevant_head_counts(judged)
+        assert counts == {"A": 1.0, "B": 1.0}
+
+    def test_irrelevant_or_tail_never_counted(self):
+        judged = {
+            "A": _judged_with("A", {1: [("x", False, False),
+                                        ("t", True, False)]}),
+            "B": _judged_with("B", {1: []}),
+        }
+        counts = exclusive_relevant_head_counts(judged)
+        assert counts["A"] == 0.0
+
+    def test_exclusivity_is_vs_all_predictions_not_just_relevant(self):
+        """A keyphrase predicted (even irrelevantly) by another model is
+        not exclusive — Figure 5 overlaps are by keyphrase, not verdict."""
+        judged = {
+            "A": _judged_with("A", {1: [("x", True, True)]}),
+            "B": _judged_with("B", {1: [("x", False, False)]}),
+        }
+        counts = exclusive_relevant_head_counts(judged)
+        assert counts["A"] == 0.0
+
+    def test_diversity_ratios_reference(self):
+        judged = {
+            "GraphEx": _judged_with("GraphEx",
+                                    {1: [("a", True, True),
+                                         ("b", True, True)]}),
+            "other": _judged_with("other", {1: [("c", True, True)]}),
+        }
+        ratios = diversity_ratios(judged)
+        assert ratios == {"other": 2.0}
+
+    def test_zero_division_gives_inf(self):
+        judged = {
+            "GraphEx": _judged_with("GraphEx", {1: [("a", True, True)]}),
+            "other": _judged_with("other", {1: []}),
+        }
+        assert diversity_ratios(judged)["other"] == float("inf")
+
+    def test_unknown_reference_raises(self):
+        judged = {"other": _judged_with("other", {1: []})}
+        with pytest.raises(KeyError):
+            diversity_ratios(judged)
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(3) == "3"
+        assert format_cell(True) == "yes"
+        assert format_cell("x") == "x"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"],
+                             [["graphex", 1.0], ["re", 0.5]],
+                             title="Demo")
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_markdown(self):
+        md = render_markdown(["a"], [[1.5]])
+        assert md.splitlines()[0] == "| a |"
+        assert "| 1.500 |" in md
+
+    def test_render_bar_chart(self):
+        chart = render_bar_chart(["a", "b"], [2.0, 1.0], title="T",
+                                 width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_bar_chart_zero_values(self):
+        chart = render_bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_bar_chart_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])

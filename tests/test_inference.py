@@ -1,0 +1,237 @@
+"""Tests for the Enumeration + Ranking steps (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alignment import jac, lta, wmr
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.inference import (
+    enumerate_candidates,
+    prune_by_count_groups,
+    recommend_from_graph,
+)
+from repro.core.model import GraphExModel, build_leaf_graph
+from repro.core.tokenize import DEFAULT_TOKENIZER
+
+
+def make_graph(keyphrases):
+    """Build a LeafGraph from (text, search, recall) triples."""
+    leaf = CuratedLeaf(leaf_id=1)
+    for text, search, recall in keyphrases:
+        leaf.add(text, search, recall)
+    return build_leaf_graph(leaf, DEFAULT_TOKENIZER)
+
+
+class TestEnumeration:
+    def test_counts_are_set_intersections(self):
+        graph = make_graph([("a b c", 1, 1), ("a d", 1, 1), ("e f", 1, 1)])
+        labels, counts, n = enumerate_candidates(graph, ["a", "b", "x"])
+        by_text = {graph.label_texts[l]: c for l, c in zip(labels, counts)}
+        assert by_text == {"a b c": 2, "a d": 1}
+        assert n == 3
+
+    def test_duplicate_title_tokens_counted_once(self):
+        graph = make_graph([("a b", 1, 1)])
+        _labels, counts, n = enumerate_candidates(graph, ["a", "a", "b"])
+        assert list(counts) == [2]
+        assert n == 2
+
+    def test_unknown_tokens_ignored(self):
+        graph = make_graph([("a b", 1, 1)])
+        labels, _counts, _n = enumerate_candidates(graph, ["z", "q"])
+        assert len(labels) == 0
+
+    def test_empty_title(self):
+        graph = make_graph([("a b", 1, 1)])
+        labels, counts, n = enumerate_candidates(graph, [])
+        assert len(labels) == 0 and len(counts) == 0 and n == 0
+
+    def test_count_never_exceeds_label_length(self):
+        graph = make_graph([("a b", 1, 1), ("a b c d", 1, 1)])
+        labels, counts, _ = enumerate_candidates(
+            graph, ["a", "b", "c", "d", "e"])
+        for label, count in zip(labels, counts):
+            assert count <= graph.label_lengths[label]
+
+
+class TestGroupPruning:
+    def test_no_pruning_when_under_k(self):
+        labels = np.array([0, 1, 2])
+        counts = np.array([3, 2, 1])
+        kept_labels, kept_counts = prune_by_count_groups(labels, counts, 5)
+        assert list(kept_labels) == [0, 1, 2]
+
+    def test_cutoff_at_kth_largest(self):
+        labels = np.arange(6)
+        counts = np.array([5, 4, 3, 2, 2, 1])
+        kept_labels, _ = prune_by_count_groups(labels, counts, 3)
+        assert list(kept_labels) == [0, 1, 2]
+
+    def test_threshold_group_kept_whole(self):
+        """All keyphrases in the threshold group are included even if the
+        group size exceeds the requested count (Section III-F)."""
+        labels = np.arange(7)
+        counts = np.array([5, 2, 2, 2, 2, 2, 1])
+        kept_labels, _ = prune_by_count_groups(labels, counts, 3)
+        # Cutoff value is 2; the whole count-2 group survives.
+        assert list(kept_labels) == [0, 1, 2, 3, 4, 5]
+
+    def test_k_zero_keeps_everything(self):
+        labels = np.arange(3)
+        counts = np.array([1, 1, 1])
+        kept, _ = prune_by_count_groups(labels, counts, 0)
+        assert len(kept) == 3
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=40),
+           st.integers(1, 20))
+    def test_survivors_at_least_min_k(self, count_list, k):
+        labels = np.arange(len(count_list))
+        counts = np.array(count_list)
+        kept, _ = prune_by_count_groups(labels, counts, k)
+        assert len(kept) >= min(k, len(count_list))
+
+    @given(st.lists(st.integers(1, 6), min_size=2, max_size=40),
+           st.integers(1, 20))
+    def test_kept_counts_dominate_dropped(self, count_list, k):
+        labels = np.arange(len(count_list))
+        counts = np.array(count_list)
+        kept, kept_counts = prune_by_count_groups(labels, counts, k)
+        dropped = set(labels.tolist()) - set(kept.tolist())
+        if dropped and len(kept_counts):
+            max_dropped = max(counts[list(dropped)])
+            assert kept_counts.min() > max_dropped
+
+
+class TestRanking:
+    def test_primary_key_is_alignment(self):
+        graph = make_graph([("a b", 10, 1), ("a", 99999, 1)])
+        recs = recommend_from_graph(graph, ["a", "b"], k=5)
+        # "a b": LTA 2.0 beats "a": LTA 1.0 despite the huge search count.
+        assert recs[0].text == "a b"
+
+    def test_tie_broken_by_search_count_desc(self):
+        graph = make_graph([("a b", 10, 5), ("a c", 20, 5)])
+        recs = recommend_from_graph(graph, ["a"], k=5)
+        assert [r.text for r in recs] == ["a c", "a b"]
+
+    def test_tie_broken_by_recall_count_asc(self):
+        graph = make_graph([("a b", 10, 9), ("a c", 10, 2)])
+        recs = recommend_from_graph(graph, ["a"], k=5)
+        assert [r.text for r in recs] == ["a c", "a b"]
+
+    def test_final_tie_broken_by_label_id(self):
+        graph = make_graph([("a b", 10, 5), ("a c", 10, 5)])
+        recs = recommend_from_graph(graph, ["a"], k=5)
+        assert [r.text for r in recs] == ["a b", "a c"]
+
+    def test_hard_limit_truncates(self):
+        graph = make_graph([(f"a k{i}", 10, 1) for i in range(20)])
+        recs = recommend_from_graph(graph, ["a"], k=50, hard_limit=7)
+        assert len(recs) == 7
+
+    def test_alternative_alignments_change_order(self):
+        # Paper IV-F1: 10-token title; "a b c" fully matched (c=3) vs
+        # "a b c d z" whose last token is risky (c=4): LTA 3/1 > 4/2
+        # prefers the complete keyphrase, JAC prefers the longer one.
+        labels = [("a b c", 10, 1), ("a b c d z", 10, 1)]
+        graph = make_graph(labels)
+        title = list("abcdefghij")
+        lta_recs = recommend_from_graph(graph, title, k=5, alignment_fn=lta)
+        jac_recs = recommend_from_graph(graph, title, k=5, alignment_fn=jac)
+        assert lta_recs[0].text == "a b c"
+        assert jac_recs[0].text == "a b c d z"
+
+    def test_wmr_ties_resolved_by_search(self):
+        graph = make_graph([("a b", 5, 1), ("c d", 50, 1)])
+        recs = recommend_from_graph(
+            graph, ["a", "b", "c", "d"], k=5, alignment_fn=wmr)
+        assert recs[0].text == "c d"
+
+    def test_recommendation_fields(self):
+        graph = make_graph([("a b", 7, 3)])
+        rec = recommend_from_graph(graph, ["a"], k=5)[0]
+        assert rec.text == "a b"
+        assert rec.search_count == 7
+        assert rec.recall_count == 3
+        assert rec.common == 1
+        assert rec.score == pytest.approx(0.5)
+
+    def test_empty_when_nothing_matches(self):
+        graph = make_graph([("a b", 1, 1)])
+        assert recommend_from_graph(graph, ["z"], k=5) == []
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6,
+                    unique=True))
+    def test_scores_non_increasing(self, title):
+        graph = make_graph([
+            ("a b", 5, 2), ("b c d", 9, 4), ("a", 3, 1),
+            ("c d e f", 2, 2), ("e f", 4, 9), ("a c e", 6, 6),
+        ])
+        recs = recommend_from_graph(graph, list(title), k=10)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6,
+                    unique=True), st.integers(1, 5))
+    def test_deterministic(self, title, k):
+        graph = make_graph([
+            ("a b", 5, 2), ("b c d", 9, 4), ("a", 3, 1), ("e f", 4, 9),
+        ])
+        first = recommend_from_graph(graph, list(title), k=k)
+        second = recommend_from_graph(graph, list(title), k=k)
+        assert [r.text for r in first] == [r.text for r in second]
+
+
+class TestModelRecommend:
+    def _model(self):
+        leaf_a = CuratedLeaf(leaf_id=1)
+        leaf_a.add("alpha beta", 10, 1)
+        leaf_b = CuratedLeaf(leaf_id=2)
+        leaf_b.add("gamma delta", 10, 1)
+        curated = CuratedKeyphrases(
+            leaves={1: leaf_a, 2: leaf_b},
+            effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        return GraphExModel.construct(curated, build_pooled=True)
+
+    def test_leaf_isolation(self):
+        model = self._model()
+        recs = model.recommend("alpha beta gamma delta", leaf_id=1, k=5)
+        assert [r.text for r in recs] == ["alpha beta"]
+
+    def test_unknown_leaf_falls_back_to_pooled(self):
+        model = self._model()
+        recs = model.recommend("gamma delta", leaf_id=999, k=5)
+        assert [r.text for r in recs] == ["gamma delta"]
+
+    def test_unknown_leaf_without_pooled_is_empty(self):
+        leaf = CuratedLeaf(leaf_id=1)
+        leaf.add("a b", 1, 1)
+        curated = CuratedKeyphrases(
+            leaves={1: leaf}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        model = GraphExModel.construct(curated)
+        assert model.recommend("a b", leaf_id=999, k=5) == []
+
+    def test_use_pooled_flag(self):
+        model = self._model()
+        recs = model.recommend("alpha beta gamma delta", leaf_id=1, k=5,
+                               use_pooled=True)
+        assert {r.text for r in recs} == {"alpha beta", "gamma delta"}
+
+    def test_tokenizer_applied_to_title(self):
+        model = self._model()
+        recs = model.recommend("ALPHA! beta?", leaf_id=1, k=5)
+        assert recs and recs[0].text == "alpha beta"
+
+    def test_properties(self):
+        model = self._model()
+        assert model.n_leaves == 2
+        assert model.n_keyphrases == 2
+        assert model.leaf_ids == [1, 2]
+        assert model.alignment_name == "lta"
+        assert model.memory_bytes() > 0

@@ -1,0 +1,166 @@
+"""End-to-end integration tests over the tiny simulated world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    FastTextLike,
+    Graphite,
+    RulesEngine,
+    SLEmb,
+    SLQuery,
+    TrainingData,
+)
+from repro.core import CurationConfig, GraphExModel, curate
+from repro.core.serialization import load_model, save_model
+from repro.eval import Experiment, ExperimentConfig
+from repro.eval.judge import OracleJudge
+from repro.eval.metrics import HeadClassifier, judge_model_predictions
+from repro.data import TINY_PROFILE
+from repro.serving import BatchPipeline, KeyValueStore
+
+
+@pytest.fixture(scope="module")
+def tiny_experiment():
+    config = ExperimentConfig(
+        profile=TINY_PROFILE,
+        n_train_events=25_000,
+        n_test_events=4_000,
+        curation=CurationConfig(min_search_count=3, min_keyphrases=80,
+                                floor_search_count=2),
+        test_items_per_meta={"CAT_1": 40, "CAT_2": 25, "CAT_3": 15},
+        seed=3,
+    )
+    return Experiment(config).prepare()
+
+
+class TestPipeline:
+    def test_all_models_build_and_predict(self, tiny_experiment):
+        models = tiny_experiment.models("CAT_1")
+        assert set(models) == {"GraphEx", "RE", "SL-query", "SL-emb",
+                               "fastText", "Graphite"}
+        item = tiny_experiment.test_items("CAT_1")[0]
+        for model in models.values():
+            preds = model.recommend(item.item_id, item.title,
+                                    item.leaf_id, k=10)
+            assert isinstance(preds, list)
+
+    def test_prediction_limit_respected(self, tiny_experiment):
+        for preds_by_item in tiny_experiment.predictions("CAT_1").values():
+            for texts in preds_by_item.values():
+                assert len(texts) \
+                    <= tiny_experiment.config.prediction_limit
+
+    def test_graphex_predictions_in_curated_vocabulary(self, tiny_experiment):
+        curated = curate(tiny_experiment.keyphrase_stats("CAT_1"),
+                         tiny_experiment.config.curation)
+        universe = {text for leaf in curated.leaves.values()
+                    for text in leaf.texts}
+        for texts in tiny_experiment.predictions("CAT_1")["GraphEx"].values():
+            assert set(texts) <= universe
+
+    def test_judged_counts_consistent(self, tiny_experiment):
+        for judged in tiny_experiment.judged("CAT_1").values():
+            per_item_total = sum(len(t) for t in judged.per_item.values())
+            assert judged.total == per_item_total
+
+    def test_test_items_belong_to_meta(self, tiny_experiment):
+        leaf_ids = {leaf.leaf_id for leaf in
+                    tiny_experiment.dataset.catalog.tree.leaves_of("CAT_2")}
+        for item in tiny_experiment.test_items("CAT_2"):
+            assert item.leaf_id in leaf_ids
+
+    def test_caches_are_stable(self, tiny_experiment):
+        first = tiny_experiment.judged("CAT_3")
+        second = tiny_experiment.judged("CAT_3")
+        assert first is second
+
+    def test_re_is_its_own_ground_truth(self, tiny_experiment):
+        """Every RE prediction must appear in RE's ground-truth table."""
+        re_model = tiny_experiment.rules_engine("CAT_1")
+        for item in tiny_experiment.test_items("CAT_1"):
+            preds = re_model.recommend(item.item_id, item.title,
+                                       item.leaf_id, k=40)
+            truth = set(re_model.ground_truth(item.item_id))
+            assert {p.text for p in preds} <= truth
+
+    def test_train_and_test_windows_disjoint(self, tiny_experiment):
+        assert tiny_experiment.train_log.day_end \
+            < tiny_experiment.test_log.day_start
+
+
+class TestModelRefreshCycle:
+    """The daily-refresh loop: curate → construct → serve → re-curate."""
+
+    def test_two_day_cycle(self, tiny_dataset, tiny_log):
+        config = CurationConfig(min_search_count=3, min_keyphrases=50,
+                                floor_search_count=2)
+        curated_day1 = curate(tiny_log.keyphrase_stats(), config)
+        model_day1 = GraphExModel.construct(curated_day1)
+
+        store = KeyValueStore()
+        pipeline = BatchPipeline(model_day1, store=store)
+        requests = [(it.item_id, it.title, it.leaf_id)
+                    for it in tiny_dataset.catalog.items[:100]]
+        pipeline.full_load(requests)
+        served_before = pipeline.serve(requests[0][0])
+
+        # Day 2: fresh curation (same log here), differential refresh.
+        model_day2 = GraphExModel.construct(
+            curate(tiny_log.keyphrase_stats(), config))
+        pipeline.refresh_model(model_day2)
+        report = pipeline.daily_differential(requests[:10])
+        assert report.n_inferred == 10
+        assert pipeline.serve(requests[0][0]) == served_before
+
+    def test_save_load_in_serving_path(self, tmp_path, tiny_model,
+                                       tiny_dataset):
+        save_model(tiny_model, tmp_path / "daily")
+        loaded = load_model(tmp_path / "daily")
+        item = tiny_dataset.catalog.items[0]
+        original = tiny_model.recommend(item.title, item.leaf_id, k=10)
+        restored = loaded.recommend(item.title, item.leaf_id, k=10)
+        assert [r.text for r in original] == [r.text for r in restored]
+
+
+class TestBaselinesOnSimulatedData:
+    def test_baselines_train_on_simulated_clicks(self, tiny_experiment):
+        data = tiny_experiment.training_data("CAT_1")
+        assert data.click_pairs  # the simulation produced click truths
+        for cls in (RulesEngine, SLQuery, SLEmb, Graphite):
+            pass  # constructed in tiny_experiment.models already
+
+    def test_sl_models_cover_fewer_items_than_graphex(self, tiny_experiment):
+        """Rule-based models cannot serve cold items; GraphEx can."""
+        models = tiny_experiment.models("CAT_1")
+        item_ids = [it.item_id
+                    for it in tiny_experiment.test_items("CAT_1")]
+        graphex_cov = models["GraphEx"].coverage(item_ids)
+        re_cov = models["RE"].coverage(item_ids)
+        assert graphex_cov == 1.0
+        assert re_cov < 1.0
+
+    def test_judging_is_deterministic(self, tiny_experiment):
+        judge = OracleJudge(tiny_experiment.dataset.catalog)
+        item = tiny_experiment.test_items("CAT_1")[0]
+        phrase = "some test phrase"
+        assert judge.is_relevant(item.item_id, item.title, phrase) \
+            == judge.is_relevant(item.item_id, item.title, phrase)
+
+
+class TestMetricsIdentity:
+    def test_model_vs_itself_ratios_are_one(self, tiny_experiment):
+        from repro.eval.metrics import (relative_head_ratio,
+                                        relative_relevant_ratio)
+        judged = tiny_experiment.judged("CAT_1")["GraphEx"]
+        if judged.relevant:
+            assert relative_relevant_ratio(judged, judged) == 1.0
+        if judged.relevant_head:
+            assert relative_head_ratio(judged, judged) == 1.0
+
+    def test_head_classifier_uses_test_window(self, tiny_experiment):
+        head = tiny_experiment.head_classifier("CAT_1")
+        # The threshold comes from the test window, whose counts differ
+        # from the training window's.
+        assert head.threshold >= 0

@@ -1,0 +1,106 @@
+"""Tests for the keyBERT-style extractive baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import KeyBERTLike, Prediction, TrainingData
+
+
+def training_data():
+    items = [
+        (1, "audeze maxwell gaming headphones for xbox", 100),
+        (2, "klaro wireless headphones blue", 100),
+        (3, "nimbus gaming laptop 16gb ram", 101),
+        (4, "voltedge gaming laptop ssd fast shipping", 101),
+    ]
+    return TrainingData(items=items, click_pairs={}, query_leaf={})
+
+
+class TestCandidateGeneration:
+    def test_ngrams_are_contiguous_only(self):
+        model = KeyBERTLike(training_data(), ngram_range=(2, 2))
+        preds = model.recommend(1, "audeze maxwell gaming", 100, k=20)
+        texts = {p.text for p in preds}
+        assert texts <= {"audeze maxwell", "maxwell gaming"}
+        # "audeze gaming" is a valid permutation but NOT adjacent — the
+        # token-adjacency limitation the paper criticises.
+        assert "audeze gaming" not in texts
+
+    def test_ngram_range_respected(self):
+        model = KeyBERTLike(training_data(), ngram_range=(1, 3),
+                            diversity_penalty=0.0)
+        preds = model.recommend(1, "audeze maxwell gaming headphones",
+                                100, k=50)
+        lengths = {len(p.text.split()) for p in preds}
+        assert lengths <= {1, 2, 3}
+
+    def test_invalid_ngram_range_raises(self):
+        with pytest.raises(ValueError):
+            KeyBERTLike(training_data(), ngram_range=(3, 2))
+        with pytest.raises(ValueError):
+            KeyBERTLike(training_data(), ngram_range=(0, 2))
+
+    def test_invalid_diversity_raises(self):
+        with pytest.raises(ValueError):
+            KeyBERTLike(training_data(), diversity_penalty=1.0)
+
+    def test_empty_title(self):
+        model = KeyBERTLike(training_data())
+        assert model.recommend(1, "", 100) == []
+
+    def test_empty_training_data(self):
+        model = KeyBERTLike(
+            TrainingData(items=[], click_pairs={}, query_leaf={}))
+        assert model.recommend(1, "anything at all", 100) == []
+
+
+class TestRanking:
+    def test_k_respected(self):
+        model = KeyBERTLike(training_data(), diversity_penalty=0.0)
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones for xbox", 100, k=3)
+        assert len(preds) == 3
+
+    def test_scores_sorted_without_diversity(self):
+        model = KeyBERTLike(training_data(), diversity_penalty=0.0)
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones", 100, k=10)
+        scores = [p.score for p in preds]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_mmr_reduces_near_duplicates(self):
+        title = "gaming laptop gaming laptop ssd"
+        plain = KeyBERTLike(training_data(), diversity_penalty=0.0)
+        diverse = KeyBERTLike(training_data(), diversity_penalty=0.7)
+        plain_texts = [p.text
+                       for p in plain.recommend(1, title, 101, k=4)]
+        diverse_texts = [p.text
+                         for p in diverse.recommend(1, title, 101, k=4)]
+        assert len(set(diverse_texts)) == len(diverse_texts)
+        assert plain_texts[0] == diverse_texts[0]  # top pick unchanged
+
+
+class TestTargeting:
+    def test_unfiltered_candidates_can_be_untargetable(self):
+        """Vanilla n-gram extraction emits phrases no buyer searches —
+        Challenge I-A4."""
+        model = KeyBERTLike(training_data(), diversity_penalty=0.0)
+        universe = {"audeze maxwell", "gaming headphones"}
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones for xbox", 100, k=15)
+        rate = model.targeting_rate(preds, universe)
+        assert rate < 1.0
+
+    def test_known_queries_filter_guarantees_targeting(self):
+        universe = {"audeze maxwell", "gaming headphones"}
+        model = KeyBERTLike(training_data(), known_queries=universe,
+                            diversity_penalty=0.0)
+        preds = model.recommend(
+            1, "audeze maxwell gaming headphones for xbox", 100, k=15)
+        assert preds
+        assert model.targeting_rate(preds, universe) == 1.0
+
+    def test_targeting_rate_empty(self):
+        model = KeyBERTLike(training_data())
+        assert model.targeting_rate([], {"a"}) == 0.0

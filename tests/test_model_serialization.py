@@ -1,0 +1,181 @@
+"""Tests for GraphEx construction, persistence and batch inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_recommend, differential_update
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.model import GraphExModel, build_leaf_graph
+from repro.core.serialization import load_model, model_size_bytes, save_model
+from repro.core.tokenize import DEFAULT_TOKENIZER, STEMMING_TOKENIZER
+
+
+def curated_two_leaves() -> CuratedKeyphrases:
+    leaf_a = CuratedLeaf(leaf_id=10)
+    leaf_a.add("audeze maxwell", 500, 40)
+    leaf_a.add("gaming headphones", 900, 100)
+    leaf_b = CuratedLeaf(leaf_id=11)
+    leaf_b.add("mesh router", 250, 60)
+    return CuratedKeyphrases(
+        leaves={10: leaf_a, 11: leaf_b}, effective_threshold=1,
+        config=CurationConfig(min_search_count=1))
+
+
+class TestConstruction:
+    def test_label_lengths_are_unique_token_counts(self):
+        leaf = CuratedLeaf(leaf_id=1)
+        leaf.add("a b a", 1, 1)  # duplicate token inside the keyphrase
+        graph = build_leaf_graph(leaf, DEFAULT_TOKENIZER)
+        assert graph.label_lengths[0] == 2
+
+    def test_stemming_tokenizer_merges_variants(self):
+        leaf = CuratedLeaf(leaf_id=1)
+        leaf.add("headphones", 1, 1)
+        graph = build_leaf_graph(leaf, STEMMING_TOKENIZER)
+        assert "headphone" in graph.word_vocab
+
+    def test_construct_skips_empty_leaves(self):
+        curated = CuratedKeyphrases(
+            leaves={1: CuratedLeaf(leaf_id=1)}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        model = GraphExModel.construct(curated)
+        assert model.n_leaves == 0
+
+    def test_pooled_graph_merges_duplicates(self):
+        leaf_a = CuratedLeaf(leaf_id=1)
+        leaf_a.add("shared phrase", 100, 9)
+        leaf_b = CuratedLeaf(leaf_id=2)
+        leaf_b.add("shared phrase", 300, 4)
+        curated = CuratedKeyphrases(
+            leaves={1: leaf_a, 2: leaf_b}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        model = GraphExModel.construct(curated, build_pooled=True)
+        pooled = model.pooled_graph
+        assert pooled.n_labels == 1
+        # Max search count and min recall count win the merge.
+        assert pooled.search_counts[0] == 300
+        assert pooled.recall_counts[0] == 4
+
+    def test_construction_is_fast_even_for_thousands(self, tiny_curated):
+        import time
+        start = time.perf_counter()
+        GraphExModel.construct(tiny_curated)
+        assert time.perf_counter() - start < 5.0
+
+    def test_custom_alignment_name(self):
+        model = GraphExModel.construct(curated_two_leaves(), alignment="jac")
+        assert model.alignment_name == "jac"
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_recommendations(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves())
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m")
+        title = "audeze maxwell gaming headphones"
+        original = model.recommend(title, 10, k=5)
+        restored = loaded.recommend(title, 10, k=5)
+        assert [(r.text, r.score) for r in original] \
+            == [(r.text, r.score) for r in restored]
+
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves(),
+                                       build_pooled=True)
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m")
+        assert loaded.leaf_ids == model.leaf_ids
+        assert loaded.n_keyphrases == model.n_keyphrases
+        assert loaded.pooled_graph is not None
+
+    def test_roundtrip_preserves_alignment(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves(), alignment="wmr")
+        save_model(model, tmp_path / "m")
+        assert load_model(tmp_path / "m").alignment_name == "wmr"
+
+    def test_roundtrip_preserves_stemming_flag(self, tmp_path):
+        model = GraphExModel.construct(
+            curated_two_leaves(), tokenizer=STEMMING_TOKENIZER)
+        save_model(model, tmp_path / "m")
+        assert load_model(tmp_path / "m").tokenizer.stems
+
+    def test_model_size_bytes(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves())
+        save_model(model, tmp_path / "m")
+        assert model_size_bytes(tmp_path / "m") > 0
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "absent")
+
+    def test_unknown_format_version_raises(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves())
+        path = save_model(model, tmp_path / "m")
+        meta_file = path / "model.json"
+        meta_file.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_bigger_model_serializes_bigger(self, tmp_path, tiny_curated):
+        small = GraphExModel.construct(curated_two_leaves())
+        big = GraphExModel.construct(tiny_curated)
+        save_model(small, tmp_path / "small")
+        save_model(big, tmp_path / "big")
+        assert model_size_bytes(tmp_path / "big") \
+            > model_size_bytes(tmp_path / "small")
+
+
+class TestBatch:
+    def _requests(self):
+        return [
+            (1, "audeze maxwell gaming headphones", 10),
+            (2, "mesh router", 11),
+            (3, "unrelated thing entirely", 10),
+        ]
+
+    def test_batch_matches_single(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        results = batch_recommend(model, self._requests(), k=5)
+        for item_id, title, leaf_id in self._requests():
+            solo = model.recommend(title, leaf_id, k=5)
+            assert [r.text for r in results[item_id]] \
+                == [r.text for r in solo]
+
+    def test_batch_with_workers_matches_serial(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        requests = self._requests() * 10
+        serial = batch_recommend(model, requests, k=5, workers=1)
+        parallel = batch_recommend(model, requests, k=5, workers=4)
+        assert {k: [r.text for r in v] for k, v in serial.items()} \
+            == {k: [r.text for r in v] for k, v in parallel.items()}
+
+    def test_differential_merges(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        previous = batch_recommend(model, self._requests(), k=5)
+        changed = [(2, "audeze maxwell gaming headphones", 10)]
+        merged = differential_update(model, previous, changed)
+        assert [r.text for r in merged[2]] \
+            == [r.text for r in model.recommend(
+                "audeze maxwell gaming headphones", 10, k=10)][:len(merged[2])]
+        assert merged[1] == previous[1]
+
+    def test_differential_deletes(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        previous = batch_recommend(model, self._requests(), k=5)
+        merged = differential_update(model, previous, [],
+                                     deleted_item_ids=[1])
+        assert 1 not in merged
+        assert 2 in merged
+
+    def test_differential_does_not_mutate_previous(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        previous = batch_recommend(model, self._requests(), k=5)
+        before = dict(previous)
+        differential_update(model, previous, [], deleted_item_ids=[1])
+        assert previous == before
+
+    def test_hard_limit_respected(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        results = batch_recommend(model, self._requests(), k=5, hard_limit=1)
+        assert all(len(recs) <= 1 for recs in results.values())

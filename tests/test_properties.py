@@ -1,0 +1,185 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants that hold for *any* keyphrase universe, not
+just the fixtures: construction/inference consistency, ranking laws,
+serialization round-trips, and engine monotonicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.inference import enumerate_candidates, recommend_from_graph
+from repro.core.model import GraphExModel, build_leaf_graph
+from repro.core.serialization import load_model, save_model
+from repro.core.tokenize import DEFAULT_TOKENIZER
+from repro.data.catalog import Item
+from repro.search.engine import SearchEngine
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+words = st.sampled_from(
+    ["audeze", "klaro", "gaming", "wireless", "headphones", "xbox",
+     "blue", "studio", "laptop", "mesh", "router", "ram"])
+
+keyphrase_texts = st.lists(words, min_size=1, max_size=4, unique=True) \
+    .map(" ".join)
+
+keyphrase_sets = st.lists(
+    st.tuples(keyphrase_texts, st.integers(1, 1000), st.integers(0, 500)),
+    min_size=1, max_size=15, unique_by=lambda t: t[0])
+
+titles = st.lists(words, min_size=1, max_size=8).map(" ".join)
+
+
+def model_from(keyphrases) -> GraphExModel:
+    leaf = CuratedLeaf(leaf_id=1)
+    for text, search, recall in keyphrases:
+        leaf.add(text, search, recall)
+    return GraphExModel.construct(CuratedKeyphrases(
+        leaves={1: leaf}, effective_threshold=1,
+        config=CurationConfig(min_search_count=1)))
+
+
+# ---------------------------------------------------------------------------
+# GraphEx invariants
+# ---------------------------------------------------------------------------
+
+class TestGraphExInvariants:
+    @given(keyphrase_sets, titles, st.integers(1, 8))
+    def test_predictions_are_subset_of_labels(self, keyphrases, title, k):
+        model = model_from(keyphrases)
+        label_universe = {text for text, _s, _r in keyphrases}
+        for rec in model.recommend(title, 1, k=k):
+            assert rec.text in label_universe
+
+    @given(keyphrase_sets, titles, st.integers(1, 8))
+    def test_every_prediction_shares_a_token(self, keyphrases, title, k):
+        model = model_from(keyphrases)
+        title_tokens = set(DEFAULT_TOKENIZER(title))
+        for rec in model.recommend(title, 1, k=k):
+            assert set(rec.text.split()) & title_tokens
+            assert rec.common == len(set(rec.text.split()) & title_tokens)
+
+    @given(keyphrase_sets, titles, st.integers(1, 8))
+    def test_no_duplicate_predictions(self, keyphrases, title, k):
+        model = model_from(keyphrases)
+        texts = [rec.text for rec in model.recommend(title, 1, k=k)]
+        assert len(texts) == len(set(texts))
+
+    @given(keyphrase_sets, titles, st.integers(1, 8))
+    def test_scores_non_increasing(self, keyphrases, title, k):
+        model = model_from(keyphrases)
+        scores = [rec.score for rec in model.recommend(title, 1, k=k)]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(keyphrase_sets, titles)
+    def test_lta_score_formula(self, keyphrases, title):
+        model = model_from(keyphrases)
+        for rec in model.recommend(title, 1, k=10):
+            n_tokens = len(set(rec.text.split()))
+            expected = rec.common / (n_tokens - rec.common + 1)
+            assert abs(rec.score - expected) < 1e-12
+
+    @given(keyphrase_sets, titles)
+    def test_title_token_order_is_irrelevant(self, keyphrases, title):
+        """Permutation invariance — the core of the paper's formulation."""
+        model = model_from(keyphrases)
+        tokens = title.split()
+        shuffled = " ".join(reversed(tokens))
+        a = [(r.text, r.score) for r in model.recommend(title, 1, k=10)]
+        b = [(r.text, r.score) for r in model.recommend(shuffled, 1, k=10)]
+        assert a == b
+
+    @given(keyphrase_sets, titles, st.integers(1, 6))
+    def test_k_monotone_in_output_size(self, keyphrases, title, k):
+        model = model_from(keyphrases)
+        small = model.recommend(title, 1, k=k)
+        large = model.recommend(title, 1, k=k + 3)
+        assert len(large) >= len(small)
+
+    @given(keyphrase_sets, titles)
+    def test_enumeration_counts_match_bruteforce(self, keyphrases, title):
+        leaf = CuratedLeaf(leaf_id=1)
+        for text, search, recall in keyphrases:
+            leaf.add(text, search, recall)
+        graph = build_leaf_graph(leaf, DEFAULT_TOKENIZER)
+        tokens = DEFAULT_TOKENIZER(title)
+        labels, counts, _n = enumerate_candidates(graph, tokens)
+        title_set = set(tokens)
+        got = {graph.label_texts[l]: c for l, c in zip(labels, counts)}
+        expected = {}
+        for text, _s, _r in keyphrases:
+            overlap = len(set(text.split()) & title_set)
+            if overlap:
+                expected[text] = overlap
+        assert got == expected
+
+
+class TestSerializationProperties:
+    @settings(max_examples=10)
+    @given(keyphrase_sets, titles)
+    def test_roundtrip_identical_predictions(self, keyphrases, title):
+        import tempfile
+        from pathlib import Path
+
+        model = model_from(keyphrases)
+        with tempfile.TemporaryDirectory() as tmp:
+            save_model(model, Path(tmp) / "m")
+            loaded = load_model(Path(tmp) / "m")
+        a = [(r.text, r.score, r.search_count, r.recall_count)
+             for r in model.recommend(title, 1, k=10)]
+        b = [(r.text, r.score, r.search_count, r.recall_count)
+             for r in loaded.recommend(title, 1, k=10)]
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Search engine invariants
+# ---------------------------------------------------------------------------
+
+item_lists = st.lists(
+    st.tuples(st.integers(1, 50), titles), min_size=1, max_size=12,
+    unique_by=lambda t: t[0]
+).map(lambda pairs: [
+    Item(item_id=i, product_id=i, leaf_id=100, title=t)
+    for i, t in pairs
+])
+
+
+class TestEngineInvariants:
+    @given(item_lists, st.lists(words, min_size=1, max_size=3))
+    def test_recall_shrinks_as_query_grows(self, items, query):
+        """Strict AND semantics: adding a token never recalls more."""
+        engine = SearchEngine(items, seed=0)
+        shorter = engine.recall_count(query[:-1]) if len(query) > 1 \
+            else len(items)
+        longer = engine.recall_count(query)
+        assert longer <= shorter if len(query) > 1 else longer <= len(items)
+
+    @given(item_lists, st.lists(words, min_size=1, max_size=3))
+    def test_recalled_items_contain_all_tokens(self, items, query):
+        engine = SearchEngine(items, seed=0)
+        count = engine.recall_count(query)
+        brute = sum(
+            1 for item in items
+            if all(tok in item.title_tokens for tok in query))
+        assert count == brute
+
+    @given(item_lists, st.lists(words, min_size=1, max_size=3))
+    def test_search_scores_sorted(self, items, query):
+        engine = SearchEngine(items, seed=0)
+        results = engine.search(query)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    @given(item_lists, st.lists(words, min_size=1, max_size=3))
+    def test_search_results_unique(self, items, query):
+        engine = SearchEngine(items, seed=0)
+        ids = [r.item_id for r in engine.search(query)]
+        assert len(ids) == len(set(ids))

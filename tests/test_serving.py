@@ -1,0 +1,208 @@
+"""Tests for the serving layer: KV store, batch pipeline, NRT service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    BatchPipeline,
+    ItemEvent,
+    ItemEventKind,
+    KeyValueStore,
+    NRTService,
+)
+from tests.conftest import FIG3_LEAF_ID, build_fig3_curated
+from repro.core.model import GraphExModel
+
+
+@pytest.fixture()
+def model():
+    return GraphExModel.construct(build_fig3_curated())
+
+
+REQUESTS = [
+    (1, "audeze maxwell gaming headphones", FIG3_LEAF_ID),
+    (2, "bluetooth wireless headphones new", FIG3_LEAF_ID),
+    (3, "no tokens in common here", FIG3_LEAF_ID),
+]
+
+
+class TestKeyValueStore:
+    def test_reads_before_promotion_are_empty(self):
+        store = KeyValueStore()
+        version = store.create_version()
+        store.put(version, 1, "x")
+        assert store.get(1) is None
+
+    def test_promotion_makes_data_visible(self):
+        store = KeyValueStore()
+        version = store.create_version()
+        store.put(version, 1, "x")
+        store.promote(version)
+        assert store.get(1) == "x"
+
+    def test_promote_unknown_version_raises(self):
+        with pytest.raises(KeyError):
+            KeyValueStore().promote(77)
+
+    def test_serving_version_is_immutable(self):
+        store = KeyValueStore()
+        version = store.create_version()
+        store.promote(version)
+        with pytest.raises(ValueError):
+            store.put(version, 1, "x")
+        with pytest.raises(ValueError):
+            store.bulk_load(version, {1: "x"})
+        with pytest.raises(ValueError):
+            store.delete(version, 1)
+
+    def test_atomic_swap(self):
+        store = KeyValueStore()
+        v1 = store.create_version()
+        store.bulk_load(v1, {1: "old"})
+        store.promote(v1)
+        v2 = store.create_version()
+        store.bulk_load(v2, {1: "new"})
+        assert store.get(1) == "old"  # still serving v1
+        store.promote(v2)
+        assert store.get(1) == "new"
+
+    def test_copy_from_serving(self):
+        store = KeyValueStore()
+        v1 = store.create_version()
+        store.bulk_load(v1, {1: "a", 2: "b"})
+        store.promote(v1)
+        v2 = store.create_version()
+        store.copy_from_serving(v2)
+        store.delete(v2, 1)
+        store.promote(v2)
+        assert store.get(1) is None
+        assert store.get(2) == "b"
+
+    def test_size_and_keys(self):
+        store = KeyValueStore()
+        assert store.size() == 0
+        v = store.create_version()
+        store.bulk_load(v, {1: "a", 2: "b"})
+        store.promote(v)
+        assert store.size() == 2
+        assert sorted(store.keys()) == [1, 2]
+
+    def test_prune_keeps_serving(self):
+        store = KeyValueStore()
+        versions = [store.create_version() for _ in range(5)]
+        store.promote(versions[0])
+        store.prune(keep_latest=2)
+        assert versions[0] in store.versions
+        assert len(store.versions) <= 3
+
+
+class TestBatchPipeline:
+    def test_full_load_serves_everything(self, model):
+        pipeline = BatchPipeline(model)
+        report = pipeline.full_load(REQUESTS)
+        assert report.n_inferred == 3
+        assert pipeline.serve(1)
+        assert pipeline.serve(3) == []  # no candidates for item 3
+
+    def test_daily_differential_only_reinfers_changed(self, model):
+        pipeline = BatchPipeline(model)
+        pipeline.full_load(REQUESTS)
+        before = pipeline.serve(2)
+        report = pipeline.daily_differential(
+            [(1, "gaming headphones xbox", FIG3_LEAF_ID)])
+        assert report.n_inferred == 1
+        assert pipeline.serve(2) == before  # untouched item kept
+
+    def test_daily_differential_deletes(self, model):
+        pipeline = BatchPipeline(model)
+        pipeline.full_load(REQUESTS)
+        report = pipeline.daily_differential([], deleted_item_ids=[1])
+        assert report.n_deleted == 1
+        assert pipeline.serve(1) == []
+
+    def test_refresh_model_swaps(self, model):
+        pipeline = BatchPipeline(model)
+        pipeline.full_load(REQUESTS)
+        fresh = GraphExModel.construct(build_fig3_curated())
+        pipeline.refresh_model(fresh)
+        assert pipeline.model is fresh
+
+    def test_hard_limit_applied(self, model):
+        pipeline = BatchPipeline(model, hard_limit=1)
+        pipeline.full_load(REQUESTS)
+        assert len(pipeline.serve(1)) <= 1
+
+
+class TestNRTService:
+    def _service(self, model, **kwargs):
+        store = KeyValueStore()
+        return NRTService(model, store, **kwargs)
+
+    def _event(self, item_id, ts, kind=ItemEventKind.CREATED,
+               title="audeze maxwell gaming headphones"):
+        return ItemEvent(kind=kind, item_id=item_id, title=title,
+                         leaf_id=FIG3_LEAF_ID, timestamp=ts)
+
+    def test_window_closes_on_size(self, model):
+        service = self._service(model, window_size=2)
+        assert service.submit(self._event(1, 0.0)) is None
+        stats = service.submit(self._event(2, 0.1))
+        assert stats is not None
+        assert stats.n_events == 2
+        assert service.serve(1)
+
+    def test_window_closes_on_time(self, model):
+        service = self._service(model, window_size=100, window_seconds=1.0)
+        assert service.submit(self._event(1, 0.0)) is None
+        stats = service.submit(self._event(2, 5.0))
+        assert stats is not None and stats.n_events == 1
+        assert service.pending_events == 1  # the late event started a window
+
+    def test_flush_empty_is_none(self, model):
+        assert self._service(model).flush() is None
+
+    def test_last_event_per_item_wins(self, model):
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0, title="unmatchable tokens qqq"))
+        service.submit(self._event(
+            1, 0.1, kind=ItemEventKind.REVISED,
+            title="audeze maxwell gaming headphones"))
+        service.flush()
+        assert service.serve(1)  # revised title produced recommendations
+
+    def test_delete_event(self, model):
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0))
+        service.flush()
+        assert service.serve(1)
+        service.submit(self._event(1, 1.0, kind=ItemEventKind.DELETED))
+        stats = service.flush()
+        assert stats.n_deleted == 1
+        assert service.serve(1) == []
+
+    def test_enrichment_hook(self, model):
+        service = NRTService(
+            model, KeyValueStore(), window_size=1,
+            enrich=lambda e: e.title + " xbox")
+        service.submit(self._event(1, 0.0, title="gaming headphones"))
+        served = service.serve(1)
+        assert "gaming headphones xbox" in served
+
+    def test_processed_windows_recorded(self, model):
+        service = self._service(model, window_size=1)
+        service.submit(self._event(1, 0.0))
+        service.submit(self._event(2, 0.1))
+        assert len(service.processed_windows) == 2
+
+    def test_shares_store_with_batch(self, model):
+        """NRT writes land in the same store the batch pipeline serves —
+        the Figure 7 integration point."""
+        store = KeyValueStore()
+        pipeline = BatchPipeline(model, store=store)
+        pipeline.full_load(REQUESTS)
+        service = NRTService(model, store, window_size=1)
+        service.submit(self._event(
+            99, 0.0, title="gaming headphones xbox"))
+        assert pipeline.serve(99)
+        assert pipeline.serve(1)  # batch results still present
