@@ -5,7 +5,7 @@ Mirrors a production workflow in five subcommands::
     repro-graphex simulate  --out logs.json [--profile tiny|default]
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N]
     repro-graphex construct --curated curated.json --out model_dir/
-    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N]
+    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
@@ -21,6 +21,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .core.batch import ENGINES, batch_recommend
 from .core.curation import CurationConfig, curate
 from .core.model import GraphExModel
 from .core.serialization import load_model, save_model
@@ -108,7 +109,9 @@ def _cmd_construct(args: argparse.Namespace) -> int:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     model = load_model(args.model)
-    recs = model.recommend(args.title, args.leaf, k=args.k)
+    results = batch_recommend(model, [(0, args.title, args.leaf)],
+                              k=args.k, engine=args.engine)
+    recs = results[0]
     if not recs:
         print("(no recommendations)")
         return 0
@@ -183,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--title", required=True)
     p_rec.add_argument("--leaf", type=int, required=True)
     p_rec.add_argument("-k", type=int, default=10)
+    p_rec.add_argument("--engine", choices=ENGINES,
+                       default="fast",
+                       help="inference path: scalar reference loop or the "
+                            "vectorized leaf-batched engine (identical "
+                            "output)")
     p_rec.set_defaults(func=_cmd_recommend)
 
     p_eval = sub.add_parser("evaluate", help="run the model bake-off")

@@ -1,8 +1,9 @@
 """GraphEx core: curation, construction, inference, persistence."""
 
 from .alignment import ALIGNMENTS, get_alignment, jac, lta, wmr
-from .batch import batch_recommend, differential_update
+from .batch import ENGINES, batch_recommend, differential_update
 from .csr import CSRGraph
+from .fast_inference import LeafBatchRunner, fast_batch_recommend
 from .curation import (
     CuratedKeyphrases,
     CuratedLeaf,
@@ -34,9 +35,12 @@ __all__ = [
     "lta",
     "wmr",
     "jac",
+    "ENGINES",
     "batch_recommend",
     "differential_update",
     "CSRGraph",
+    "LeafBatchRunner",
+    "fast_batch_recommend",
     "CurationConfig",
     "CuratedKeyphrases",
     "CuratedLeaf",

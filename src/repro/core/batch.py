@@ -2,10 +2,23 @@
 
 Production GraphEx runs batch inference over all items plus a *daily
 differential* — only items created or revised since the last run are
-re-inferred and merged with the existing predictions.  Inference is
-embarrassingly parallel ("coarse-grained multithreading, assigning each
-input's inference to an individual thread"); here each worker handles a
-contiguous shard of items.
+re-inferred and merged with the existing predictions.
+
+Two engines serve a batch:
+
+* ``"fast"`` (default) — the vectorized leaf-batched engine
+  (:class:`repro.core.fast_inference.LeafBatchRunner`): requests are
+  grouped by leaf graph and the whole group runs through one fused
+  CSR gather + shifted bincount + segmented lexsort.  With
+  ``workers > 1`` whole *leaf groups* are sharded across threads.
+* ``"reference"`` — the scalar loop over
+  :meth:`~repro.core.model.GraphExModel.recommend`; the semantics
+  reference the equivalence suite checks against.  With ``workers > 1``
+  it shards contiguous request slices ("coarse-grained multithreading,
+  assigning each input's inference to an individual thread").
+
+Both produce element-wise identical output (text, score, tie-break
+order); ``tests/test_fast_inference.py`` pins that property.
 """
 
 from __future__ import annotations
@@ -22,24 +35,50 @@ InferenceRequest = Tuple[int, str, int]
 #: Batch output: item id → ranked recommendations.
 BatchResult = Dict[int, List[Recommendation]]
 
+#: Engine names accepted by the batch entry points (and the CLI flag).
+ENGINES = ("reference", "fast")
 
-def batch_recommend(model: GraphExModel,
-                    requests: Sequence[InferenceRequest],
-                    k: int = 10,
-                    hard_limit: Optional[int] = None,
-                    workers: int = 1) -> BatchResult:
-    """Run inference over a batch of items.
 
-    Args:
-        model: A constructed :class:`GraphExModel`.
-        requests: ``(item_id, title, leaf_id)`` triples.
-        k: Target predictions per item.
-        hard_limit: Optional strict cap per item.
-        workers: Worker threads; each handles a contiguous shard.
+def validate_engine(engine: str) -> None:
+    """Raise ValueError on an engine name outside :data:`ENGINES`.
 
-    Returns:
-        Mapping from item id to its ranked recommendations.
+    Serving-layer constructors call this up front so a bad name fails at
+    construction rather than mid-batch.
     """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def validate_hard_limit(hard_limit: Optional[int]) -> None:
+    """Raise ValueError on a negative per-item cap.
+
+    Python slice semantics would make the engines silently disagree on
+    negative values, so both reject them.
+    """
+    if hard_limit is not None and hard_limit < 0:
+        raise ValueError(f"hard_limit must be >= 0, got {hard_limit}")
+
+
+def validate_model_for_engine(model: GraphExModel, engine: str) -> None:
+    """Raise ValueError if ``model`` cannot serve through ``engine``.
+
+    Beyond the name check, the fast engine probes the model's alignment
+    function for element-wise vectorization at runner construction;
+    running that probe here lets serving-layer constructors fail early
+    instead of mid-batch.
+    """
+    validate_engine(engine)
+    if engine == "fast":
+        from .fast_inference import LeafBatchRunner
+        LeafBatchRunner(model)
+
+
+def _reference_batch(model: GraphExModel,
+                     requests: Sequence[InferenceRequest],
+                     k: int, hard_limit: Optional[int],
+                     workers: int) -> BatchResult:
+    """The scalar per-item loop, optionally sharded across threads."""
     if workers <= 1 or len(requests) < 2 * workers:
         return {
             item_id: model.recommend(title, leaf_id, k=k,
@@ -64,13 +103,50 @@ def batch_recommend(model: GraphExModel,
     return out
 
 
+def batch_recommend(model: GraphExModel,
+                    requests: Sequence[InferenceRequest],
+                    k: int = 10,
+                    hard_limit: Optional[int] = None,
+                    workers: int = 1,
+                    engine: str = "fast") -> BatchResult:
+    """Run inference over a batch of items.
+
+    Args:
+        model: A constructed :class:`GraphExModel`.
+        requests: ``(item_id, title, leaf_id)`` triples.
+        k: Target predictions per item.
+        hard_limit: Optional strict cap per item.
+        workers: Worker threads; the fast engine shards *leaf groups*,
+            the reference engine contiguous request slices.
+        engine: ``"fast"`` (vectorized leaf-batched) or ``"reference"``
+            (scalar loop).
+
+    Returns:
+        Mapping from item id to its ranked recommendations.
+
+    Raises:
+        ValueError: On an unknown engine name or a negative ``hard_limit``
+            (Python slice semantics would silently differ between engines).
+    """
+    validate_engine(engine)
+    validate_hard_limit(hard_limit)
+    if engine == "fast":
+        # Imported lazily: fast_inference imports this module's
+        # validators, so a top-level import here would be a cycle.
+        from .fast_inference import LeafBatchRunner
+        return LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                               workers=workers).run(requests)
+    return _reference_batch(model, requests, k, hard_limit, workers)
+
+
 def differential_update(model: GraphExModel,
                         previous: BatchResult,
                         changed: Sequence[InferenceRequest],
                         deleted_item_ids: Iterable[int] = (),
                         k: int = 10,
                         hard_limit: Optional[int] = None,
-                        workers: int = 1) -> BatchResult:
+                        workers: int = 1,
+                        engine: str = "fast") -> BatchResult:
     """Daily differential: re-infer changed items, merge with old results.
 
     Args:
@@ -81,6 +157,7 @@ def differential_update(model: GraphExModel,
         k: Target predictions per item.
         hard_limit: Optional strict cap per item.
         workers: Worker threads for the re-inference.
+        engine: Inference engine, as in :func:`batch_recommend`.
 
     Returns:
         The merged batch output (new dict; ``previous`` is not mutated).
@@ -89,6 +166,6 @@ def differential_update(model: GraphExModel,
     for item_id in deleted_item_ids:
         merged.pop(item_id, None)
     fresh = batch_recommend(model, changed, k=k, hard_limit=hard_limit,
-                            workers=workers)
+                            workers=workers, engine=engine)
     merged.update(fresh)
     return merged

@@ -17,8 +17,7 @@ id for full determinism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -28,9 +27,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .model import LeafGraph
 
 
-@dataclass(frozen=True)
-class Recommendation:
+class Recommendation(NamedTuple):
     """One recommended keyphrase with its ranking attributes.
+
+    A NamedTuple (not a frozen dataclass) because batch inference
+    materialises hundreds of thousands of these per run and tuple
+    construction is several times cheaper; it stays immutable with
+    field-wise equality.
 
     Attributes:
         text: The keyphrase string.
@@ -87,11 +90,16 @@ def prune_by_count_groups(labels: np.ndarray, counts: np.ndarray,
     """Keep the largest count-groups until at least ``k`` labels survive.
 
     The threshold group is kept whole even if that overshoots ``k``.
+    ``k <= 0`` requests no predictions and prunes *everything* — it used
+    to return every candidate, which inverted the caller's intent.
 
     Returns:
         Filtered ``(labels, counts)`` arrays.
     """
-    if len(labels) <= k or k <= 0:
+    if k <= 0:
+        empty = np.empty(0, dtype=labels.dtype)
+        return empty, np.empty(0, dtype=counts.dtype)
+    if len(labels) <= k:
         return labels, counts
     order = np.argsort(-counts, kind="stable")
     cutoff = counts[order[k - 1]]

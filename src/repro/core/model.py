@@ -176,6 +176,11 @@ class GraphExModel:
         return self._alignment_name
 
     @property
+    def alignment_fn(self) -> AlignmentFunction:
+        """The resolved alignment function (shared by both engines)."""
+        return self._alignment
+
+    @property
     def leaf_ids(self) -> List[int]:
         """Leaf categories with a constructed graph."""
         return sorted(self._leaf_graphs)

@@ -5,6 +5,10 @@
 created/revised and then merged with the old existing items."  The merged
 output lands in the KV store via an atomic version promotion, after which
 the seller-facing API serves the fresh predictions.
+
+Inference routes through :func:`repro.core.batch.batch_recommend`, which
+defaults to the vectorized leaf-batched engine; pass ``engine="reference"``
+to cross-check against the scalar path (identical output, slower).
 """
 
 from __future__ import annotations
@@ -12,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..core.batch import BatchResult, InferenceRequest, batch_recommend
+from ..core.batch import (BatchResult, InferenceRequest, batch_recommend,
+                          validate_hard_limit, validate_model_for_engine)
 from ..core.model import GraphExModel
 from .kvstore import KeyValueStore
 
@@ -36,23 +41,31 @@ class BatchPipeline:
         k: Target predictions per item.
         hard_limit: Strict per-item cap written to the store.
         workers: Inference worker threads.
+        engine: ``"fast"`` (vectorized leaf-batched runner, the default)
+            or ``"reference"`` (scalar per-item loop); both produce
+            identical output, so the fast path serves production loads
+            and the reference path remains for cross-checking.
     """
 
     def __init__(self, model: GraphExModel,
                  store: Optional[KeyValueStore] = None,
                  k: int = 20, hard_limit: int = 40,
-                 workers: int = 1) -> None:
+                 workers: int = 1, engine: str = "fast") -> None:
+        validate_model_for_engine(model, engine)
+        validate_hard_limit(hard_limit)
         self.model = model
         self.store: KeyValueStore = store if store is not None \
             else KeyValueStore()
         self._k = k
         self._hard_limit = hard_limit
         self._workers = workers
+        self._engine = engine
 
     def _infer(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         return batch_recommend(
             self.model, requests, k=self._k,
-            hard_limit=self._hard_limit, workers=self._workers)
+            hard_limit=self._hard_limit, workers=self._workers,
+            engine=self._engine)
 
     def full_load(self, requests: Sequence[InferenceRequest]
                   ) -> BatchRunReport:
@@ -96,4 +109,5 @@ class BatchPipeline:
     def refresh_model(self, model: GraphExModel) -> None:
         """Swap in a newly constructed model (the daily model refresh the
         paper's fast construction enables)."""
+        validate_model_for_engine(model, self._engine)
         self.model = model

@@ -80,3 +80,23 @@ class TestWorkflow:
         assert main(["recommend", "--model", str(workflow_dir / "model"),
                      "--title", "zzz qqq xxx", "--leaf", "100"]) == 0
         assert "no recommendations" in capsys.readouterr().out
+
+    def test_recommend_engines_print_identical_output(self, workflow_dir,
+                                                      capsys):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        leaf_id = int(next(iter(payload["leaves"])))
+        text = payload["leaves"][str(leaf_id)]["texts"][0]
+        outputs = {}
+        for engine in ("reference", "fast"):
+            assert main(["recommend", "--model",
+                         str(workflow_dir / "model"), "--title", text,
+                         "--leaf", str(leaf_id), "--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["fast"] == outputs["reference"]
+        assert text in outputs["fast"]
+
+    def test_recommend_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["recommend", "--model", "m", "--title", "t",
+                 "--leaf", "1", "--engine", "warp"])

@@ -1,0 +1,255 @@
+"""Equivalence suite: the vectorized engine vs the scalar reference.
+
+The fast path (:mod:`repro.core.fast_inference`) is only trustworthy if
+it is *element-wise identical* to :func:`recommend_from_graph` — same
+texts, same IEEE-754 scores, same tie-break order — on any model and any
+batch.  These tests pin that property with hypothesis-generated random
+catalogs, titles, leaves and ``k`` across all three alignments, plus
+directed regressions for the documented tie-break order and the edge
+cases (empty vocabulary, unknown leaf, pooled fallback, duplicates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import batch_recommend, differential_update
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.fast_inference import LeafBatchRunner, fast_batch_recommend
+from repro.core.inference import recommend_from_graph
+from repro.core.model import GraphExModel
+
+ALIGNMENTS = ["lta", "wmr", "jac"]
+
+#: Token universe: vocabulary words plus never-interned strangers.
+TOKENS = [f"w{i}" for i in range(18)]
+STRANGERS = ["zzz", "qqq", "unseen"]
+
+
+def make_model(leaf_phrases, alignment="lta", build_pooled=False):
+    """Construct a model from {leaf_id: [(text, search, recall), ...]}."""
+    leaves = {}
+    for leaf_id, phrases in leaf_phrases.items():
+        leaf = CuratedLeaf(leaf_id=leaf_id)
+        for text, search, recall in phrases:
+            leaf.add(text, search, recall)
+        leaves[leaf_id] = leaf
+    curated = CuratedKeyphrases(
+        leaves=leaves, effective_threshold=1,
+        config=CurationConfig(min_search_count=1))
+    return GraphExModel.construct(curated, alignment=alignment,
+                                  build_pooled=build_pooled)
+
+
+def reference_outputs(model, requests, k, hard_limit=None):
+    """The scalar semantics reference, item by item."""
+    out = {}
+    for item_id, title, leaf_id in requests:
+        graph = model.leaf_graph(leaf_id) or model.pooled_graph
+        if graph is None:
+            out[item_id] = []
+            continue
+        out[item_id] = recommend_from_graph(
+            graph, model.tokenizer(title), k=k,
+            alignment_fn=model.alignment_fn, hard_limit=hard_limit)
+    return out
+
+
+def assert_identical(fast, reference):
+    """Element-wise identity: text, score, counts and order all equal."""
+    assert fast.keys() == reference.keys()
+    for item_id in reference:
+        a, b = fast[item_id], reference[item_id]
+        assert len(a) == len(b), f"item {item_id}: {a} != {b}"
+        for got, want in zip(a, b):
+            assert got == want, f"item {item_id}: {got} != {want}"
+
+
+phrase = st.lists(st.sampled_from(TOKENS), min_size=1, max_size=4) \
+    .map(" ".join)
+phrases = st.lists(
+    st.tuples(phrase, st.integers(1, 60), st.integers(1, 60)),
+    min_size=0, max_size=16)
+leaf_worlds = st.dictionaries(st.integers(1, 4), phrases,
+                              min_size=1, max_size=4)
+title = st.lists(st.sampled_from(TOKENS + STRANGERS),
+                 min_size=0, max_size=9).map(" ".join)
+requests_strategy = st.lists(
+    st.tuples(st.integers(0, 30), title, st.integers(1, 6)),
+    min_size=0, max_size=25)
+
+
+class TestPropertyEquivalence:
+    @given(world=leaf_worlds, reqs=requests_strategy,
+           k=st.integers(0, 12), alignment=st.sampled_from(ALIGNMENTS),
+           build_pooled=st.booleans(),
+           hard_limit=st.one_of(st.none(), st.integers(1, 8)))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_matches_reference(self, world, reqs, k, alignment,
+                                    build_pooled, hard_limit):
+        """Any random catalog/batch: identical ranked output.
+
+        Leaf ids 5-6 in the requests never have a graph, so the pooled
+        fallback (when built) and the unknown-leaf empty case are both
+        exercised by the same sweep.
+        """
+        model = make_model(world, alignment=alignment,
+                           build_pooled=build_pooled)
+        fast = fast_batch_recommend(model, reqs, k=k,
+                                    hard_limit=hard_limit)
+        assert_identical(fast, reference_outputs(model, reqs, k,
+                                                 hard_limit))
+
+    @given(world=leaf_worlds, reqs=requests_strategy,
+           k=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_engines_agree_through_batch_recommend(self, world, reqs, k):
+        model = make_model(world, build_pooled=True)
+        assert_identical(
+            batch_recommend(model, reqs, k=k, engine="fast"),
+            batch_recommend(model, reqs, k=k, engine="reference"))
+
+    @given(world=leaf_worlds, reqs=requests_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_dense_and_sparse_enumeration_agree(self, world, reqs):
+        """dense_limit=0 forces the np.unique fallback path."""
+        model = make_model(world)
+        dense = LeafBatchRunner(model, k=5).run(reqs)
+        sparse = LeafBatchRunner(model, k=5, dense_limit=0).run(reqs)
+        assert_identical(sparse, dense)
+
+    @given(world=leaf_worlds, reqs=requests_strategy,
+           workers=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_leaf_group_sharding_agrees(self, world, reqs, workers):
+        model = make_model(world, build_pooled=True)
+        sharded = LeafBatchRunner(model, k=6, workers=workers).run(reqs)
+        assert_identical(sharded, reference_outputs(model, reqs, 6))
+
+
+class TestEdgeCases:
+    def test_empty_vocabulary_leaf(self):
+        """Keyphrases that tokenize to nothing leave the vocab empty."""
+        model = make_model({1: [("!!!", 5, 1), ("???", 4, 2)]})
+        fast = fast_batch_recommend(model, [(1, "w0 w1", 1)], k=5)
+        assert fast == {1: []}
+
+    def test_unknown_leaf_without_pooled_is_empty(self):
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        fast = fast_batch_recommend(model, [(7, "w0 w1", 999)], k=5)
+        assert fast == {7: []}
+
+    def test_unknown_leaf_falls_back_to_pooled(self):
+        model = make_model({1: [("w0 w1", 5, 1)]}, build_pooled=True)
+        fast = fast_batch_recommend(model, [(7, "w0 w1", 999)], k=5)
+        assert [r.text for r in fast[7]] == ["w0 w1"]
+        assert_identical(fast, reference_outputs(
+            model, [(7, "w0 w1", 999)], 5))
+
+    def test_empty_batch(self):
+        model = make_model({1: [("w0", 1, 1)]})
+        assert fast_batch_recommend(model, [], k=5) == {}
+
+    def test_duplicate_item_ids_last_request_wins(self):
+        """Parity with the scalar dict loop: later request overwrites."""
+        model = make_model({1: [("w0", 9, 1)], 2: [("w1", 9, 1)]})
+        reqs = [(5, "w0", 1), (5, "w1", 2)]
+        fast = fast_batch_recommend(model, reqs, k=5)
+        ref = batch_recommend(model, reqs, k=5, engine="reference")
+        assert [r.text for r in fast[5]] == ["w1"]
+        assert_identical(fast, ref)
+
+    def test_k_zero_yields_no_predictions(self):
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        fast = fast_batch_recommend(model, [(1, "w0 w1", 1)], k=0)
+        assert fast == {1: []}
+
+    def test_scalar_only_custom_alignment_rejected_by_fast_engine(self):
+        """A custom alignment that can't broadcast over an array title_len
+        worked on the scalar path; the fast engine must reject it up
+        front instead of crashing (or silently mis-scoring) mid-batch."""
+        scalar_only = lambda c, l, t: (np.asarray(c, dtype=np.float64)
+                                       / np.asarray(l, dtype=np.float64)
+                                       if t > 0 else np.zeros(len(c)))
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        custom = GraphExModel(
+            {1: model.leaf_graph(1)}, tokenizer=model.tokenizer,
+            alignment=scalar_only)
+        reqs = [(1, "w0", 1), (2, "w1", 1)]
+        assert batch_recommend(custom, reqs, k=5, engine="reference")
+        with pytest.raises(ValueError, match="not element-wise"):
+            batch_recommend(custom, reqs, k=5, engine="fast")
+
+    def test_vectorized_custom_alignment_accepted(self):
+        vectorized = lambda c, l, t: (np.asarray(c, dtype=np.float64)
+                                      / np.asarray(l, dtype=np.float64))
+        model = make_model({1: [("w0 w1", 5, 1), ("w0", 3, 2)]})
+        custom = GraphExModel(
+            {1: model.leaf_graph(1)}, tokenizer=model.tokenizer,
+            alignment=vectorized)
+        reqs = [(1, "w0 w1", 1), (2, "w0", 1)]
+        assert_identical(
+            batch_recommend(custom, reqs, k=5, engine="fast"),
+            batch_recommend(custom, reqs, k=5, engine="reference"))
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_negative_hard_limit_rejected(self, engine):
+        """Both engines refuse a negative cap (Python slice semantics
+        would otherwise silently diverge between them)."""
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        with pytest.raises(ValueError, match="hard_limit"):
+            batch_recommend(model, [(1, "w0", 1)], k=5, hard_limit=-1,
+                            engine=engine)
+        with pytest.raises(ValueError, match="hard_limit"):
+            LeafBatchRunner(model, k=5, hard_limit=-1)
+
+    def test_differential_update_routes_through_fast_engine(self):
+        model = make_model({1: [("w0 w1", 5, 1), ("w2", 3, 1)]})
+        previous = batch_recommend(model, [(1, "w2", 1)], k=5)
+        merged = differential_update(
+            model, previous, [(2, "w0 w1", 1)], deleted_item_ids=[1],
+            engine="fast")
+        assert 1 not in merged
+        assert [r.text for r in merged[2]] == ["w0 w1"]
+
+
+class TestTieBreakDeterminism:
+    """Satellite regression: the documented score → search → recall →
+    label-id order holds, for both engines, when upstream keys tie."""
+
+    def _tied_model(self):
+        # Title "w0" gives every label c=1 and |l|=2 → identical scores
+        # under all alignments; search counts also tie.
+        return make_model({1: [
+            ("w0 w1", 10, 7),   # label 0: recall 7
+            ("w0 w2", 10, 3),   # label 1: recall 3
+            ("w0 w3", 10, 3),   # label 2: recall 3, same recall → id
+        ]})
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_equal_score_equal_search_orders_by_recall_then_id(
+            self, engine):
+        model = self._tied_model()
+        recs = batch_recommend(model, [(1, "w0", 1)], k=10,
+                               engine=engine)[1]
+        assert [r.text for r in recs] == ["w0 w2", "w0 w3", "w0 w1"]
+        scores = {r.score for r in recs}
+        searches = {r.search_count for r in recs}
+        assert len(scores) == 1 and len(searches) == 1
+
+    @pytest.mark.parametrize("alignment", ALIGNMENTS)
+    def test_order_identical_across_engines_under_full_ties(
+            self, alignment):
+        model = make_model(
+            {1: [(f"w0 w{i}", 5, 5) for i in range(1, 7)]},
+            alignment=alignment)
+        reqs = [(1, "w0", 1)]
+        assert_identical(
+            batch_recommend(model, reqs, k=10, engine="fast"),
+            batch_recommend(model, reqs, k=10, engine="reference"))
+        # All keys tie → pure label-id (insertion) order.
+        recs = batch_recommend(model, reqs, k=10, engine="fast")[1]
+        assert [r.text for r in recs] == [f"w0 w{i}" for i in range(1, 7)]

@@ -80,11 +80,31 @@ class TestGroupPruning:
         # Cutoff value is 2; the whole count-2 group survives.
         assert list(kept_labels) == [0, 1, 2, 3, 4, 5]
 
-    def test_k_zero_keeps_everything(self):
+    def test_k_zero_keeps_nothing(self):
+        """Pinned contract: asking for zero predictions prunes everything
+        (it used to return *all* candidates, inverting the request)."""
         labels = np.arange(3)
         counts = np.array([1, 1, 1])
-        kept, _ = prune_by_count_groups(labels, counts, 0)
-        assert len(kept) == 3
+        kept, kept_counts = prune_by_count_groups(labels, counts, 0)
+        assert len(kept) == 0 and len(kept_counts) == 0
+
+    def test_negative_k_keeps_nothing(self):
+        labels = np.arange(3)
+        counts = np.array([3, 2, 1])
+        kept, _ = prune_by_count_groups(labels, counts, -2)
+        assert len(kept) == 0
+
+    def test_k_zero_recommendation_is_empty(self):
+        graph = make_graph([("a b", 5, 1), ("a c", 4, 2)])
+        assert recommend_from_graph(graph, ["a", "b"], k=0) == []
+
+    def test_overshoot_when_cutoff_spans_kth_position(self):
+        """Cutoff ties straddling position k keep the whole group."""
+        labels = np.arange(5)
+        counts = np.array([3, 2, 2, 2, 1])
+        kept, _ = prune_by_count_groups(labels, counts, 2)
+        # The k-th largest is 2; every count-2 label survives.
+        assert list(kept) == [0, 1, 2, 3]
 
     @given(st.lists(st.integers(1, 6), min_size=1, max_size=40),
            st.integers(1, 20))

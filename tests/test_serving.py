@@ -121,6 +121,10 @@ class TestBatchPipeline:
         assert report.n_deleted == 1
         assert pipeline.serve(1) == []
 
+    def test_unknown_engine_rejected_at_construction(self, model):
+        with pytest.raises(ValueError, match="unknown engine"):
+            BatchPipeline(model, engine="Fast")
+
     def test_refresh_model_swaps(self, model):
         pipeline = BatchPipeline(model)
         pipeline.full_load(REQUESTS)
@@ -161,6 +165,67 @@ class TestNRTService:
 
     def test_flush_empty_is_none(self, model):
         assert self._service(model).flush() is None
+
+    def test_unknown_engine_rejected_at_construction(self, model):
+        """A bad engine must fail before any window event is buffered —
+        failing mid-flush would drop the drained events."""
+        with pytest.raises(ValueError, match="unknown engine"):
+            self._service(model, engine="warp")
+
+    def test_negative_hard_limit_rejected_at_construction(self, model):
+        """Same invariant as the engine check: a bad cap failing inside
+        flush() would lose the drained window."""
+        with pytest.raises(ValueError, match="hard_limit"):
+            self._service(model, hard_limit=-1)
+
+    def test_unvectorized_alignment_rejected_at_construction(self, model):
+        """The fast engine's alignment probe must also run here, before
+        any window event could be drained and lost mid-flush."""
+        from repro.core.model import GraphExModel
+        scalar_only = lambda c, l, t: c / l if t > 0 else c * 0.0
+        bad = GraphExModel({lid: model.leaf_graph(lid)
+                            for lid in model.leaf_ids},
+                           alignment=scalar_only)
+        with pytest.raises(ValueError, match="not element-wise"):
+            self._service(bad)
+        # The reference engine still serves such models.
+        service = self._service(bad, engine="reference", window_size=1)
+        service.submit(self._event(1, 0.0))
+        assert service.serve(1)
+
+    def test_event_exactly_at_window_seconds_closes_window(self, model):
+        """The boundary is inclusive: an event arriving exactly
+        ``window_seconds`` after the window opened closes it."""
+        service = self._service(model, window_size=100, window_seconds=1.0)
+        assert service.submit(self._event(1, 0.0)) is None
+        stats = service.submit(self._event(2, 1.0))
+        assert stats is not None and stats.n_events == 1
+        assert service.pending_events == 1  # boundary event opens anew
+
+    def test_deleted_then_created_in_one_window_serves_item(self, model):
+        """Last event per item wins: DELETE then CREATE inside one window
+        must infer (not delete) the item."""
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0, kind=ItemEventKind.DELETED))
+        service.submit(self._event(1, 0.1, kind=ItemEventKind.CREATED))
+        stats = service.flush()
+        assert stats.n_deleted == 0 and stats.n_inferred == 1
+        assert service.serve(1)
+
+    def test_flush_idempotent_on_empty_buffer(self, model):
+        """Repeated flushes of an empty buffer are no-ops: no stats
+        recorded, no KV version churn."""
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0))
+        first = service.flush()
+        assert first is not None
+        served = service.serve(1)
+        versions_before = list(service._store.versions)
+        assert service.flush() is None
+        assert service.flush() is None
+        assert service.processed_windows == [first]
+        assert service._store.versions == versions_before
+        assert service.serve(1) == served
 
     def test_last_event_per_item_wins(self, model):
         service = self._service(model, window_size=10)
