@@ -35,6 +35,7 @@ from .core import (
     batch_recommend,
     curate,
     differential_update,
+    fast_curate,
     head_threshold,
     jac,
     load_model,
@@ -76,6 +77,7 @@ __all__ = [
     "batch_recommend",
     "curate",
     "differential_update",
+    "fast_curate",
     "head_threshold",
     "jac",
     "load_model",

@@ -3,8 +3,8 @@
 Mirrors a production workflow in five subcommands::
 
     repro-graphex simulate  --out logs.json [--profile tiny|default]
-    repro-graphex curate    --log logs.json --out curated.json [--min-search-count N]
-    repro-graphex construct --curated curated.json --out model_dir/
+    repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
+    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N]
     repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
@@ -19,11 +19,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from .core.batch import ENGINES, batch_recommend
-from .core.curation import CurationConfig, curate
-from .core.model import GraphExModel
+from .core.curation import CURATION_ENGINES, CurationConfig, curate
+from .core.model import BUILDERS, GraphExModel
 from .core.serialization import load_model, save_model
 from .data.generator import DEFAULT_PROFILE, TINY_PROFILE, generate_dataset
 from .search.logs import KeyphraseStat
@@ -63,7 +64,7 @@ def _cmd_curate(args: argparse.Namespace) -> int:
     curated = curate(stats, CurationConfig(
         min_search_count=args.min_search_count,
         min_keyphrases=args.min_keyphrases,
-        floor_search_count=args.floor))
+        floor_search_count=args.floor), engine=args.engine)
     payload = {
         "effective_threshold": curated.effective_threshold,
         "leaves": {
@@ -100,10 +101,17 @@ def _cmd_construct(args: argparse.Namespace) -> int:
         leaves=leaves,
         effective_threshold=payload["effective_threshold"],
         config=CurationConfig())
-    model = GraphExModel.construct(curated, alignment=args.alignment)
+    start = time.perf_counter()
+    model = GraphExModel.construct(curated, alignment=args.alignment,
+                                   builder=args.builder,
+                                   workers=args.workers)
+    elapsed = time.perf_counter() - start
     save_model(model, args.out)
+    rate = model.n_keyphrases / elapsed if elapsed > 0 else float("inf")
     print(f"constructed {model.n_leaves} leaf graphs / "
-          f"{model.n_keyphrases} labels -> {args.out}")
+          f"{model.n_keyphrases} labels in {elapsed:.3f}s "
+          f"({rate:,.0f} keyphrases/s, builder={args.builder}) "
+          f"-> {args.out}")
     return 0
 
 
@@ -172,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cur.add_argument("--min-search-count", type=int, default=4)
     p_cur.add_argument("--min-keyphrases", type=int, default=200)
     p_cur.add_argument("--floor", type=int, default=2)
+    p_cur.add_argument("--engine", choices=CURATION_ENGINES,
+                       default="fast",
+                       help="curation path: scalar reference loop or the "
+                            "vectorized mask passes (identical output)")
     p_cur.set_defaults(func=_cmd_curate)
 
     p_con = sub.add_parser("construct", help="construct the GraphEx model")
@@ -179,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_con.add_argument("--out", required=True)
     p_con.add_argument("--alignment", choices=["lta", "wmr", "jac"],
                        default="lta")
+    p_con.add_argument("--builder", choices=BUILDERS, default="fast",
+                       help="construction path: scalar reference loop or "
+                            "the bulk array-native engine (bit-identical "
+                            "model)")
+    p_con.add_argument("--workers", type=int, default=1,
+                       help="fast-builder worker threads; whole leaves "
+                            "are sharded")
     p_con.set_defaults(func=_cmd_construct)
 
     p_rec = sub.add_parser("recommend", help="serve one title")

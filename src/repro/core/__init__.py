@@ -3,12 +3,15 @@
 from .alignment import ALIGNMENTS, get_alignment, jac, lta, wmr
 from .batch import ENGINES, batch_recommend, differential_update
 from .csr import CSRGraph
+from .fast_construct import build_leaf_graph_fast, fast_construct_leaf_graphs
 from .fast_inference import LeafBatchRunner, fast_batch_recommend
 from .curation import (
+    CURATION_ENGINES,
     CuratedKeyphrases,
     CuratedLeaf,
     CurationConfig,
     curate,
+    fast_curate,
     head_threshold,
 )
 from .inference import (
@@ -18,12 +21,13 @@ from .inference import (
     rank_candidates,
     recommend_from_graph,
 )
-from .model import GraphExModel, LeafGraph, build_leaf_graph
+from .model import BUILDERS, GraphExModel, LeafGraph, build_leaf_graph
 from .serialization import load_model, model_size_bytes, save_model
 from .tokenize import (
     DEFAULT_TOKENIZER,
     STEMMING_TOKENIZER,
     SpaceTokenizer,
+    TokenCache,
     light_stem,
     normalize_token,
 )
@@ -41,10 +45,15 @@ __all__ = [
     "CSRGraph",
     "LeafBatchRunner",
     "fast_batch_recommend",
+    "BUILDERS",
+    "build_leaf_graph_fast",
+    "fast_construct_leaf_graphs",
+    "CURATION_ENGINES",
     "CurationConfig",
     "CuratedKeyphrases",
     "CuratedLeaf",
     "curate",
+    "fast_curate",
     "head_threshold",
     "Recommendation",
     "enumerate_candidates",
@@ -58,6 +67,7 @@ __all__ = [
     "load_model",
     "model_size_bytes",
     "SpaceTokenizer",
+    "TokenCache",
     "DEFAULT_TOKENIZER",
     "STEMMING_TOKENIZER",
     "light_stem",

@@ -24,11 +24,12 @@ class CSRGraph:
     """
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
-                 n_right: int) -> None:
+                 n_right: int, *, validate: bool = True) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int32)
         self._n_right = int(n_right)
-        self.validate()
+        if validate:
+            self.validate()
 
     @classmethod
     def from_edges(cls, edges: Iterable[Tuple[int, int]], n_left: int,
@@ -65,10 +66,38 @@ class CSRGraph:
         else:
             lefts = np.empty(0, dtype=np.int64)
             indices = np.empty(0, dtype=np.int32)
+        return cls.from_sorted_pairs(lefts, indices, n_left, n_right)
+
+    @classmethod
+    def from_sorted_pairs(cls, lefts: np.ndarray, indices: np.ndarray,
+                          n_left: int, n_right: int) -> "CSRGraph":
+        """CSR from edge arrays already sorted by (left, right) and free
+        of duplicates — the shared assembly tail of :meth:`from_edges`
+        and the bulk construction engine.
+
+        The caller asserts the precondition; the counts → cumsum indptr
+        derivation establishes the remaining invariants, so the
+        redundant ``validate()`` pass is skipped.
+        """
         counts = np.bincount(lefts, minlength=n_left)
         indptr = np.zeros(n_left + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(indptr, indices, n_right)
+        return cls(indptr, np.asarray(indices, dtype=np.int32), n_right,
+                   validate=False)
+
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray,
+                    n_right: int, *, validate: bool = True) -> "CSRGraph":
+        """Array-native fast path: wrap prebuilt CSR arrays directly.
+
+        Unlike :meth:`from_edges` nothing is sorted or de-duplicated —
+        the caller asserts ``indices`` is sorted within each adjacency
+        list and duplicate-free.  Trusted builders (the bulk
+        construction engine) pass ``validate=False`` to skip the
+        invariant check; deserialization keeps the default and validates
+        data read from disk.
+        """
+        return cls(indptr, indices, n_right, validate=validate)
 
     def validate(self) -> None:
         """Check structural invariants; raises ValueError on violation."""

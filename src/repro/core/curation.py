@@ -10,6 +10,19 @@ I-A1 / Table VII).
 The paper eases the threshold for small categories "due to a lack of
 enough keyphrases" (footnote 5); :class:`CurationConfig.min_keyphrases`
 reproduces that relaxation.
+
+Two interchangeable curation engines are provided, mirroring the
+two-engine inference split:
+
+* ``reference`` — :func:`curate`'s original scalar loop, which re-scans
+  every stat per CAT-3 threshold halving.  It is the semantics
+  reference.
+* ``fast`` — :func:`fast_curate`, which ingests the stats once into
+  structure-of-arrays form and applies the Search-Count threshold,
+  token-length filter and CAT-3 relaxation as boolean-mask passes, then
+  splits per leaf with one stable argsort.  Output is bit-identical
+  (same leaf insertion order, same per-leaf keyphrase order, same
+  effective threshold), pinned by ``tests/test_fast_construct.py``.
 """
 
 from __future__ import annotations
@@ -17,7 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..search.logs import KeyphraseStat
+
+#: Interchangeable curation paths (scalar reference vs vectorized bulk).
+CURATION_ENGINES = ("reference", "fast")
 
 
 @dataclass(frozen=True)
@@ -111,17 +129,28 @@ def _apply_threshold(stats: Sequence[KeyphraseStat], threshold: int,
 
 
 def curate(stats: Iterable[KeyphraseStat],
-           config: Optional[CurationConfig] = None) -> CuratedKeyphrases:
+           config: Optional[CurationConfig] = None,
+           engine: str = "fast") -> CuratedKeyphrases:
     """Curate keyphrases from aggregated search-log statistics.
 
     Args:
         stats: Per-(keyphrase, leaf) stats, e.g. from
             :meth:`repro.search.logs.SearchLog.keyphrase_stats`.
         config: Curation knobs; defaults to :class:`CurationConfig`.
+        engine: ``"fast"`` (default, matching the construct builder)
+            dispatches to the vectorized :func:`fast_curate`;
+            ``"reference"`` runs the scalar loop below, which is the
+            semantics reference the equivalence suite checks against.
+            Both are bit-identical.
 
     Returns:
         :class:`CuratedKeyphrases` with the effective threshold recorded.
     """
+    if engine == "fast":
+        return fast_curate(stats, config)
+    if engine != "reference":
+        raise ValueError(f"unknown curation engine {engine!r}; "
+                         f"expected one of {CURATION_ENGINES}")
     config = config or CurationConfig()
     stat_list = list(stats)
     threshold = config.min_search_count
@@ -141,19 +170,83 @@ def curate(stats: Iterable[KeyphraseStat],
         leaves=leaves, effective_threshold=threshold, config=config)
 
 
+def fast_curate(stats: Iterable[KeyphraseStat],
+                config: Optional[CurationConfig] = None
+                ) -> CuratedKeyphrases:
+    """Vectorized curation, bit-identical to :func:`curate`.
+
+    The stats are ingested once into structure-of-arrays form (texts,
+    leaf ids, search/recall counts, token counts).  The token-length
+    filter is threshold-independent, so it is computed once; each CAT-3
+    halving then costs one boolean-mask pass over the count array
+    instead of a full Python re-scan of every stat.  The surviving rows
+    are split per leaf with a single stable argsort, preserving both the
+    scalar path's leaf insertion order (first surviving occurrence) and
+    its per-leaf keyphrase order (stat order).
+    """
+    config = config or CurationConfig()
+    stat_list = list(stats)
+    n = len(stat_list)
+    texts = [stat.text for stat in stat_list]
+    leaf_ids = np.fromiter((stat.leaf_id for stat in stat_list),
+                           dtype=np.int64, count=n)
+    search = np.fromiter((stat.search_count for stat in stat_list),
+                         dtype=np.int64, count=n)
+    recall = np.fromiter((stat.recall_count for stat in stat_list),
+                         dtype=np.int64, count=n)
+    n_tokens = np.fromiter((len(text.split()) for text in texts),
+                           dtype=np.int64, count=n)
+    len_ok = ((n_tokens >= config.min_tokens)
+              & (n_tokens <= config.max_tokens))
+
+    threshold = config.min_search_count
+    mask = len_ok & (search >= threshold)
+    while (config.min_keyphrases
+           and int(mask.sum()) < config.min_keyphrases
+           and threshold > config.floor_search_count):
+        threshold = max(config.floor_search_count, threshold // 2)
+        mask = len_ok & (search >= threshold)
+
+    leaves: Dict[int, CuratedLeaf] = {}
+    survivors = np.flatnonzero(mask)
+    if len(survivors):
+        survivor_leaves = leaf_ids[survivors]
+        order = np.argsort(survivor_leaves, kind="stable")
+        grouped = survivors[order]
+        sorted_leaves = survivor_leaves[order]
+        unique_leaves, first_seen = np.unique(survivor_leaves,
+                                              return_index=True)
+        starts = np.searchsorted(sorted_leaves, unique_leaves)
+        ends = np.append(starts[1:], len(grouped))
+        spans = {int(leaf): (int(s), int(e))
+                 for leaf, s, e in zip(unique_leaves, starts, ends)}
+        # Leaf dict keys in first-surviving-occurrence order, matching
+        # the scalar setdefault loop (the pooled-graph merge iterates
+        # this dict, so key order affects downstream bit-identity).
+        for leaf in unique_leaves[np.argsort(first_seen, kind="stable")]:
+            leaf_id = int(leaf)
+            start, end = spans[leaf_id]
+            rows = grouped[start:end]
+            leaves[leaf_id] = CuratedLeaf(
+                leaf_id=leaf_id,
+                texts=[texts[i] for i in rows.tolist()],
+                search_counts=search[rows].tolist(),
+                recall_counts=recall[rows].tolist())
+    return CuratedKeyphrases(
+        leaves=leaves, effective_threshold=threshold, config=config)
+
+
 def head_threshold(stats: Iterable[KeyphraseStat],
                    percentile: float = 90.0) -> float:
     """Search-count value at the given percentile of unique keyphrases.
 
     The evaluation framework (Section IV-C) labels a relevant keyphrase
     *head* when its search count exceeds the 90th percentile for the
-    category, "ensuring 10% exceed this limit".
+    category, "ensuring 10% exceed this limit".  Computed with
+    ``np.percentile`` (introselect, O(n)) under the same
+    linear-interpolation semantics as the original sorted-rank formula.
     """
-    counts = sorted(stat.search_count for stat in stats)
+    counts = [stat.search_count for stat in stats]
     if not counts:
         return 0.0
-    rank = (percentile / 100.0) * (len(counts) - 1)
-    lower = int(rank)
-    upper = min(lower + 1, len(counts) - 1)
-    frac = rank - lower
-    return counts[lower] * (1.0 - frac) + counts[upper] * frac
+    return float(np.percentile(counts, percentile))

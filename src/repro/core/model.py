@@ -10,6 +10,18 @@ counts live in parallel arrays indexed by label id (O(1) lookup).
 One :class:`GraphExModel` covers a whole meta category — the leaf graphs
 are handled internally via a dict, so no per-leaf model management is
 needed (Section III-F).
+
+Two interchangeable builders construct the graphs, mirroring the
+two-engine inference split:
+
+* ``reference`` — :func:`build_leaf_graph`'s scalar loop (one
+  ``Vocabulary.add`` and edge tuple per token per label).  It is the
+  semantics reference the equivalence suite checks against.
+* ``fast`` (default) — the bulk engine in
+  :mod:`repro.core.fast_construct`: shared memoized tokenization, one
+  ``np.unique`` interning pass per leaf and array-native CSR assembly,
+  with optional whole-leaf thread sharding (``workers``).  The built
+  model is bit-identical.
 """
 
 from __future__ import annotations
@@ -25,6 +37,9 @@ from .curation import CuratedKeyphrases, CuratedLeaf
 from .inference import Recommendation, recommend_from_graph
 from .tokenize import DEFAULT_TOKENIZER, Tokenizer
 from .vocab import Vocabulary
+
+#: Interchangeable construction paths (scalar reference vs bulk engine).
+BUILDERS = ("reference", "fast")
 
 
 @dataclass
@@ -54,16 +69,19 @@ class LeafGraph:
         """Number of keyphrases on the right side."""
         return len(self.label_texts)
 
+    def numeric_memory_bytes(self) -> int:
+        """Exact bytes of the leaf's numeric arrays (CSR + label arrays)."""
+        return (self.graph.memory_bytes()
+                + self.label_lengths.nbytes
+                + self.search_counts.nbytes
+                + self.recall_counts.nbytes)
+
     def memory_bytes(self) -> int:
-        """Approximate in-memory footprint of the numeric structures plus
-        the label strings (used for Figure 6b model sizing)."""
-        numeric = (self.graph.memory_bytes()
-                   + self.label_lengths.nbytes
-                   + self.search_counts.nbytes
-                   + self.recall_counts.nbytes)
-        strings = sum(len(t) for t in self.label_texts)
-        words = sum(len(w) for w in self.word_vocab)
-        return numeric + strings + words
+        """Exact in-memory footprint of the numeric arrays plus the UTF-8
+        payload of the label and vocabulary strings (Figure 6b sizing)."""
+        strings = sum(len(t.encode("utf-8")) for t in self.label_texts)
+        words = sum(len(w.encode("utf-8")) for w in self.word_vocab)
+        return self.numeric_memory_bytes() + strings + words
 
 
 def build_leaf_graph(curated: CuratedLeaf,
@@ -142,7 +160,9 @@ class GraphExModel:
     def construct(cls, curated: CuratedKeyphrases,
                   tokenizer: Tokenizer = DEFAULT_TOKENIZER,
                   alignment: Union[str, AlignmentFunction] = "lta",
-                  build_pooled: bool = False) -> "GraphExModel":
+                  build_pooled: bool = False,
+                  builder: str = "fast",
+                  workers: int = 1) -> "GraphExModel":
         """Build the model from curated keyphrases (the "training" phase).
 
         Args:
@@ -152,16 +172,39 @@ class GraphExModel:
             alignment: Ranking alignment function; default LTA.
             build_pooled: Also build a single pooled graph over all leaves
                 for the per-leaf-vs-pooled ablation and leaf fallback.
+            builder: ``"fast"`` (default) uses the bulk construction
+                engine (:mod:`repro.core.fast_construct`): shared
+                memoized tokenization, one ``np.unique`` interning pass
+                per leaf, array-native CSR assembly.  ``"reference"``
+                keeps the scalar per-token loop; both yield bit-identical
+                models (pinned by ``tests/test_fast_construct.py``).
+            workers: Worker threads for the fast builder; whole leaves
+                are sharded largest-first.  Ignored by the reference
+                builder.
         """
-        leaf_graphs = {
-            leaf_id: build_leaf_graph(leaf, tokenizer)
-            for leaf_id, leaf in curated.leaves.items()
-            if len(leaf) > 0
-        }
-        pooled = None
-        if build_pooled and curated.leaves:
-            pooled = build_leaf_graph(
-                _pool_leaves(list(curated.leaves.values())), tokenizer)
+        if builder not in BUILDERS:
+            raise ValueError(f"unknown builder {builder!r}; "
+                             f"expected one of {BUILDERS}")
+        if builder == "fast":
+            from .fast_construct import (build_leaf_graph_fast,
+                                         fast_construct_leaf_graphs)
+
+            leaf_graphs, cache = fast_construct_leaf_graphs(
+                curated, tokenizer, workers=workers)
+            pooled = None
+            if build_pooled and curated.leaves:
+                pooled = build_leaf_graph_fast(
+                    _pool_leaves(list(curated.leaves.values())), cache)
+        else:
+            leaf_graphs = {
+                leaf_id: build_leaf_graph(leaf, tokenizer)
+                for leaf_id, leaf in curated.leaves.items()
+                if len(leaf) > 0
+            }
+            pooled = None
+            if build_pooled and curated.leaves:
+                pooled = build_leaf_graph(
+                    _pool_leaves(list(curated.leaves.values())), tokenizer)
         return cls(leaf_graphs, tokenizer=tokenizer, alignment=alignment,
                    pooled_graph=pooled)
 
@@ -235,8 +278,20 @@ class GraphExModel:
             hard_limit=hard_limit)
 
     def memory_bytes(self) -> int:
-        """Approximate model footprint (all leaf graphs; Figure 6b)."""
-        total = sum(g.memory_bytes() for g in self._leaf_graphs.values())
+        """Exact model footprint for Figure 6b.
+
+        Numeric arrays are summed per graph; string payloads are counted
+        once per *distinct* string across all graphs (UTF-8 bytes), since
+        label texts and vocabulary words shared between leaves and the
+        pooled graph are interned, not duplicated — the naive per-leaf
+        sum double-counts them.
+        """
+        graphs = list(self._leaf_graphs.values())
         if self._pooled is not None:
-            total += self._pooled.memory_bytes()
-        return total
+            graphs.append(self._pooled)
+        numeric = sum(g.numeric_memory_bytes() for g in graphs)
+        pool = set()
+        for g in graphs:
+            pool.update(g.label_texts)
+            pool.update(g.word_vocab)
+        return numeric + sum(len(s.encode("utf-8")) for s in pool)

@@ -2,20 +2,28 @@
 
 A :class:`~repro.core.model.GraphExModel` serializes to a directory:
 
-* ``arrays.npz`` — every leaf's CSR arrays, label lengths and Search /
-  Recall counts (compressed).
-* ``model.json`` — word vocabularies, label texts, alignment name and
-  leaf ids.
+* ``arrays.npz`` — every leaf's CSR arrays, label lengths, Search /
+  Recall counts, plus its word and label-text ids into the shared
+  string pool (compressed).
+* ``model.json`` — the shared string pool, alignment name, tokenizer
+  config and leaf ids.
 
-``model_size_bytes`` of the serialized form backs the Figure 6b model-size
-comparison.
+Format version 2 stores every distinct string (vocabulary word or label
+text) exactly once in a shared pool — marketplace vocabulary overlaps
+heavily across leaf graphs, and the pooled graph duplicates every leaf's
+strings wholesale, so pooling shrinks ``model.json`` substantially.
+Per-leaf membership is persisted as integer id arrays in the npz.
+Version 1 directories (per-leaf string lists) still load.
+
+``model_size_bytes`` of the serialized form backs the Figure 6b
+model-size comparison.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 import numpy as np
 
@@ -28,6 +36,7 @@ from .vocab import Vocabulary
 _ARRAYS_FILE = "arrays.npz"
 _META_FILE = "model.json"
 _POOLED_KEY = "pooled"
+_FORMAT_VERSION = 2
 
 
 def _leaf_key(leaf_id: int) -> str:
@@ -35,22 +44,33 @@ def _leaf_key(leaf_id: int) -> str:
 
 
 def _pack_leaf(prefix: str, leaf: LeafGraph,
-               arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+               arrays: Dict[str, np.ndarray],
+               pool: Vocabulary) -> Dict[str, object]:
     arrays[f"{prefix}/indptr"] = leaf.graph.indptr
     arrays[f"{prefix}/indices"] = leaf.graph.indices
     arrays[f"{prefix}/label_lengths"] = leaf.label_lengths
     arrays[f"{prefix}/search_counts"] = leaf.search_counts
     arrays[f"{prefix}/recall_counts"] = leaf.recall_counts
-    return {
-        "leaf_id": leaf.leaf_id,
-        "words": leaf.word_vocab.tokens,
-        "label_texts": leaf.label_texts,
-    }
+    # The shared pool is itself a Vocabulary: append-only string → id.
+    arrays[f"{prefix}/word_ids"] = np.fromiter(
+        map(pool.add, leaf.word_vocab.tokens), dtype=np.int64,
+        count=len(leaf.word_vocab))
+    arrays[f"{prefix}/label_ids"] = np.fromiter(
+        map(pool.add, leaf.label_texts), dtype=np.int64,
+        count=len(leaf.label_texts))
+    return {"leaf_id": leaf.leaf_id}
 
 
-def _unpack_leaf(meta: Dict[str, object],
-                 arrays: Dict[str, np.ndarray], prefix: str) -> LeafGraph:
-    label_texts = list(meta["label_texts"])
+def _unpack_leaf(meta: Dict[str, object], arrays: Dict[str, np.ndarray],
+                 prefix: str, string_pool: List[str]) -> LeafGraph:
+    if f"{prefix}/label_ids" in arrays:  # format 2: shared string pool
+        words = [string_pool[i]
+                 for i in arrays[f"{prefix}/word_ids"].tolist()]
+        label_texts = [string_pool[i]
+                       for i in arrays[f"{prefix}/label_ids"].tolist()]
+    else:  # format 1: per-leaf string lists in the JSON
+        words = list(meta["words"])
+        label_texts = list(meta["label_texts"])
     graph = CSRGraph(
         indptr=arrays[f"{prefix}/indptr"],
         indices=arrays[f"{prefix}/indices"],
@@ -58,7 +78,7 @@ def _unpack_leaf(meta: Dict[str, object],
     )
     return LeafGraph(
         leaf_id=int(meta["leaf_id"]),
-        word_vocab=Vocabulary(meta["words"]),
+        word_vocab=Vocabulary.from_interned(words),
         graph=graph,
         label_texts=label_texts,
         label_lengths=arrays[f"{prefix}/label_lengths"],
@@ -77,20 +97,22 @@ def save_model(model: GraphExModel, directory: Union[str, Path]) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     arrays: Dict[str, np.ndarray] = {}
     leaves_meta: Dict[str, Dict[str, object]] = {}
+    pool = Vocabulary()
     for leaf_id in model.leaf_ids:
         leaf = model.leaf_graph(leaf_id)
         key = _leaf_key(leaf_id)
-        leaves_meta[key] = _pack_leaf(key, leaf, arrays)
+        leaves_meta[key] = _pack_leaf(key, leaf, arrays, pool)
     if model.pooled_graph is not None:
         leaves_meta[_POOLED_KEY] = _pack_leaf(
-            _POOLED_KEY, model.pooled_graph, arrays)
+            _POOLED_KEY, model.pooled_graph, arrays, pool)
 
     tokenizer = model.tokenizer
     stems = bool(getattr(tokenizer, "stems", False))
     meta = {
-        "format_version": 1,
+        "format_version": _FORMAT_VERSION,
         "alignment": model.alignment_name,
         "tokenizer": {"type": "space", "stem": stems},
+        "string_pool": pool.tokens,
         "leaves": leaves_meta,
     }
     np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
@@ -102,6 +124,9 @@ def save_model(model: GraphExModel, directory: Union[str, Path]) -> Path:
 def load_model(directory: Union[str, Path]) -> GraphExModel:
     """Load a model previously written by :func:`save_model`.
 
+    Accepts format versions 1 (per-leaf string lists) and 2 (shared
+    string pool).
+
     Raises:
         FileNotFoundError: If the directory lacks the expected files.
         ValueError: On unknown format versions.
@@ -109,16 +134,17 @@ def load_model(directory: Union[str, Path]) -> GraphExModel:
     directory = Path(directory)
     with open(directory / _META_FILE, encoding="utf-8") as fh:
         meta = json.load(fh)
-    if meta.get("format_version") != 1:
+    if meta.get("format_version") not in (1, 2):
         raise ValueError(
             f"unsupported model format: {meta.get('format_version')!r}")
+    string_pool = list(meta.get("string_pool", ()))
     with np.load(directory / _ARRAYS_FILE) as npz:
         arrays = {key: npz[key] for key in npz.files}
 
     leaf_graphs: Dict[int, LeafGraph] = {}
     pooled = None
     for key, leaf_meta in meta["leaves"].items():
-        leaf = _unpack_leaf(leaf_meta, arrays, key)
+        leaf = _unpack_leaf(leaf_meta, arrays, key, string_pool)
         if key == _POOLED_KEY:
             pooled = leaf
         else:

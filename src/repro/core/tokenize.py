@@ -10,13 +10,13 @@ function used "to increase the reach of token matches" (Section IV-F1).
 from __future__ import annotations
 
 import re
-from typing import Callable, List, Sequence
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: A tokenizer maps a raw string to a list of tokens.
 Tokenizer = Callable[[str], List[str]]
 
 _PUNCT_EDGES = re.compile(r"^[^\w]+|[^\w]+$")
-_WS = re.compile(r"\s+")
 
 
 def normalize_token(token: str) -> str:
@@ -70,17 +70,145 @@ class SpaceTokenizer:
         """Whether this tokenizer applies stemming."""
         return self._stem
 
+    @property
+    def stopwords(self) -> frozenset:
+        """Tokens dropped entirely by this tokenizer."""
+        return self._stopwords
+
+    def process(self, raw: str) -> Optional[str]:
+        """Normalize/stem one whitespace-separated raw token.
+
+        Returns None when the token is dropped (empty after normalization
+        or a stopword).  ``__call__`` is exactly a split + ``process`` per
+        raw token; :class:`TokenCache` relies on that to memoize the
+        per-token pipeline without changing semantics.
+        """
+        token = normalize_token(raw)
+        if not token or token in self._stopwords:
+            return None
+        if self._stem:
+            token = light_stem(token)
+        return token
+
     def __call__(self, text: str) -> List[str]:
-        """Tokenize, normalize and optionally stem a string."""
-        out: List[str] = []
-        for raw in _WS.split(text.strip()):
-            token = normalize_token(raw)
-            if not token or token in self._stopwords:
-                continue
-            if self._stem:
-                token = light_stem(token)
-            out.append(token)
-        return out
+        """Tokenize, normalize and optionally stem a string.
+
+        ``str.split()`` and the historical ``\\s+`` regex split agree on
+        every Unicode codepoint (and the empty string's lone ``""``
+        chunk normalizes away), so this is the exact same token stream,
+        just without the regex engine.
+        """
+        return [token for token in map(self.process, text.split())
+                if token is not None]
+
+
+class TokenCache:
+    """Shared token pool with memoized per-text unique-token ids.
+
+    Model construction tokenizes every curated keyphrase of every leaf,
+    and marketplace vocabulary overlaps heavily across leaves — the same
+    keyphrase text (duplicated across leaf categories, and wholesale in
+    the pooled graph) and the same raw tokens recur constantly.  The
+    cache interns each distinct token string once into a shared
+    append-only pool and memoizes, per distinct text, the tuple of
+    pool ids of its unique tokens in first-occurrence order — exactly
+    ``dict.fromkeys(tokenizer(text))`` mapped through the pool.
+
+    For a plain :class:`SpaceTokenizer` the whole per-raw-token pipeline
+    collapses into one memo lookup (``raw token → pool id, or dropped``),
+    so repeated tokens skip the normalization regex *and* the
+    string-keyed interning dict entirely; any other callable falls back
+    to invoking it per distinct text.  Either way the produced token
+    streams are identical to calling the tokenizer directly.
+
+    Safe for concurrent use: pool misses take a lock, reads are
+    lock-free (the pool is append-only).
+    """
+
+    def __init__(self, tokenizer: Tokenizer) -> None:
+        self._tokenizer = tokenizer
+        self._tokens: List[str] = []
+        self._token_ids: Dict[str, int] = {}
+        self._text_ids: Dict[str, Tuple[int, ...]] = {}
+        self._lock = threading.Lock()
+        # Only replicate the token-wise pipeline for the exact class; a
+        # subclass may override __call__ with non-token-wise behavior.
+        self._raw_ids: Optional[Dict[str, int]] = (
+            {} if type(tokenizer) is SpaceTokenizer else None)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The underlying tokenizer whose semantics the cache mirrors."""
+        return self._tokenizer
+
+    @property
+    def token_wise(self) -> bool:
+        """Whether :meth:`resolve_raws` is available (plain
+        :class:`SpaceTokenizer`, whose pipeline is per raw token)."""
+        return self._raw_ids is not None
+
+    def token(self, token_id: int) -> str:
+        """Pool string for an id."""
+        return self._tokens[token_id]
+
+    def tokens_for(self, token_ids: Sequence[int]) -> List[str]:
+        """Pool strings for a sequence of ids."""
+        tokens = self._tokens
+        return [tokens[i] for i in token_ids]
+
+    def _intern(self, token: str) -> int:
+        token_id = self._token_ids.get(token)
+        if token_id is None:
+            with self._lock:
+                token_id = self._token_ids.get(token)
+                if token_id is None:
+                    token_id = len(self._tokens)
+                    self._tokens.append(token)
+                    self._token_ids[token] = token_id
+        return token_id
+
+    def resolve_raws(self, raws: Sequence[str]) -> List[int]:
+        """Pool ids for raw whitespace-separated tokens, in order.
+
+        Dropped tokens (empty after normalization, or stopwords) resolve
+        to ``-1``.  ``text.split()`` fed through this method is exactly
+        ``tokenizer(text)`` with drops marked instead of removed.  Only
+        available when :attr:`token_wise` is true.
+        """
+        raw_ids = self._raw_ids
+        # Warm the memo on the batch's *distinct* new raws first (one
+        # C-level set difference), so the per-occurrence mapping below
+        # is a pure C map() with no miss handling.
+        new = set(raws).difference(raw_ids)
+        if new:
+            process = self._tokenizer.process
+            for raw in new:
+                token = process(raw)
+                raw_ids[raw] = -1 if token is None else self._intern(token)
+        return list(map(raw_ids.__getitem__, raws))
+
+    def unique_ids(self, text: str) -> Tuple[int, ...]:
+        """Pool ids of the text's unique tokens, in first-occurrence order.
+
+        Deduplication happens on ids, which is equivalent to the scalar
+        ``dict.fromkeys(tokenizer(text))`` on strings: distinct raw
+        tokens that normalize to the same token share one pool id.
+        """
+        ids = self._text_ids.get(text)
+        if ids is not None:
+            return ids
+        if self._raw_ids is None:
+            ids = tuple(self._intern(token)
+                        for token in dict.fromkeys(self._tokenizer(text)))
+        else:
+            unique = dict.fromkeys(self.resolve_raws(text.split()))
+            unique.pop(-1, None)  # dropped tokens
+            ids = tuple(unique)
+        self._text_ids[text] = ids
+        return ids
 
 
 #: Default tokenizer: space-delimited, normalized, no stemming.

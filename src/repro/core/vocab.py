@@ -19,6 +19,24 @@ class Vocabulary:
         for token in tokens:
             self.add(token)
 
+    @classmethod
+    def from_interned(cls, tokens: Iterable[str]) -> "Vocabulary":
+        """Bulk constructor for an already-deduplicated token stream.
+
+        The bulk construction engine interns with one ``np.unique`` pass
+        and already knows its tokens are distinct and in id order, so
+        this skips the per-token existence check of :meth:`add`.
+
+        Raises:
+            ValueError: If ``tokens`` contains duplicates.
+        """
+        vocab = cls.__new__(cls)
+        vocab._tokens = list(tokens)
+        vocab._ids = {token: i for i, token in enumerate(vocab._tokens)}
+        if len(vocab._ids) != len(vocab._tokens):
+            raise ValueError("from_interned requires distinct tokens")
+        return vocab
+
     def add(self, token: str) -> int:
         """Intern a token, returning its id (existing or newly assigned)."""
         existing = self._ids.get(token)

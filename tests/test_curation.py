@@ -103,10 +103,43 @@ class TestRelaxation:
                        for s in leaf.search_counts)
 
 
+def _legacy_head_threshold(counts, percentile):
+    """The original sorted-rank linear interpolation, kept as the
+    semantics reference for the np.percentile implementation."""
+    counts = sorted(counts)
+    rank = (percentile / 100.0) * (len(counts) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(counts) - 1)
+    frac = rank - lower
+    return counts[lower] * (1.0 - frac) + counts[upper] * frac
+
+
 class TestHeadThreshold:
     def test_percentile_interpolation(self):
         stats = [stat(f"k{i}", search=i) for i in range(1, 12)]
         assert head_threshold(stats, percentile=50.0) == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("counts", [
+        [42],                       # singleton: the value itself
+        [3, 9, 1, 7, 5],            # odd length
+        [10, 2, 8, 4, 6, 12],       # even length
+        [5, 5, 5, 5],               # ties
+    ])
+    @pytest.mark.parametrize("percentile", [0.0, 25.0, 50.0, 90.0, 100.0])
+    def test_matches_legacy_linear_interpolation(self, counts, percentile):
+        """np.percentile must keep the exact rank = p/100 * (n-1)
+        linear-interpolation semantics of the sorted() implementation."""
+        stats = [stat(f"k{i}", search=c) for i, c in enumerate(counts)]
+        assert head_threshold(stats, percentile) == pytest.approx(
+            _legacy_head_threshold(counts, percentile), abs=1e-12)
+
+    def test_exact_on_integer_ranks(self):
+        """When the rank lands on an element, no interpolation happens
+        and the result is exactly that element for both formulas."""
+        stats = [stat(f"k{i}", search=i * 10) for i in range(5)]
+        assert head_threshold(stats, percentile=50.0) == 20.0
+        assert head_threshold(stats, percentile=0.0) == 0.0
+        assert head_threshold(stats, percentile=100.0) == 40.0
 
     def test_p90_leaves_roughly_ten_percent_above(self):
         stats = [stat(f"k{i}", search=i) for i in range(100)]

@@ -1,0 +1,280 @@
+"""Equivalence suite: the bulk construction engine vs the scalar path.
+
+The fast builder (:mod:`repro.core.fast_construct`) and the vectorized
+curation (:func:`repro.core.curation.fast_curate`) are only trustworthy
+if they are *bit-identical* to the scalar reference — same vocab id
+order, same CSR arrays, same label arrays, same leaf insertion order —
+on any input.  These tests pin that property with hypothesis-generated
+random stats, curation configs and tokenizers, plus directed
+regressions for the edge cases (empty-tokenizing texts, empty leaves,
+thread sharding, the shared token cache) and the
+:meth:`CSRGraph.from_arrays` fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import batch_recommend
+from repro.core.csr import CSRGraph
+from repro.core.curation import (CurationConfig, CuratedKeyphrases,
+                                 CuratedLeaf, curate, fast_curate)
+from repro.core.fast_construct import build_leaf_graph_fast
+from repro.core.model import GraphExModel, build_leaf_graph
+from repro.core.tokenize import (DEFAULT_TOKENIZER, STEMMING_TOKENIZER,
+                                 SpaceTokenizer, TokenCache)
+from repro.search.logs import KeyphraseStat
+
+#: Token universe: plain words plus normalization/stemming stressors.
+TOKENS = ([f"w{i}" for i in range(14)]
+          + ["Mixed-CASE!", "16gb", "..", "headphones", "wi-fi", "1:64"])
+
+TOKENIZERS = [DEFAULT_TOKENIZER, STEMMING_TOKENIZER,
+              SpaceTokenizer(drop_stopwords=("w0", "for"))]
+
+phrase = st.lists(st.sampled_from(TOKENS), min_size=1, max_size=5) \
+    .map(" ".join)
+stats_strategy = st.lists(
+    st.builds(KeyphraseStat,
+              text=phrase,
+              leaf_id=st.integers(1, 5),
+              search_count=st.integers(1, 60),
+              recall_count=st.integers(1, 60)),
+    min_size=0, max_size=60)
+config_strategy = st.builds(
+    CurationConfig,
+    min_search_count=st.integers(1, 50),
+    min_keyphrases=st.integers(0, 40),
+    floor_search_count=st.integers(1, 6),
+    max_tokens=st.integers(2, 6),
+    min_tokens=st.integers(1, 2))
+
+
+def assert_curations_identical(reference, fast):
+    """Leaf key order, per-leaf order, values and threshold all equal."""
+    assert fast.effective_threshold == reference.effective_threshold
+    assert list(fast.leaves) == list(reference.leaves)
+    for leaf_id, ref_leaf in reference.leaves.items():
+        fast_leaf = fast.leaves[leaf_id]
+        assert fast_leaf.leaf_id == ref_leaf.leaf_id
+        assert fast_leaf.texts == ref_leaf.texts
+        assert fast_leaf.search_counts == ref_leaf.search_counts
+        assert fast_leaf.recall_counts == ref_leaf.recall_counts
+
+
+def assert_leaf_graphs_identical(reference, fast):
+    """Bit-identity: vocab id order, CSR arrays, label arrays, dtypes."""
+    assert fast.leaf_id == reference.leaf_id
+    assert fast.word_vocab.tokens == reference.word_vocab.tokens
+    assert np.array_equal(fast.graph.indptr, reference.graph.indptr)
+    assert fast.graph.indptr.dtype == reference.graph.indptr.dtype
+    assert np.array_equal(fast.graph.indices, reference.graph.indices)
+    assert fast.graph.indices.dtype == reference.graph.indices.dtype
+    assert fast.graph.n_right == reference.graph.n_right
+    assert fast.label_texts == reference.label_texts
+    assert np.array_equal(fast.label_lengths, reference.label_lengths)
+    assert fast.label_lengths.dtype == reference.label_lengths.dtype
+    assert np.array_equal(fast.search_counts, reference.search_counts)
+    assert np.array_equal(fast.recall_counts, reference.recall_counts)
+
+
+def assert_models_identical(reference, fast):
+    assert fast.leaf_ids == reference.leaf_ids
+    for leaf_id in reference.leaf_ids:
+        assert_leaf_graphs_identical(reference.leaf_graph(leaf_id),
+                                     fast.leaf_graph(leaf_id))
+    assert (fast.pooled_graph is None) == (reference.pooled_graph is None)
+    if reference.pooled_graph is not None:
+        assert_leaf_graphs_identical(reference.pooled_graph,
+                                     fast.pooled_graph)
+
+
+class TestFastCuration:
+    @given(stats=stats_strategy, config=config_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_fast_curate_matches_reference(self, stats, config):
+        assert_curations_identical(
+            curate(stats, config, engine="reference"),
+            fast_curate(stats, config))
+
+    @given(stats=stats_strategy, config=config_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_engine_dispatch(self, stats, config):
+        assert_curations_identical(
+            curate(stats, config, engine="reference"),
+            curate(stats, config, engine="fast"))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            curate([], CurationConfig(), engine="turbo")
+
+    def test_empty_stats_still_relaxes_threshold(self):
+        """The scalar loop halves the threshold even with zero stats;
+        the fast path must record the same effective threshold."""
+        config = CurationConfig(min_search_count=40, min_keyphrases=10,
+                                floor_search_count=4)
+        assert_curations_identical(curate([], config, engine="reference"),
+                                   fast_curate([], config))
+        assert fast_curate([], config).effective_threshold == 4
+
+    def test_leaf_insertion_order_is_first_occurrence(self):
+        """Leaf 7 appears before leaf 2 in the stream, so it must come
+        first in the dict (the pooled merge iterates this order)."""
+        stats = [KeyphraseStat("a b", 7, 9, 1),
+                 KeyphraseStat("c d", 2, 9, 1),
+                 KeyphraseStat("e f", 7, 9, 1)]
+        fast = fast_curate(stats, CurationConfig(min_search_count=1))
+        assert list(fast.leaves) == [7, 2]
+        assert_curations_identical(
+            curate(stats, CurationConfig(min_search_count=1),
+                   engine="reference"), fast)
+
+
+class TestFastBuilder:
+    @given(stats=stats_strategy, config=config_strategy,
+           tokenizer_index=st.integers(0, len(TOKENIZERS) - 1),
+           build_pooled=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_models_bit_identical(self, stats, config, tokenizer_index,
+                                  build_pooled):
+        curated = curate(stats, config)
+        tokenizer = TOKENIZERS[tokenizer_index]
+        reference = GraphExModel.construct(
+            curated, tokenizer=tokenizer, build_pooled=build_pooled,
+            builder="reference")
+        fast = GraphExModel.construct(
+            curated, tokenizer=tokenizer, build_pooled=build_pooled,
+            builder="fast")
+        assert_models_identical(reference, fast)
+
+    @given(stats=stats_strategy, workers=st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_thread_sharded_build_bit_identical(self, stats, workers):
+        curated = curate(stats, CurationConfig(min_search_count=1))
+        reference = GraphExModel.construct(curated, build_pooled=True,
+                                           builder="reference")
+        fast = GraphExModel.construct(curated, build_pooled=True,
+                                      builder="fast", workers=workers)
+        assert_models_identical(reference, fast)
+
+    @given(stats=stats_strategy, config=config_strategy,
+           k=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_recommendations_element_wise_identical(self, stats, config,
+                                                    k):
+        """End to end: fast curation + fast builder serves the exact
+        ranked output of the all-scalar pipeline."""
+        reference = GraphExModel.construct(
+            curate(stats, config, engine="reference"),
+            build_pooled=True, builder="reference")
+        fast = GraphExModel.construct(
+            fast_curate(stats, config), build_pooled=True, builder="fast")
+        requests = [(i, stat.text, stat.leaf_id)
+                    for i, stat in enumerate(stats)]
+        ref_out = batch_recommend(reference, requests, k=k,
+                                  engine="reference")
+        fast_out = batch_recommend(fast, requests, k=k, engine="fast")
+        assert fast_out.keys() == ref_out.keys()
+        for item_id in ref_out:
+            assert fast_out[item_id] == ref_out[item_id]
+
+    def test_empty_tokenizing_texts(self):
+        """Keyphrases that tokenize to nothing: empty vocab, |l| = 1."""
+        leaf = CuratedLeaf(leaf_id=1, texts=["!!!", "???"],
+                           search_counts=[5, 4], recall_counts=[1, 2])
+        reference = build_leaf_graph(leaf, DEFAULT_TOKENIZER)
+        fast = build_leaf_graph_fast(leaf, TokenCache(DEFAULT_TOKENIZER))
+        assert_leaf_graphs_identical(reference, fast)
+        assert len(fast.word_vocab) == 0
+        assert fast.label_lengths.tolist() == [1, 1]
+
+    def test_small_leaf_over_huge_pool_uses_unique_fallback(self):
+        """A pool far larger than the leaf routes interning through the
+        np.unique fallback; output stays bit-identical."""
+        cache = TokenCache(DEFAULT_TOKENIZER)
+        cache.unique_ids(" ".join(f"filler{i}" for i in range(2000)))
+        leaf = CuratedLeaf(leaf_id=1, texts=["w1 w0 w1", "w2 w0"],
+                           search_counts=[5, 4], recall_counts=[1, 2])
+        fast = build_leaf_graph_fast(leaf, cache)
+        reference = build_leaf_graph(leaf, DEFAULT_TOKENIZER)
+        assert_leaf_graphs_identical(reference, fast)
+
+    def test_empty_leaves_skipped(self):
+        curated = CuratedKeyphrases(
+            leaves={1: CuratedLeaf(leaf_id=1)}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        model = GraphExModel.construct(curated, builder="fast")
+        assert model.n_leaves == 0
+
+    def test_unknown_builder_rejected(self):
+        curated = CuratedKeyphrases(
+            leaves={}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        with pytest.raises(ValueError, match="builder"):
+            GraphExModel.construct(curated, builder="turbo")
+
+    def test_duplicate_texts_across_leaves_share_cache(self):
+        """The shared pool interns each distinct text's token ids once."""
+        cache = TokenCache(DEFAULT_TOKENIZER)
+        leaf_a = CuratedLeaf(leaf_id=1, texts=["gaming headset pro"],
+                             search_counts=[3], recall_counts=[1])
+        leaf_b = CuratedLeaf(leaf_id=2, texts=["gaming headset pro"],
+                             search_counts=[9], recall_counts=[2])
+        graph_a = build_leaf_graph_fast(leaf_a, cache)
+        graph_b = build_leaf_graph_fast(leaf_b, cache)
+        assert len(cache) == 3  # pool grew once, not twice
+        assert graph_a.word_vocab.tokens == graph_b.word_vocab.tokens
+
+
+class TestTokenCache:
+    @given(text=st.lists(st.sampled_from(TOKENS + ["  ", "ZZZ..."]),
+                         min_size=0, max_size=8).map(" ".join),
+           tokenizer_index=st.integers(0, len(TOKENIZERS) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_unique_ids_match_direct_tokenization(self, text,
+                                                  tokenizer_index):
+        """The memoized per-raw-token path reproduces the tokenizer."""
+        tokenizer = TOKENIZERS[tokenizer_index]
+        cache = TokenCache(tokenizer)
+        expected = list(dict.fromkeys(tokenizer(text)))
+        assert cache.tokens_for(cache.unique_ids(text)) == expected
+        # Second call is served from the text memo, same ids.
+        assert cache.tokens_for(cache.unique_ids(text)) == expected
+
+    def test_non_space_tokenizer_falls_back_to_callable(self):
+        bigrams = lambda text: [text[i:i + 2]
+                                for i in range(0, len(text) - 1, 2)]
+        cache = TokenCache(bigrams)
+        assert cache.tokens_for(cache.unique_ids("abcd")) == ["ab", "cd"]
+
+
+class TestFromArrays:
+    def test_from_arrays_matches_from_edges(self):
+        edges = [(0, 1), (0, 0), (2, 1), (0, 1)]
+        via_edges = CSRGraph.from_edges(edges, n_left=3, n_right=2)
+        via_arrays = CSRGraph.from_arrays(via_edges.indptr.copy(),
+                                          via_edges.indices.copy(),
+                                          n_right=2)
+        assert np.array_equal(via_arrays.indptr, via_edges.indptr)
+        assert np.array_equal(via_arrays.indices, via_edges.indices)
+
+    def test_from_arrays_validates_by_default(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRGraph.from_arrays(np.array([0, 5]),
+                                 np.array([0], dtype=np.int32), n_right=2)
+
+    def test_from_arrays_can_skip_validation(self):
+        graph = CSRGraph.from_arrays(np.array([0, 5]),
+                                     np.array([0], dtype=np.int32),
+                                     n_right=2, validate=False)
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_from_edges_still_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph.from_edges([(0, 5)], n_left=1, n_right=2)
+        with pytest.raises(ValueError, match="negative"):
+            CSRGraph.from_edges([(-1, 0)], n_left=1, n_right=2)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -124,6 +126,106 @@ class TestSerialization:
         save_model(big, tmp_path / "big")
         assert model_size_bytes(tmp_path / "big") \
             > model_size_bytes(tmp_path / "small")
+
+
+class TestRoundtripFidelity:
+    """A saved+loaded model must serve element-wise identical
+    fast-engine batch output — text, score, counts and order — across
+    the pooled-graph and stemming-tokenizer configurations."""
+
+    def _requests(self):
+        return [
+            (1, "audeze maxwell gaming headphones", 10),
+            (2, "mesh router gaming", 11),
+            (3, "gaming headphones for routers", 999),  # pooled fallback
+            (4, "", 10),
+        ]
+
+    @pytest.mark.parametrize("tokenizer", [DEFAULT_TOKENIZER,
+                                           STEMMING_TOKENIZER])
+    @pytest.mark.parametrize("build_pooled", [False, True])
+    def test_fast_engine_output_identical_after_roundtrip(
+            self, tmp_path, tokenizer, build_pooled):
+        model = GraphExModel.construct(
+            curated_two_leaves(), tokenizer=tokenizer,
+            build_pooled=build_pooled, alignment="wmr")
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m")
+        original = batch_recommend(model, self._requests(), k=5,
+                                   engine="fast")
+        restored = batch_recommend(loaded, self._requests(), k=5,
+                                   engine="fast")
+        assert restored.keys() == original.keys()
+        for item_id in original:
+            assert restored[item_id] == original[item_id]
+
+    def test_roundtrip_preserves_arrays_and_vocab_order(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves(),
+                                       build_pooled=True)
+        save_model(model, tmp_path / "m")
+        loaded = load_model(tmp_path / "m")
+        for leaf_id in model.leaf_ids + [None]:
+            a = model.pooled_graph if leaf_id is None \
+                else model.leaf_graph(leaf_id)
+            b = loaded.pooled_graph if leaf_id is None \
+                else loaded.leaf_graph(leaf_id)
+            assert b.word_vocab.tokens == a.word_vocab.tokens
+            assert np.array_equal(b.graph.indptr, a.graph.indptr)
+            assert np.array_equal(b.graph.indices, a.graph.indices)
+            assert b.label_texts == a.label_texts
+            assert np.array_equal(b.label_lengths, a.label_lengths)
+            assert np.array_equal(b.search_counts, a.search_counts)
+            assert np.array_equal(b.recall_counts, a.recall_counts)
+
+    def test_string_pool_is_shared_and_deduplicated(self, tmp_path):
+        """Format 2: every distinct string appears once in the pool,
+        even when the pooled graph duplicates every leaf's strings."""
+        model = GraphExModel.construct(curated_two_leaves(),
+                                       build_pooled=True)
+        path = save_model(model, tmp_path / "m")
+        meta = json.loads((path / "model.json").read_text())
+        assert meta["format_version"] == 2
+        pool = meta["string_pool"]
+        assert len(pool) == len(set(pool))
+        expected = set()
+        for graph in [model.leaf_graph(i) for i in model.leaf_ids] \
+                + [model.pooled_graph]:
+            expected.update(graph.label_texts)
+            expected.update(graph.word_vocab.tokens)
+        assert set(pool) == expected
+
+    def test_format_version_1_still_loads(self, tmp_path):
+        """Backward compatibility: a v1 directory (per-leaf string
+        lists in the JSON, no id arrays) loads and serves identically."""
+        model = GraphExModel.construct(curated_two_leaves())
+        directory = tmp_path / "v1"
+        directory.mkdir()
+        arrays, leaves_meta = {}, {}
+        for leaf_id in model.leaf_ids:
+            leaf = model.leaf_graph(leaf_id)
+            key = str(leaf_id)
+            arrays[f"{key}/indptr"] = leaf.graph.indptr
+            arrays[f"{key}/indices"] = leaf.graph.indices
+            arrays[f"{key}/label_lengths"] = leaf.label_lengths
+            arrays[f"{key}/search_counts"] = leaf.search_counts
+            arrays[f"{key}/recall_counts"] = leaf.recall_counts
+            leaves_meta[key] = {
+                "leaf_id": leaf.leaf_id,
+                "words": leaf.word_vocab.tokens,
+                "label_texts": leaf.label_texts,
+            }
+        np.savez_compressed(directory / "arrays.npz", **arrays)
+        (directory / "model.json").write_text(json.dumps({
+            "format_version": 1,
+            "alignment": "lta",
+            "tokenizer": {"type": "space", "stem": False},
+            "leaves": leaves_meta,
+        }))
+        loaded = load_model(directory)
+        original = batch_recommend(model, self._requests(), k=5)
+        restored = batch_recommend(loaded, self._requests(), k=5)
+        for item_id in original:
+            assert restored[item_id] == original[item_id]
 
 
 class TestBatch:
