@@ -7,9 +7,19 @@ outputs are element-wise identical, and reports items/s plus the
 speedup.  The acceptance target for the engine is >= 3x on a >= 5k-item
 batch; CI runs a tiny smoke profile of the same script.
 
+With ``--parallel process`` a third column runs the fast engine's
+leaf-group shards in worker processes
+(:class:`repro.core.sharding.ProcessShardExecutor`) and the
+process-vs-thread speedup is reported — the measured (not asserted)
+Section IV-G scaling story.  The process column includes pool start-up
+and model shipping, so it is an honest end-to-end number; it needs
+multiple physical cores to win.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fast_engine.py            # full
+    PYTHONPATH=src python benchmarks/bench_fast_engine.py \
+        --parallel process --workers 4                # + process column
     PYTHONPATH=src python benchmarks/bench_fast_engine.py --items 800 --repeat 1
 
 Unlike the figure/table benches this is a standalone script (no
@@ -78,7 +88,7 @@ def build_world(n_leaves: int, phrases_per_leaf: int, n_items: int,
 
 
 def time_engine(model, requests, engine: str, k: int, hard_limit,
-                workers: int, repeat: int):
+                workers: int, repeat: int, parallel: str = "thread"):
     """Best-of-``repeat`` wall time and the (last) result dict."""
     best = float("inf")
     result = None
@@ -86,7 +96,7 @@ def time_engine(model, requests, engine: str, k: int, hard_limit,
         start = time.perf_counter()
         result = batch_recommend(model, requests, k=k,
                                  hard_limit=hard_limit, workers=workers,
-                                 engine=engine)
+                                 engine=engine, parallel=parallel)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -99,6 +109,15 @@ def main(argv=None) -> int:
     parser.add_argument("-k", type=int, default=20)
     parser.add_argument("--hard-limit", type=int, default=40)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--parallel", choices=["thread", "process"],
+                        default="thread",
+                        help="'process' adds a column running the fast "
+                             "engine's leaf-group shards in worker "
+                             "processes (identical output; reports the "
+                             "process-vs-thread speedup)")
+    parser.add_argument("--process-workers", type=int, default=0,
+                        help="worker processes for the process column "
+                             "(default: max(2, --workers))")
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--min-speedup", type=float, default=0.0,
@@ -126,8 +145,25 @@ def main(argv=None) -> int:
     speedup = ref_time / fast_time if fast_time else float("inf")
     rows = [
         ["reference", ref_time * 1e3, len(requests) / ref_time, 1.0],
-        ["fast", fast_time * 1e3, len(requests) / fast_time, speedup],
+        ["fast/thread", fast_time * 1e3, len(requests) / fast_time,
+         speedup],
     ]
+    if args.parallel == "process":
+        process_workers = args.process_workers or max(2, args.workers)
+        proc_time, proc_out = time_engine(
+            model, requests, "fast", args.k, args.hard_limit,
+            process_workers, args.repeat, parallel="process")
+        if proc_out != ref_out:
+            diff = [i for i in ref_out if ref_out[i] != proc_out[i]]
+            print(f"PROCESS-SHARD MISMATCH on {len(diff)} items, "
+                  f"e.g. {diff[:3]}")
+            return 1
+        rows.append([f"fast/process x{process_workers}", proc_time * 1e3,
+                     len(requests) / proc_time,
+                     ref_time / proc_time if proc_time else float("inf")])
+        print(f"process-pool speedup over thread path: "
+              f"{fast_time / proc_time:.2f}x "
+              f"({process_workers} workers; >1x needs multiple cores)")
     table = render_table(
         ["engine", "batch time (ms)", "items/s", "speedup"], rows,
         title=f"Fast engine bake-off — {len(requests)} items, "

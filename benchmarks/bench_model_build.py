@@ -23,9 +23,19 @@ Two dataset modes, like ``bench_fast_engine.py``'s synthetic world:
   stats from a simulated training window (same path as the CLI and the
   eval harness), sized by ``--profile``/``--events``.
 
+With ``--parallel process`` an extra row builds the model with
+whole-leaf shards in worker processes
+(:class:`repro.core.sharding.ProcessShardExecutor`, per-shard token
+caches merged afterwards), verifies it bit-identical too, and reports
+the process-vs-thread speedup — measured, not asserted; the column
+includes pool start-up and graph shipping and needs multiple physical
+cores to win.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_model_build.py           # full
+    PYTHONPATH=src python benchmarks/bench_model_build.py \
+        --parallel process --workers 4                # + process column
     PYTHONPATH=src python benchmarks/bench_model_build.py \
         --dataset simulated --profile tiny --events 6000 --repeat 1  # smoke
 
@@ -141,6 +151,15 @@ def main(argv=None) -> int:
     parser.add_argument("--min-search-count", type=int, default=2)
     parser.add_argument("--min-keyphrases", type=int, default=300)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--parallel", choices=["thread", "process"],
+                        default="thread",
+                        help="'process' adds a row building whole-leaf "
+                             "shards in worker processes (bit-identical "
+                             "model; reports the process-vs-thread "
+                             "speedup)")
+    parser.add_argument("--process-workers", type=int, default=0,
+                        help="worker processes for the process row "
+                             "(default: max(2, --workers))")
     parser.add_argument("--pooled", action="store_true",
                         help="also build the pooled all-leaves graph")
     parser.add_argument("--repeat", type=int, default=3)
@@ -190,6 +209,17 @@ def main(argv=None) -> int:
         args.repeat)
     assert_identical_models(model_ref, model_fast)
 
+    build_proc_time = None
+    process_workers = args.process_workers or max(2, args.workers)
+    if args.parallel == "process":
+        build_proc_time, model_proc = best_of(
+            lambda: GraphExModel.construct(curated_fast, builder="fast",
+                                           build_pooled=args.pooled,
+                                           workers=process_workers,
+                                           parallel="process"),
+            args.repeat)
+        assert_identical_models(model_ref, model_proc)
+
     # End-to-end spot check: the built models serve identical output.
     requests = [(i, stat.text, stat.leaf_id)
                 for i, stat in enumerate(stats[:500])]
@@ -218,6 +248,15 @@ def main(argv=None) -> int:
         ["pipeline/fast", total_fast * 1e3,
          n_keyphrases / total_fast, total_ref / total_fast],
     ]
+    if build_proc_time is not None:
+        rows.insert(4, [f"construct/process x{process_workers}",
+                        build_proc_time * 1e3,
+                        n_keyphrases / build_proc_time,
+                        build_ref_time / build_proc_time
+                        if build_proc_time else float("inf")])
+        print(f"process-pool speedup over thread path: "
+              f"{build_fast_time / build_proc_time:.2f}x "
+              f"({process_workers} workers; >1x needs multiple cores)")
     table = render_table(
         ["stage", "time (ms)", "keyphrases/s", "speedup"], rows,
         title=f"Model-build bake-off — {n_keyphrases} keyphrases, "

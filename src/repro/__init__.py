@@ -29,7 +29,9 @@ from .core import (
     CuratedKeyphrases,
     CurationConfig,
     GraphExModel,
+    ProcessShardExecutor,
     Recommendation,
+    ShardPlan,
     SpaceTokenizer,
     Vocabulary,
     batch_recommend,
@@ -71,7 +73,9 @@ __all__ = [
     "CuratedKeyphrases",
     "CurationConfig",
     "GraphExModel",
+    "ProcessShardExecutor",
     "Recommendation",
+    "ShardPlan",
     "SpaceTokenizer",
     "Vocabulary",
     "batch_recommend",

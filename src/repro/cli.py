@@ -4,8 +4,8 @@ Mirrors a production workflow in five subcommands::
 
     repro-graphex simulate  --out logs.json [--profile tiny|default]
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
-    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N]
-    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast]
+    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process]
+    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
@@ -25,6 +25,7 @@ from typing import List, Optional
 from .core.batch import ENGINES, batch_recommend
 from .core.curation import CURATION_ENGINES, CurationConfig, curate
 from .core.model import BUILDERS, GraphExModel
+from .core.sharding import PARALLEL_MODES
 from .core.serialization import load_model, save_model
 from .data.generator import DEFAULT_PROFILE, TINY_PROFILE, generate_dataset
 from .search.logs import KeyphraseStat
@@ -104,7 +105,8 @@ def _cmd_construct(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     model = GraphExModel.construct(curated, alignment=args.alignment,
                                    builder=args.builder,
-                                   workers=args.workers)
+                                   workers=args.workers,
+                                   parallel=args.parallel)
     elapsed = time.perf_counter() - start
     save_model(model, args.out)
     rate = model.n_keyphrases / elapsed if elapsed > 0 else float("inf")
@@ -118,7 +120,9 @@ def _cmd_construct(args: argparse.Namespace) -> int:
 def _cmd_recommend(args: argparse.Namespace) -> int:
     model = load_model(args.model)
     results = batch_recommend(model, [(0, args.title, args.leaf)],
-                              k=args.k, engine=args.engine)
+                              k=args.k, engine=args.engine,
+                              workers=args.workers,
+                              parallel=args.parallel)
     recs = results[0]
     if not recs:
         print("(no recommendations)")
@@ -196,8 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "the bulk array-native engine (bit-identical "
                             "model)")
     p_con.add_argument("--workers", type=int, default=1,
-                       help="fast-builder worker threads; whole leaves "
+                       help="fast-builder worker count; whole leaves "
                             "are sharded")
+    p_con.add_argument("--parallel", choices=PARALLEL_MODES,
+                       default="thread",
+                       help="where leaf shards run: 'thread' (default) "
+                            "keeps them in-process, 'process' builds "
+                            "them in worker processes with per-shard "
+                            "token caches merged afterwards "
+                            "(bit-identical model, GIL-free "
+                            "tokenization; fast builder only)")
     p_con.set_defaults(func=_cmd_construct)
 
     p_rec = sub.add_parser("recommend", help="serve one title")
@@ -210,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inference path: scalar reference loop or the "
                             "vectorized leaf-batched engine (identical "
                             "output)")
+    p_rec.add_argument("--workers", type=int, default=1,
+                       help="fast-engine worker count; whole leaf "
+                            "groups are sharded")
+    p_rec.add_argument("--parallel", choices=PARALLEL_MODES,
+                       default="thread",
+                       help="where leaf-group shards run: 'thread' "
+                            "(default) keeps them in-process, 'process' "
+                            "runs them in worker processes (identical "
+                            "output, GIL-free tokenization; fast engine "
+                            "only)")
     p_rec.set_defaults(func=_cmd_recommend)
 
     p_eval = sub.add_parser("evaluate", help="run the model bake-off")

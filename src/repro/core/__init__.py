@@ -23,6 +23,12 @@ from .inference import (
 )
 from .model import BUILDERS, GraphExModel, LeafGraph, build_leaf_graph
 from .serialization import load_model, model_size_bytes, save_model
+from .sharding import (
+    PARALLEL_MODES,
+    ProcessShardExecutor,
+    ShardPlan,
+    validate_parallel,
+)
 from .tokenize import (
     DEFAULT_TOKENIZER,
     STEMMING_TOKENIZER,
@@ -63,6 +69,10 @@ __all__ = [
     "GraphExModel",
     "LeafGraph",
     "build_leaf_graph",
+    "PARALLEL_MODES",
+    "ProcessShardExecutor",
+    "ShardPlan",
+    "validate_parallel",
     "save_model",
     "load_model",
     "model_size_bytes",

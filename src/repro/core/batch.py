@@ -19,6 +19,12 @@ Two engines serve a batch:
 
 Both produce element-wise identical output (text, score, tie-break
 order); ``tests/test_fast_inference.py`` pins that property.
+
+Orthogonally, ``parallel={"thread","process"}`` picks where the fast
+engine's leaf-group shards run: in-process threads (default) or worker
+processes via :class:`repro.core.sharding.ProcessShardExecutor`, which
+frees tokenization and orchestration from the GIL.  The reference
+engine stays single-process by design — it is the semantics oracle.
 """
 
 from __future__ import annotations
@@ -60,15 +66,21 @@ def validate_hard_limit(hard_limit: Optional[int]) -> None:
         raise ValueError(f"hard_limit must be >= 0, got {hard_limit}")
 
 
-def validate_model_for_engine(model: GraphExModel, engine: str) -> None:
+def validate_model_for_engine(model: GraphExModel, engine: str,
+                              parallel: str = "thread") -> None:
     """Raise ValueError if ``model`` cannot serve through ``engine``.
 
     Beyond the name check, the fast engine probes the model's alignment
     function for element-wise vectorization at runner construction;
     running that probe here lets serving-layer constructors fail early
-    instead of mid-batch.
+    instead of mid-batch.  The ``parallel`` mode is validated alongside
+    (``"process"`` pairs only with the fast engine).
     """
     validate_engine(engine)
+    # Imported lazily: sharding imports the fast engine, which imports
+    # this module's validators — a top-level import would be a cycle.
+    from .sharding import validate_parallel
+    validate_parallel(parallel, engine)
     if engine == "fast":
         from .fast_inference import LeafBatchRunner
         LeafBatchRunner(model)
@@ -108,7 +120,8 @@ def batch_recommend(model: GraphExModel,
                     k: int = 10,
                     hard_limit: Optional[int] = None,
                     workers: int = 1,
-                    engine: str = "fast") -> BatchResult:
+                    engine: str = "fast",
+                    parallel: str = "thread") -> BatchResult:
     """Run inference over a batch of items.
 
     Args:
@@ -116,23 +129,38 @@ def batch_recommend(model: GraphExModel,
         requests: ``(item_id, title, leaf_id)`` triples.
         k: Target predictions per item.
         hard_limit: Optional strict cap per item.
-        workers: Worker threads; the fast engine shards *leaf groups*,
+        workers: Worker count; the fast engine shards *leaf groups*,
             the reference engine contiguous request slices.
         engine: ``"fast"`` (vectorized leaf-batched) or ``"reference"``
             (scalar loop).
+        parallel: ``"thread"`` (default) shards within this process;
+            ``"process"`` runs the fast engine's leaf-group shards in
+            worker processes (GIL-free tokenization/orchestration; the
+            model must pickle, as the built-in tokenizers and
+            alignments do).  Output is element-wise identical either
+            way.
 
     Returns:
         Mapping from item id to its ranked recommendations.
 
     Raises:
-        ValueError: On an unknown engine name or a negative ``hard_limit``
-            (Python slice semantics would silently differ between engines).
+        ValueError: On an unknown engine or parallel mode, a negative
+            ``hard_limit`` (Python slice semantics would silently
+            differ between engines), or ``parallel="process"`` paired
+            with the reference engine (the scalar path stays
+            single-process as the semantics oracle).
     """
     validate_engine(engine)
     validate_hard_limit(hard_limit)
+    # Imported lazily: sharding imports the fast engine, which imports
+    # this module's validators, so a top-level import would be a cycle.
+    from .sharding import validate_parallel
+    validate_parallel(parallel, engine)
+    if parallel == "process":
+        from .sharding import ProcessShardExecutor
+        return ProcessShardExecutor(workers).run_inference(
+            model, requests, k=k, hard_limit=hard_limit)
     if engine == "fast":
-        # Imported lazily: fast_inference imports this module's
-        # validators, so a top-level import here would be a cycle.
         from .fast_inference import LeafBatchRunner
         return LeafBatchRunner(model, k=k, hard_limit=hard_limit,
                                workers=workers).run(requests)
@@ -146,8 +174,17 @@ def differential_update(model: GraphExModel,
                         k: int = 10,
                         hard_limit: Optional[int] = None,
                         workers: int = 1,
-                        engine: str = "fast") -> BatchResult:
+                        engine: str = "fast",
+                        parallel: str = "thread") -> BatchResult:
     """Daily differential: re-infer changed items, merge with old results.
+
+    An item appearing in **both** ``deleted_item_ids`` and ``changed``
+    ends up *served*: deletions apply to yesterday's table first, then
+    the fresh inferences merge on top, so a same-day delete+revise
+    resolves to the revision.  This mirrors the NRT window's
+    last-event-per-item-wins rule (a revision event is by definition
+    newer evidence that the item exists) and is pinned by the serving
+    test suite.
 
     Args:
         model: Current (possibly refreshed) model.
@@ -156,8 +193,9 @@ def differential_update(model: GraphExModel,
         deleted_item_ids: Items to drop from the output.
         k: Target predictions per item.
         hard_limit: Optional strict cap per item.
-        workers: Worker threads for the re-inference.
+        workers: Worker count for the re-inference.
         engine: Inference engine, as in :func:`batch_recommend`.
+        parallel: Shard execution mode, as in :func:`batch_recommend`.
 
     Returns:
         The merged batch output (new dict; ``previous`` is not mutated).
@@ -166,6 +204,7 @@ def differential_update(model: GraphExModel,
     for item_id in deleted_item_ids:
         merged.pop(item_id, None)
     fresh = batch_recommend(model, changed, k=k, hard_limit=hard_limit,
-                            workers=workers, engine=engine)
+                            workers=workers, engine=engine,
+                            parallel=parallel)
     merged.update(fresh)
     return merged

@@ -258,6 +258,23 @@ class LeafBatchRunner:
             duplicate-item-id semantics as the scalar loop (the last
             request for an id wins).
         """
+        results = self.run_indexed(requests)
+        out: Dict[int, List[Recommendation]] = {}
+        for index, (item_id, _title, _leaf_id) in enumerate(requests):
+            out[item_id] = results[index]
+        return out
+
+    def run_indexed(self, requests: Sequence[InferenceRequest]
+                    ) -> List[List[Recommendation]]:
+        """Infer a batch, returning per-request results in input order.
+
+        Unlike :meth:`run`, duplicate item ids are *not* collapsed —
+        the i-th output belongs to ``requests[i]``.  This is the unit a
+        process-shard worker returns: the parent scatters shard outputs
+        back by request index, which preserves the scalar loop's
+        last-request-wins semantics even when duplicates of one item id
+        land in different shards.
+        """
         model = self._model
         results: List[Optional[List[Recommendation]]] = \
             [None] * len(requests)
@@ -288,11 +305,7 @@ class LeafBatchRunner:
         else:
             with ThreadPoolExecutor(max_workers=self._workers) as pool:
                 list(pool.map(run_group, group_list))
-
-        out: Dict[int, List[Recommendation]] = {}
-        for index, (item_id, _title, _leaf_id) in enumerate(requests):
-            out[item_id] = results[index]
-        return out
+        return results
 
     def _run_group(self, graph: "LeafGraph",
                    titles: Sequence[Sequence[str]]

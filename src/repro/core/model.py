@@ -162,7 +162,8 @@ class GraphExModel:
                   alignment: Union[str, AlignmentFunction] = "lta",
                   build_pooled: bool = False,
                   builder: str = "fast",
-                  workers: int = 1) -> "GraphExModel":
+                  workers: int = 1,
+                  parallel: str = "thread") -> "GraphExModel":
         """Build the model from curated keyphrases (the "training" phase).
 
         Args:
@@ -178,19 +179,40 @@ class GraphExModel:
                 per leaf, array-native CSR assembly.  ``"reference"``
                 keeps the scalar per-token loop; both yield bit-identical
                 models (pinned by ``tests/test_fast_construct.py``).
-            workers: Worker threads for the fast builder; whole leaves
-                are sharded largest-first.  Ignored by the reference
-                builder.
+            workers: Worker count for the fast builder; whole leaves
+                are sharded (largest-first for threads, cost-balanced
+                via :class:`~repro.core.sharding.ShardPlan` for
+                processes).  Ignored by the reference builder.
+            parallel: ``"thread"`` (default) shards leaves across
+                threads; ``"process"`` builds shard leaves in worker
+                processes with per-shard token caches merged afterwards
+                (GIL-free tokenization; the tokenizer must pickle).
+                The built model is bit-identical either way.
+
+        Raises:
+            ValueError: On an unknown builder or parallel mode, or
+                ``parallel="process"`` with the reference builder (the
+                scalar path stays single-process as the semantics
+                oracle).
         """
         if builder not in BUILDERS:
             raise ValueError(f"unknown builder {builder!r}; "
                              f"expected one of {BUILDERS}")
+        # Imported lazily: sharding reaches this module through the
+        # engines it wraps, so a top-level import would be a cycle.
+        from .sharding import validate_parallel
+        validate_parallel(parallel, builder)
         if builder == "fast":
             from .fast_construct import (build_leaf_graph_fast,
                                          fast_construct_leaf_graphs)
 
-            leaf_graphs, cache = fast_construct_leaf_graphs(
-                curated, tokenizer, workers=workers)
+            if parallel == "process":
+                from .sharding import ProcessShardExecutor
+                leaf_graphs, cache = ProcessShardExecutor(
+                    workers).run_construction(curated, tokenizer)
+            else:
+                leaf_graphs, cache = fast_construct_leaf_graphs(
+                    curated, tokenizer, workers=workers)
             pooled = None
             if build_pooled and curated.leaves:
                 pooled = build_leaf_graph_fast(

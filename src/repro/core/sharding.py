@@ -1,0 +1,388 @@
+"""Process-parallel shard execution (Sections IV-G/IV-H at scale).
+
+The fast engines already shard work across *threads* — leaf groups for
+inference (``LeafBatchRunner(workers=...)``), whole leaves for
+construction (``construct(workers=...)``) — but tokenization and the
+Python orchestration around the vectorized kernels hold the GIL, so
+thread shards cannot exceed one core.  This module lifts the same shard
+units into worker *processes*:
+
+* :class:`ShardPlan` deterministically partitions cost-weighted work
+  units (leaf groups keyed by leaf id) across shards with a
+  longest-processing-time greedy pass.  A plan is JSON-serializable —
+  exactly the unit a multi-machine runner would ship to remote workers,
+  per the ROADMAP's partitioning goal.
+* :class:`ProcessShardExecutor` runs planned shards in worker
+  processes: inference shards through a per-worker
+  :class:`~repro.core.fast_inference.LeafBatchRunner` (the model is
+  shipped once per worker via the pool initializer), construction
+  shards through
+  :func:`~repro.core.fast_construct.build_leaf_graph_fast` with a
+  *per-shard* :class:`~repro.core.tokenize.TokenCache` whose pool is
+  merged into the parent cache afterwards with a stable id-remap
+  (:meth:`~repro.core.tokenize.TokenCache.absorb_state`).
+
+Both process paths are element-wise/bit-identical to the single-process
+fast paths: a request's inference output does not depend on batch
+composition, and a leaf's built graph does not depend on shared-pool id
+assignment order — both contracts are pinned by the equivalence suites
+(``tests/test_fast_inference.py``, ``tests/test_fast_construct.py``),
+which extend to the process shards.  ``parallel="thread"`` remains the
+default everywhere; the scalar ``reference`` paths stay single-process
+as the semantics oracle.
+
+Everything crossing the process boundary must pickle: the built-in
+tokenizers and alignment functions do, while ad-hoc lambdas do not —
+use module-level callables with ``parallel="process"``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional,
+                    Sequence, Tuple)
+
+from .batch import BatchResult, InferenceRequest
+from .fast_construct import build_leaf_graph_fast, fast_construct_leaf_graphs
+from .fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
+from .inference import Recommendation
+from .tokenize import TokenCache, Tokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .curation import CuratedKeyphrases, CuratedLeaf
+    from .model import GraphExModel, LeafGraph
+
+#: Parallel execution modes accepted by the batch/construct entry points
+#: (and the CLI ``--parallel`` flags).  ``thread`` shards within the
+#: calling process; ``process`` runs fast-path shards in worker
+#: processes.
+PARALLEL_MODES = ("thread", "process")
+
+#: Shard-plan key for the leaf group served by the pooled fallback graph
+#: (requests whose leaf has no graph of its own).  Mirrors the pooled
+#: pseudo-leaf id convention of ``repro.core.model._pool_leaves``.
+POOLED_GROUP = -1
+
+
+def validate_parallel(parallel: str, engine: Optional[str] = None) -> None:
+    """Raise ValueError on a bad parallel mode or mode/engine pairing.
+
+    ``parallel="process"`` is only implemented for the fast
+    engine/builder: the scalar ``reference`` paths deliberately stay
+    single-process (their role is the easy-to-audit semantics oracle,
+    and process orchestration would change what they oracle).  Serving
+    constructors call this up front so a bad combination fails at
+    construction rather than mid-batch.
+    """
+    if parallel not in PARALLEL_MODES:
+        raise ValueError(f"unknown parallel mode {parallel!r}; "
+                         f"expected one of {PARALLEL_MODES}")
+    if engine is not None and parallel == "process" and engine != "fast":
+        raise ValueError(
+            f"parallel='process' requires the fast engine/builder; the "
+            f"{engine!r} path stays single-process as the semantics "
+            f"reference")
+
+
+class ShardPlan:
+    """Deterministic assignment of cost-weighted work units to shards.
+
+    A plan maps hashable work-unit keys (leaf ids for both engines) to
+    shards, balancing the supplied cost estimates.  Plans are value
+    objects: equality is structural, and :meth:`to_json` /
+    :meth:`from_json` round-trip exactly, so a plan computed on one
+    machine can be shipped to the workers that will execute it (keys and
+    costs must be JSON-representable for that, as leaf ids are).
+
+    Args:
+        shards: Per-shard tuples of work-unit keys.
+        costs: Cost estimate per key; every planned key must be present.
+
+    Raises:
+        ValueError: If a key appears in more than one shard (or twice in
+            one), or a planned key has no cost.
+    """
+
+    def __init__(self, shards: Sequence[Sequence[Hashable]],
+                 costs: Dict[Hashable, int]) -> None:
+        self._shards: Tuple[Tuple[Hashable, ...], ...] = \
+            tuple(tuple(shard) for shard in shards)
+        self._costs = dict(costs)
+        seen = set()
+        for shard in self._shards:
+            for key in shard:
+                if key in seen:
+                    raise ValueError(f"key {key!r} planned twice")
+                if key not in self._costs:
+                    raise ValueError(f"planned key {key!r} has no cost")
+                seen.add(key)
+        unplanned = set(self._costs) - seen
+        if unplanned:
+            # Allowing costs for keys no shard carries would break the
+            # exact to_json/from_json round-trip (serialization only
+            # walks the shards).
+            raise ValueError(f"costs for unplanned keys {unplanned!r}")
+
+    @classmethod
+    def balance(cls, costs: Sequence[Tuple[Hashable, int]],
+                n_shards: int) -> "ShardPlan":
+        """Partition keyed costs across at most ``n_shards`` shards.
+
+        Longest-processing-time greedy: keys are taken in descending
+        cost order (input position breaks ties) and each lands on the
+        currently lightest shard (lowest index breaks ties), so the
+        same input always yields the same plan.  ``n_shards`` is
+        clamped to the number of keys — no empty shards are planned.
+
+        Raises:
+            ValueError: On duplicate keys.
+        """
+        items = list(costs)
+        if len({key for key, _cost in items}) != len(items):
+            raise ValueError("duplicate keys in cost list")
+        if not items:
+            return cls((), {})
+        n_shards = max(1, min(int(n_shards), len(items)))
+        order = sorted(range(len(items)),
+                       key=lambda i: (-items[i][1], i))
+        assignments: List[List[Hashable]] = [[] for _ in range(n_shards)]
+        loads = [0] * n_shards
+        for i in order:
+            key, cost = items[i]
+            shard = min(range(n_shards), key=loads.__getitem__)
+            assignments[shard].append(key)
+            loads[shard] += cost
+        return cls(assignments, dict(items))
+
+    @property
+    def shards(self) -> Tuple[Tuple[Hashable, ...], ...]:
+        """Per-shard work-unit keys."""
+        return self._shards
+
+    @property
+    def n_shards(self) -> int:
+        """Number of planned shards."""
+        return len(self._shards)
+
+    def cost_of(self, key: Hashable) -> int:
+        """Cost estimate of one work unit."""
+        return self._costs[key]
+
+    @property
+    def shard_costs(self) -> List[int]:
+        """Summed cost estimate per shard (the balance the plan found)."""
+        return [sum(self._costs[key] for key in shard)
+                for shard in self._shards]
+
+    @property
+    def total_cost(self) -> int:
+        """Summed cost estimate across all shards."""
+        return sum(self.shard_costs)
+
+    def to_json(self) -> str:
+        """Serialize the plan (the unit a distributed runner ships)."""
+        return json.dumps({
+            "shards": [list(shard) for shard in self._shards],
+            "costs": [[self._costs[key] for key in shard]
+                      for shard in self._shards],
+        })
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ShardPlan":
+        """Reconstruct a plan serialized with :meth:`to_json`."""
+        data = json.loads(payload)
+        costs = {key: cost
+                 for keys, shard_costs in zip(data["shards"], data["costs"])
+                 for key, cost in zip(keys, shard_costs)}
+        return cls(tuple(tuple(shard) for shard in data["shards"]), costs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardPlan):
+            return NotImplemented
+        return self._shards == other._shards and self._costs == other._costs
+
+    def __repr__(self) -> str:
+        return (f"ShardPlan(n_shards={self.n_shards}, "
+                f"shard_costs={self.shard_costs})")
+
+
+# ---------------------------------------------------------------------------
+# Worker-process entry points.  Module-level (picklable by reference) and
+# parameterised through per-process globals set by the pool initializer,
+# so the model/tokenizer is shipped once per worker, not once per task.
+
+_INFERENCE_RUNNER: Optional[LeafBatchRunner] = None
+_CONSTRUCT_TOKENIZER: Optional[Tokenizer] = None
+
+
+def _init_inference_worker(model: "GraphExModel", k: int,
+                           hard_limit: Optional[int],
+                           dense_limit: int) -> None:
+    """Build this worker's runner once; its shards reuse it."""
+    global _INFERENCE_RUNNER
+    _INFERENCE_RUNNER = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                                        dense_limit=dense_limit)
+
+
+def _run_inference_shard(requests: Sequence[InferenceRequest]
+                         ) -> List[List[Recommendation]]:
+    """One inference shard: per-request results in shard order."""
+    return _INFERENCE_RUNNER.run_indexed(requests)
+
+
+def _init_construct_worker(tokenizer: Tokenizer) -> None:
+    global _CONSTRUCT_TOKENIZER
+    _CONSTRUCT_TOKENIZER = tokenizer
+
+
+def _build_construct_shard(leaves: Sequence["CuratedLeaf"]):
+    """One construction shard: built graphs plus the shard's pool state.
+
+    The per-shard :class:`TokenCache` keeps the memoized-tokenization
+    win within the shard; its exported state is merged into the parent
+    cache afterwards so the pooled-graph build still skips every text
+    the shards already processed.
+    """
+    cache = TokenCache(_CONSTRUCT_TOKENIZER)
+    return ([build_leaf_graph_fast(leaf, cache) for leaf in leaves],
+            cache.export_state())
+
+
+class ProcessShardExecutor:
+    """Runs fast-engine shards in worker processes.
+
+    Args:
+        workers: Upper bound on worker processes (and shards planned).
+            With one worker, or one shard after planning, work runs in
+            the calling process — same output, no pool overhead.
+        start_method: Optional multiprocessing start method ("fork",
+            "spawn", "forkserver"); None uses the platform default.
+
+    Output is element-wise/bit-identical to the single-process fast
+    paths for any worker count (see the module docstring for why).
+    """
+
+    def __init__(self, workers: int = 2,
+                 start_method: Optional[str] = None) -> None:
+        self._workers = max(1, int(workers))
+        self._start_method = start_method
+
+    def _pool(self, n_shards: int, initializer, initargs
+              ) -> ProcessPoolExecutor:
+        context = (multiprocessing.get_context(self._start_method)
+                   if self._start_method is not None else None)
+        return ProcessPoolExecutor(max_workers=n_shards,
+                                   mp_context=context,
+                                   initializer=initializer,
+                                   initargs=initargs)
+
+    def plan_inference(self, model: "GraphExModel",
+                       requests: Sequence[InferenceRequest]
+                       ) -> Tuple[ShardPlan, Dict[int, List[int]]]:
+        """Group servable requests by leaf graph and balance the groups.
+
+        Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by
+        its leaf id when that leaf has a graph, by :data:`POOLED_GROUP`
+        when it falls back to the pooled graph, and is excluded (its
+        result is ``[]``) when neither exists.  The cost estimate is the
+        group's request count — per-request work dominates, and keeping
+        groups whole preserves the vectorized amortisation.
+
+        Returns:
+            ``(plan, groups)`` — the balanced plan over group keys, and
+            each group's request indices in batch order.
+        """
+        groups: Dict[int, List[int]] = {}
+        for index, (_item_id, _title, leaf_id) in enumerate(requests):
+            if model.leaf_graph(leaf_id) is not None:
+                key = leaf_id
+            elif model.pooled_graph is not None:
+                key = POOLED_GROUP
+            else:
+                continue
+            groups.setdefault(key, []).append(index)
+        plan = ShardPlan.balance(
+            [(key, len(indices)) for key, indices in groups.items()],
+            self._workers)
+        return plan, groups
+
+    def run_inference(self, model: "GraphExModel",
+                      requests: Sequence[InferenceRequest],
+                      k: int = 10, hard_limit: Optional[int] = None,
+                      dense_limit: int = DEFAULT_DENSE_LIMIT
+                      ) -> BatchResult:
+        """Infer a batch with leaf-group shards in worker processes.
+
+        Returns:
+            Item id → ranked recommendations, with the scalar loop's
+            duplicate-id semantics (the last request for an id wins)
+            even when the duplicates land in different shards.
+        """
+        # Constructing the local runner validates hard_limit and the
+        # alignment probe up front, and serves the no-pool fallback.
+        runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                                 dense_limit=dense_limit)
+        plan, groups = self.plan_inference(model, requests)
+        shards = [[index for key in shard for index in groups[key]]
+                  for shard in plan.shards]
+        if self._workers == 1 or len(shards) <= 1:
+            return runner.run(requests)
+
+        results: List[List[Recommendation]] = [[] for _ in requests]
+        with self._pool(len(shards), _init_inference_worker,
+                        (model, k, hard_limit, dense_limit)) as pool:
+            futures = [pool.submit(_run_inference_shard,
+                                   [requests[index] for index in shard])
+                       for shard in shards]
+            for shard, future in zip(shards, futures):
+                for index, recs in zip(shard, future.result()):
+                    results[index] = recs
+        out: BatchResult = {}
+        for index, (item_id, _title, _leaf_id) in enumerate(requests):
+            out[item_id] = results[index]
+        return out
+
+    def run_construction(self, curated: "CuratedKeyphrases",
+                         tokenizer: Tokenizer
+                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        """Build every non-empty leaf graph with whole-leaf process shards.
+
+        The cost estimate is each leaf's summed keyphrase character
+        count — proportional to token occurrences, hence to the edge
+        pairs the build pass walks — without paying a tokenization pass
+        in the parent.  Shard states merge into the returned cache in
+        shard-index order (deterministic pool, reused by the
+        pooled-graph build exactly as in the thread path).
+
+        Returns:
+            ``(leaf_graphs, cache)`` with the same contract as
+            :func:`~repro.core.fast_construct.fast_construct_leaf_graphs`.
+        """
+        items = [(leaf_id, leaf) for leaf_id, leaf in curated.leaves.items()
+                 if len(leaf) > 0]
+        if self._workers == 1 or len(items) <= 1:
+            # Delegate so the in-parent fallback can never drift from
+            # the thread path's contracts (empty-leaf filter, insertion
+            # order).
+            return fast_construct_leaf_graphs(curated, tokenizer)
+
+        cache = TokenCache(tokenizer)
+        plan = ShardPlan.balance(
+            [(leaf_id, sum(map(len, leaf.texts)) + 1)
+             for leaf_id, leaf in items], self._workers)
+        by_id = dict(items)
+        shards = [[by_id[leaf_id] for leaf_id in shard]
+                  for shard in plan.shards]
+        built: Dict[int, "LeafGraph"] = {}
+        with self._pool(len(shards), _init_construct_worker,
+                        (tokenizer,)) as pool:
+            futures = [pool.submit(_build_construct_shard, shard)
+                       for shard in shards]
+            for future in futures:
+                graphs, state = future.result()
+                for graph in graphs:
+                    built[graph.leaf_id] = graph
+                cache.absorb_state(state)
+        return {leaf_id: built[leaf_id] for leaf_id, _leaf in items}, cache

@@ -190,6 +190,43 @@ class TokenCache:
                 raw_ids[raw] = -1 if token is None else self._intern(token)
         return list(map(raw_ids.__getitem__, raws))
 
+    def export_state(self) -> Tuple[List[str], Dict[str, Tuple[int, ...]],
+                                    Optional[Dict[str, int]]]:
+        """Picklable snapshot: pool tokens, text memo, raw-token memo.
+
+        A process-shard construction worker builds its leaves against a
+        private cache and ships this snapshot back (the cache itself
+        holds a lock and is not picklable); the parent merges it with
+        :meth:`absorb_state`.
+        """
+        return (list(self._tokens), dict(self._text_ids),
+                None if self._raw_ids is None else dict(self._raw_ids))
+
+    def absorb_state(self, state: Tuple[List[str],
+                                        Dict[str, Tuple[int, ...]],
+                                        Optional[Dict[str, int]]]) -> None:
+        """Merge another cache's exported state with a stable id-remap.
+
+        Donor tokens unknown to this pool are appended in the donor's
+        id order, so absorbing shard states in shard-index order always
+        yields the same pool; every donor memo entry is remapped onto
+        this pool's ids (existing entries win).  Token *streams*
+        resolved through the merged cache are identical to the donor's
+        — same strings, possibly different pool ids — which the bulk
+        builders are insensitive to by the bit-identity contract.  The
+        donor must wrap the same tokenizer semantics as this cache.
+        """
+        tokens, text_ids, raw_ids = state
+        remap = [self._intern(token) for token in tokens]
+        for text, ids in text_ids.items():
+            if text not in self._text_ids:
+                self._text_ids[text] = tuple(remap[i] for i in ids)
+        if raw_ids is not None and self._raw_ids is not None:
+            for raw, token_id in raw_ids.items():
+                if raw not in self._raw_ids:
+                    self._raw_ids[raw] = (remap[token_id]
+                                          if token_id >= 0 else -1)
+
     def unique_ids(self, text: str) -> Tuple[int, ...]:
         """Pool ids of the text's unique tokens, in first-occurrence order.
 

@@ -40,18 +40,23 @@ class BatchPipeline:
         store: Destination KV store; predictions are served from it.
         k: Target predictions per item.
         hard_limit: Strict per-item cap written to the store.
-        workers: Inference worker threads.
+        workers: Inference worker count (threads or processes, per
+            ``parallel``).
         engine: ``"fast"`` (vectorized leaf-batched runner, the default)
             or ``"reference"`` (scalar per-item loop); both produce
             identical output, so the fast path serves production loads
             and the reference path remains for cross-checking.
+        parallel: ``"thread"`` (default) or ``"process"`` — where the
+            fast engine's leaf-group shards run (identical output; see
+            :func:`repro.core.batch.batch_recommend`).
     """
 
     def __init__(self, model: GraphExModel,
                  store: Optional[KeyValueStore] = None,
                  k: int = 20, hard_limit: int = 40,
-                 workers: int = 1, engine: str = "fast") -> None:
-        validate_model_for_engine(model, engine)
+                 workers: int = 1, engine: str = "fast",
+                 parallel: str = "thread") -> None:
+        validate_model_for_engine(model, engine, parallel)
         validate_hard_limit(hard_limit)
         self.model = model
         self.store: KeyValueStore = store if store is not None \
@@ -60,12 +65,13 @@ class BatchPipeline:
         self._hard_limit = hard_limit
         self._workers = workers
         self._engine = engine
+        self._parallel = parallel
 
     def _infer(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         return batch_recommend(
             self.model, requests, k=self._k,
             hard_limit=self._hard_limit, workers=self._workers,
-            engine=self._engine)
+            engine=self._engine, parallel=self._parallel)
 
     def full_load(self, requests: Sequence[InferenceRequest]
                   ) -> BatchRunReport:
@@ -77,6 +83,10 @@ class BatchPipeline:
             {item_id: [r.text for r in recs]
              for item_id, recs in results.items()})
         self.store.promote(version)
+        # Retention is bounded like the differential path: without this
+        # prune, a daily full refresh would retain every historical
+        # table ever promoted.
+        self.store.prune()
         return BatchRunReport(version=version, n_inferred=len(results),
                               n_served=self.store.size())
 
@@ -109,5 +119,5 @@ class BatchPipeline:
     def refresh_model(self, model: GraphExModel) -> None:
         """Swap in a newly constructed model (the daily model refresh the
         paper's fast construction enables)."""
-        validate_model_for_engine(model, self._engine)
+        validate_model_for_engine(model, self._engine, self._parallel)
         self.model = model

@@ -76,7 +76,16 @@ class KeyValueStore(Generic[V]):
         return self._versions[self._serving_version].get(key)
 
     def delete(self, version: int, key: int) -> None:
-        """Remove one record from a staging version (no-op when absent)."""
+        """Remove one record from a staging version.
+
+        A no-op when the *key* is absent (deleting an already-deleted
+        item is fine), but an unknown *version* is a caller bug and
+        raises, exactly as :meth:`put` does.
+
+        Raises:
+            KeyError: If the version does not exist.
+            ValueError: If the version is already serving (immutable).
+        """
         if version == self._serving_version:
             raise ValueError("cannot write to the serving version")
         self._versions[version].pop(key, None)

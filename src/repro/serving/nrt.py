@@ -65,16 +65,22 @@ class NRTService:
             before inference (returns a possibly rewritten title).
         engine: Inference engine for the window micro-batch — ``"fast"``
             (vectorized leaf-batched, default) or ``"reference"``.
+        workers: Worker count for the window micro-batch (threads or
+            processes, per ``parallel``).
+        parallel: ``"thread"`` (default) or ``"process"`` — where the
+            fast engine's leaf-group shards run (identical output; see
+            :func:`repro.core.batch.batch_recommend`).
     """
 
     def __init__(self, model: GraphExModel, store: KeyValueStore,
                  window_size: int = 32, window_seconds: float = 1.0,
                  k: int = 20, hard_limit: int = 40,
                  enrich: Optional[Callable[[ItemEvent], str]] = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast", workers: int = 1,
+                 parallel: str = "thread") -> None:
         # Fail here, not mid-flush where the window's events would
         # already be drained and lost.
-        validate_model_for_engine(model, engine)
+        validate_model_for_engine(model, engine, parallel)
         validate_hard_limit(hard_limit)
         self.model = model
         self._store = store
@@ -84,6 +90,8 @@ class NRTService:
         self._hard_limit = hard_limit
         self._enrich = enrich
         self._engine = engine
+        self._workers = workers
+        self._parallel = parallel
         self._buffer: List[ItemEvent] = []
         self._window_opened_at: Optional[float] = None
         self._processed_windows: List[WindowStats] = []
@@ -99,25 +107,30 @@ class NRTService:
         return list(self._processed_windows)
 
     def submit(self, event: ItemEvent) -> Optional[WindowStats]:
-        """Feed one event; returns window stats when the window closes.
+        """Feed one event; returns window stats when a window closes.
 
         The window closes when it reaches ``window_size`` events or when
         the incoming event's timestamp is more than ``window_seconds``
-        after the window opened.
+        after the window opened.  When the event arrives after
+        ``window_seconds`` has elapsed, the stale window flushes first
+        and the event opens a new one — and the size bound is
+        re-checked on that new window, so with ``window_size <= 1`` the
+        event never sits buffered until the next arrival (both windows
+        may close in one submit; the latest stats are returned, and
+        every closed window is recorded in :attr:`processed_windows`).
         """
         if self._window_opened_at is None:
             self._window_opened_at = event.timestamp
         time_up = (event.timestamp - self._window_opened_at
                    >= self._window_seconds)
+        closed: Optional[WindowStats] = None
         if time_up and self._buffer:
-            stats = self.flush()
-            self._buffer.append(event)
+            closed = self.flush()
             self._window_opened_at = event.timestamp
-            return stats
         self._buffer.append(event)
         if len(self._buffer) >= self._window_size:
-            return self.flush()
-        return None
+            closed = self.flush() or closed
+        return closed
 
     def flush(self) -> Optional[WindowStats]:
         """Process the open window immediately (no-op when empty)."""
@@ -147,7 +160,8 @@ class NRTService:
         # engine — the Flink-window analogue of the paper's NRT branch.
         results = batch_recommend(
             self.model, requests, k=self._k,
-            hard_limit=self._hard_limit, engine=self._engine)
+            hard_limit=self._hard_limit, engine=self._engine,
+            workers=self._workers, parallel=self._parallel)
         n_inferred = len(requests)
         for item_id, _title, _leaf_id in requests:
             self._store.put(version, item_id,

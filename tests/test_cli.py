@@ -45,6 +45,21 @@ class TestParser:
                 ["construct", "--curated", "c", "--out", "m",
                  "--alignment", "cosine"])
 
+    def test_parallel_defaults_to_thread(self):
+        args = build_parser().parse_args(
+            ["construct", "--curated", "c", "--out", "m"])
+        assert args.parallel == "thread" and args.workers == 1
+        args = build_parser().parse_args(
+            ["recommend", "--model", "m", "--title", "t", "--leaf", "1"])
+        assert args.parallel == "thread" and args.workers == 1
+
+    def test_parallel_choices_enforced(self):
+        for command in (["construct", "--curated", "c", "--out", "m"],
+                        ["recommend", "--model", "m", "--title", "t",
+                         "--leaf", "1"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(command + ["--parallel", "warp"])
+
 
 class TestWorkflow:
     def test_simulate_output_schema(self, workflow_dir):
@@ -94,6 +109,38 @@ class TestWorkflow:
             outputs[engine] = capsys.readouterr().out
         assert outputs["fast"] == outputs["reference"]
         assert text in outputs["fast"]
+
+    def test_recommend_process_parallel_prints_identical_output(
+            self, workflow_dir, capsys):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        leaf_id = int(next(iter(payload["leaves"])))
+        text = payload["leaves"][str(leaf_id)]["texts"][0]
+        outputs = {}
+        for parallel in ("thread", "process"):
+            assert main(["recommend", "--model",
+                         str(workflow_dir / "model"), "--title", text,
+                         "--leaf", str(leaf_id), "--parallel", parallel,
+                         "--workers", "2"]) == 0
+            outputs[parallel] = capsys.readouterr().out
+        assert outputs["process"] == outputs["thread"]
+        assert text in outputs["process"]
+
+    def test_construct_process_parallel_builds_identical_model(
+            self, workflow_dir, tmp_path):
+        from repro.core.serialization import load_model
+        curated_path = workflow_dir / "curated.json"
+        out_dir = tmp_path / "model_process"
+        assert main(["construct", "--curated", str(curated_path),
+                     "--out", str(out_dir), "--parallel", "process",
+                     "--workers", "2"]) == 0
+        serial = load_model(workflow_dir / "model")
+        sharded = load_model(out_dir)
+        assert sharded.leaf_ids == serial.leaf_ids
+        for leaf_id in serial.leaf_ids:
+            assert (sharded.leaf_graph(leaf_id).word_vocab.tokens
+                    == serial.leaf_graph(leaf_id).word_vocab.tokens)
+            assert (sharded.leaf_graph(leaf_id).label_texts
+                    == serial.leaf_graph(leaf_id).label_texts)
 
     def test_recommend_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):

@@ -160,6 +160,38 @@ class TestFastBuilder:
                                       builder="fast", workers=workers)
         assert_models_identical(reference, fast)
 
+    @given(stats=stats_strategy, workers=st.integers(2, 3),
+           tokenizer_index=st.integers(0, len(TOKENIZERS) - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_process_sharded_build_bit_identical(self, stats, workers,
+                                                 tokenizer_index):
+        """Whole-leaf shards in worker processes with per-shard token
+        caches (merged afterwards): the model — including the pooled
+        graph built from the merged cache — is bit-identical to the
+        scalar reference (few examples — each spawns a pool)."""
+        tokenizer = TOKENIZERS[tokenizer_index]
+        curated = curate(stats, CurationConfig(min_search_count=1))
+        reference = GraphExModel.construct(curated, tokenizer=tokenizer,
+                                           build_pooled=True,
+                                           builder="reference")
+        sharded = GraphExModel.construct(curated, tokenizer=tokenizer,
+                                         build_pooled=True,
+                                         builder="fast", workers=workers,
+                                         parallel="process")
+        assert_models_identical(reference, sharded)
+
+    def test_reference_builder_rejects_process_parallel(self):
+        curated = curate([KeyphraseStat("a b", 1, 9, 1)],
+                         CurationConfig(min_search_count=1))
+        with pytest.raises(ValueError, match="single-process"):
+            GraphExModel.construct(curated, builder="reference",
+                                   parallel="process")
+
+    def test_unknown_parallel_mode_rejected(self):
+        curated = curate([], CurationConfig(min_search_count=1))
+        with pytest.raises(ValueError, match="parallel mode"):
+            GraphExModel.construct(curated, parallel="fiber")
+
     @given(stats=stats_strategy, config=config_strategy,
            k=st.integers(1, 8))
     @settings(max_examples=25, deadline=None)

@@ -129,6 +129,21 @@ class TestPropertyEquivalence:
         sharded = LeafBatchRunner(model, k=6, workers=workers).run(reqs)
         assert_identical(sharded, reference_outputs(model, reqs, 6))
 
+    @given(world=leaf_worlds, reqs=requests_strategy,
+           workers=st.integers(2, 3),
+           hard_limit=st.one_of(st.none(), st.integers(1, 8)))
+    @settings(max_examples=5, deadline=None)
+    def test_process_sharding_agrees(self, world, reqs, workers,
+                                     hard_limit):
+        """Leaf-group shards in worker processes: element-wise identical
+        to the scalar reference (few examples — each spawns a pool)."""
+        model = make_model(world, build_pooled=True)
+        sharded = batch_recommend(model, reqs, k=6, hard_limit=hard_limit,
+                                  workers=workers, engine="fast",
+                                  parallel="process")
+        assert_identical(sharded,
+                         reference_outputs(model, reqs, 6, hard_limit))
+
 
 class TestEdgeCases:
     def test_empty_vocabulary_leaf(self):
@@ -206,6 +221,39 @@ class TestEdgeCases:
         with pytest.raises(ValueError, match="hard_limit"):
             LeafBatchRunner(model, k=5, hard_limit=-1)
 
+    def test_duplicate_item_ids_across_process_shards_last_wins(self):
+        """The two requests for item 5 live in different leaf groups, so
+        with two workers they land in different process shards; the
+        scatter-by-request-index merge must still let the later request
+        win, exactly like the scalar dict loop."""
+        model = make_model({1: [("w0", 9, 1)], 2: [("w1", 9, 1)]})
+        reqs = [(5, "w0", 1), (5, "w1", 2)]
+        out = batch_recommend(model, reqs, k=5, workers=2,
+                              parallel="process")
+        assert [r.text for r in out[5]] == ["w1"]
+        assert_identical(out,
+                         batch_recommend(model, reqs, k=5,
+                                         engine="reference"))
+
+    def test_reference_engine_rejects_process_parallel(self):
+        """The scalar path stays single-process as the semantics oracle."""
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        with pytest.raises(ValueError, match="single-process"):
+            batch_recommend(model, [(1, "w0", 1)], k=5,
+                            engine="reference", parallel="process")
+
+    def test_unknown_parallel_mode_rejected(self):
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        with pytest.raises(ValueError, match="parallel mode"):
+            batch_recommend(model, [(1, "w0", 1)], k=5, parallel="fiber")
+
+    def test_run_indexed_keeps_duplicates(self):
+        """run_indexed is positional: duplicates are not collapsed."""
+        model = make_model({1: [("w0", 9, 1)], 2: [("w1", 9, 1)]})
+        reqs = [(5, "w0", 1), (5, "w1", 2)]
+        rows = LeafBatchRunner(model, k=5).run_indexed(reqs)
+        assert [[r.text for r in row] for row in rows] == [["w0"], ["w1"]]
+
     def test_differential_update_routes_through_fast_engine(self):
         model = make_model({1: [("w0 w1", 5, 1), ("w2", 3, 1)]})
         previous = batch_recommend(model, [(1, "w2", 1)], k=5)
@@ -214,6 +262,24 @@ class TestEdgeCases:
             engine="fast")
         assert 1 not in merged
         assert [r.text for r in merged[2]] == ["w0 w1"]
+
+    def test_differential_update_changed_beats_deleted(self):
+        """Pinned semantics: an item in both ``deleted_item_ids`` and
+        ``changed`` is served with its fresh inference — deletions hit
+        yesterday's table first, then the re-inferences merge on top
+        (the revision is newer evidence the item exists, mirroring the
+        NRT last-event-per-item-wins rule documented in the docstring).
+        """
+        model = make_model({1: [("w0 w1", 5, 1), ("w2", 3, 1)]})
+        previous = batch_recommend(model, [(1, "w2", 1)], k=5)
+        merged = differential_update(
+            model, previous, changed=[(1, "w0 w1", 1)],
+            deleted_item_ids=[1])
+        assert [r.text for r in merged[1]] == ["w0 w1"]
+        # A deletion without a competing revision still lands.
+        gone = differential_update(model, merged, [],
+                                   deleted_item_ids=[1])
+        assert 1 not in gone
 
 
 class TestTieBreakDeterminism:

@@ -96,6 +96,26 @@ class TestKeyValueStore:
         assert versions[0] in store.versions
         assert len(store.versions) <= 3
 
+    def test_delete_absent_key_is_noop(self):
+        """Documented contract: deleting a key that was never written
+        (or already deleted) changes nothing and does not raise."""
+        store = KeyValueStore()
+        version = store.create_version()
+        store.bulk_load(version, {1: "a"})
+        store.delete(version, 99)
+        store.delete(version, 1)
+        store.delete(version, 1)  # already gone: still a no-op
+        assert store.size(version) == 0
+
+    def test_delete_unknown_version_raises_like_put(self):
+        """Documented contract: an unknown *version* is a caller bug for
+        both mutators, not a silent no-op."""
+        store = KeyValueStore()
+        with pytest.raises(KeyError):
+            store.delete(77, 1)
+        with pytest.raises(KeyError):
+            store.put(77, 1, "x")
+
 
 class TestBatchPipeline:
     def test_full_load_serves_everything(self, model):
@@ -121,9 +141,43 @@ class TestBatchPipeline:
         assert report.n_deleted == 1
         assert pipeline.serve(1) == []
 
+    def test_repeated_full_loads_bound_version_retention(self, model):
+        """Regression: ``full_load`` promotes but used to skip the prune
+        ``daily_differential`` performs, so a daily full refresh retained
+        every historical table ever written."""
+        pipeline = BatchPipeline(model)
+        for _ in range(6):
+            report = pipeline.full_load(REQUESTS)
+        assert len(pipeline.store.versions) <= 3
+        assert pipeline.store.serving_version == report.version
+        assert pipeline.serve(1)  # latest table still serves
+
+    def test_full_load_then_differential_history_stays_bounded(self, model):
+        pipeline = BatchPipeline(model)
+        for day in range(4):
+            pipeline.full_load(REQUESTS)
+            pipeline.daily_differential(
+                [(1, "gaming headphones xbox", FIG3_LEAF_ID)])
+        assert len(pipeline.store.versions) <= 3
+
     def test_unknown_engine_rejected_at_construction(self, model):
         with pytest.raises(ValueError, match="unknown engine"):
             BatchPipeline(model, engine="Fast")
+
+    def test_process_parallel_with_reference_rejected(self, model):
+        """Mode/engine pairing fails at construction, not mid-load."""
+        with pytest.raises(ValueError, match="single-process"):
+            BatchPipeline(model, engine="reference", parallel="process")
+        with pytest.raises(ValueError, match="parallel mode"):
+            BatchPipeline(model, parallel="fiber")
+
+    def test_process_parallel_full_load_serves_identically(self, model):
+        serial = BatchPipeline(model)
+        serial.full_load(REQUESTS)
+        sharded = BatchPipeline(model, workers=2, parallel="process")
+        sharded.full_load(REQUESTS)
+        for item_id, _title, _leaf in REQUESTS:
+            assert sharded.serve(item_id) == serial.serve(item_id)
 
     def test_refresh_model_swaps(self, model):
         pipeline = BatchPipeline(model)
@@ -178,6 +232,25 @@ class TestNRTService:
         with pytest.raises(ValueError, match="hard_limit"):
             self._service(model, hard_limit=-1)
 
+    def test_bad_parallel_mode_rejected_at_construction(self, model):
+        """Same invariant again for the shard-execution mode."""
+        with pytest.raises(ValueError, match="single-process"):
+            self._service(model, engine="reference", parallel="process")
+        with pytest.raises(ValueError, match="parallel mode"):
+            self._service(model, parallel="fiber")
+
+    def test_process_parallel_window_serves_identically(self, model):
+        serial = self._service(model, window_size=2)
+        sharded = self._service(model, window_size=2, workers=2,
+                                parallel="process")
+        for service in (serial, sharded):
+            service.submit(self._event(1, 0.0))
+            stats = service.submit(self._event(
+                2, 0.1, title="bluetooth wireless headphones new"))
+            assert stats is not None and stats.n_inferred == 2
+        assert sharded.serve(1) == serial.serve(1)
+        assert sharded.serve(2) == serial.serve(2)
+
     def test_unvectorized_alignment_rejected_at_construction(self, model):
         """The fast engine's alignment probe must also run here, before
         any window event could be drained and lost mid-flush."""
@@ -192,6 +265,37 @@ class TestNRTService:
         service = self._service(bad, engine="reference", window_size=1)
         service.submit(self._event(1, 0.0))
         assert service.serve(1)
+
+    def test_window_size_rechecked_after_time_flush(self, model):
+        """Regression: the time-elapsed path used to buffer the incoming
+        event without re-checking ``window_size``, so with
+        ``window_size=1`` a window-opening event would sit unflushed
+        until the next arrival.  The stale window is seeded directly (no
+        organic submit sequence leaves a window_size=1 buffer non-empty
+        today) — the re-check makes submit's invariant
+        ``pending_events < window_size`` structural rather than an
+        accident of the current call graph."""
+        service = self._service(model, window_size=1, window_seconds=1.0)
+        service._buffer.append(self._event(1, 0.0))
+        service._window_opened_at = 0.0
+        stats = service.submit(self._event(2, 5.0))
+        # Both windows closed: the stale one by time, the new one by
+        # size; the latest window's stats are returned and both are
+        # recorded.
+        assert stats is not None and stats.n_events == 1
+        assert service.pending_events == 0
+        assert len(service.processed_windows) == 2
+        assert service.serve(1) and service.serve(2)
+
+    def test_window_size_one_never_buffers(self, model):
+        """Boundary: with ``window_size=1`` every submit closes a window
+        immediately, however the arrivals straddle ``window_seconds``."""
+        service = self._service(model, window_size=1, window_seconds=1.0)
+        for i, ts in enumerate((0.0, 0.5, 5.0, 5.2, 99.0)):
+            stats = service.submit(self._event(i, ts))
+            assert stats is not None and stats.n_events == 1
+            assert service.pending_events == 0
+        assert len(service.processed_windows) == 5
 
     def test_event_exactly_at_window_seconds_closes_window(self, model):
         """The boundary is inclusive: an event arriving exactly

@@ -1,0 +1,213 @@
+"""Unit tests for the process-shard subsystem (ShardPlan, executor,
+token-cache state merge).
+
+The element-wise/bit-identity of the process paths against the scalar
+references is pinned property-based in the engine equivalence suites
+(``test_fast_inference.py``, ``test_fast_construct.py``); this module
+covers the planning/merging machinery itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
+from repro.core.fast_inference import LeafBatchRunner
+from repro.core.model import GraphExModel
+from repro.core.sharding import (POOLED_GROUP, PARALLEL_MODES,
+                                 ProcessShardExecutor, ShardPlan,
+                                 validate_parallel)
+from repro.core.tokenize import DEFAULT_TOKENIZER, TokenCache
+
+
+def make_model(leaf_phrases, build_pooled=False):
+    leaves = {}
+    for leaf_id, phrases in leaf_phrases.items():
+        leaf = CuratedLeaf(leaf_id=leaf_id)
+        for text, search, recall in phrases:
+            leaf.add(text, search, recall)
+        leaves[leaf_id] = leaf
+    curated = CuratedKeyphrases(
+        leaves=leaves, effective_threshold=1,
+        config=CurationConfig(min_search_count=1))
+    return GraphExModel.construct(curated, build_pooled=build_pooled)
+
+
+class TestValidateParallel:
+    def test_modes_accepted(self):
+        for mode in PARALLEL_MODES:
+            validate_parallel(mode)
+            validate_parallel(mode, engine="fast")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="parallel mode"):
+            validate_parallel("fiber")
+
+    def test_process_requires_fast(self):
+        with pytest.raises(ValueError, match="semantics reference"):
+            validate_parallel("process", engine="reference")
+        validate_parallel("thread", engine="reference")  # thread is fine
+
+
+class TestShardPlan:
+    def test_lpt_balance(self):
+        """Largest cost first, each onto the lightest shard."""
+        plan = ShardPlan.balance([("a", 5), ("b", 4), ("c", 3), ("d", 3)],
+                                 2)
+        assert plan.shards == (("a", "d"), ("b", "c"))
+        assert plan.shard_costs == [8, 7]
+        assert plan.total_cost == 15
+
+    def test_deterministic_ties_by_input_order(self):
+        costs = [(1, 2), (2, 2), (3, 2), (4, 2)]
+        assert ShardPlan.balance(costs, 2) == ShardPlan.balance(costs, 2)
+        assert ShardPlan.balance(costs, 2).shards == ((1, 3), (2, 4))
+
+    def test_clamps_shards_to_keys(self):
+        plan = ShardPlan.balance([(1, 1), (2, 1)], 8)
+        assert plan.n_shards == 2
+        assert all(len(shard) == 1 for shard in plan.shards)
+
+    def test_empty_costs_empty_plan(self):
+        plan = ShardPlan.balance([], 4)
+        assert plan.n_shards == 0
+        assert plan.total_cost == 0
+
+    def test_every_key_planned_exactly_once(self):
+        costs = [(key, key % 3 + 1) for key in range(17)]
+        plan = ShardPlan.balance(costs, 4)
+        planned = [key for shard in plan.shards for key in shard]
+        assert sorted(planned) == list(range(17))
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardPlan.balance([(1, 2), (1, 3)], 2)
+        with pytest.raises(ValueError, match="planned twice"):
+            ShardPlan([(1,), (1,)], {1: 2})
+
+    def test_key_without_cost_rejected(self):
+        with pytest.raises(ValueError, match="no cost"):
+            ShardPlan([(1, 2)], {1: 3})
+
+    def test_costs_for_unplanned_keys_rejected(self):
+        """An extra cost entry would silently drop in to_json, breaking
+        the exact round-trip."""
+        with pytest.raises(ValueError, match="unplanned"):
+            ShardPlan([(1,)], {1: 2, 99: 5})
+
+    def test_json_roundtrip(self):
+        plan = ShardPlan.balance([(i, (i * 7) % 5 + 1) for i in range(9)],
+                                 3)
+        restored = ShardPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.shard_costs == plan.shard_costs
+
+
+class TestInferencePlanning:
+    def test_groups_mirror_leaf_graph_resolution(self):
+        """Known leaves group by leaf id, unknown leaves pool together,
+        graph-less requests are excluded from the plan."""
+        model = make_model({1: [("w0 w1", 5, 1)], 2: [("w2", 4, 1)]},
+                           build_pooled=True)
+        requests = [(0, "w0", 1), (1, "w0", 99), (2, "w2", 2),
+                    (3, "w0", 1), (4, "w1", 123)]
+        plan, groups = ProcessShardExecutor(2).plan_inference(model,
+                                                              requests)
+        assert groups == {1: [0, 3], POOLED_GROUP: [1, 4], 2: [2]}
+        assert plan.cost_of(1) == 2
+        assert plan.cost_of(POOLED_GROUP) == 2
+        assert plan.total_cost == 5
+
+    def test_no_pooled_fallback_excludes_unknown_leaves(self):
+        model = make_model({1: [("w0 w1", 5, 1)]})
+        plan, groups = ProcessShardExecutor(2).plan_inference(
+            model, [(0, "w0", 1), (1, "w0", 99)])
+        assert groups == {1: [0]}
+        out = ProcessShardExecutor(2).run_inference(
+            model, [(0, "w0", 1), (1, "w0", 99)], k=5)
+        assert out[1] == []
+
+
+class TestProcessShardExecutor:
+    def _world(self):
+        return make_model(
+            {leaf_id: [(f"w{j} w{(j + leaf_id) % 6}", 9 - j, j + 1)
+                       for j in range(5)]
+             for leaf_id in (1, 2, 3)},
+            build_pooled=True)
+
+    def _requests(self):
+        return [(i, f"w{i % 6} w{(i + 1) % 6}", (i % 4) + 1)
+                for i in range(30)]
+
+    def test_single_worker_runs_in_process(self):
+        model = self._world()
+        requests = self._requests()
+        out = ProcessShardExecutor(1).run_inference(model, requests, k=5)
+        assert out == LeafBatchRunner(model, k=5).run(requests)
+
+    def test_multi_worker_identical_to_thread_path(self):
+        model = self._world()
+        requests = self._requests()
+        out = ProcessShardExecutor(3).run_inference(model, requests, k=5)
+        assert out == LeafBatchRunner(model, k=5).run(requests)
+
+    def test_construction_single_worker_in_process(self):
+        model = self._world()
+        curated = CuratedKeyphrases(
+            leaves={1: CuratedLeaf(leaf_id=1, texts=["w0 w1"],
+                                   search_counts=[3], recall_counts=[1])},
+            effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        graphs, cache = ProcessShardExecutor(1).run_construction(
+            curated, DEFAULT_TOKENIZER)
+        assert list(graphs) == [1]
+        assert len(cache) == 2  # built in-parent: pool was populated
+
+    def test_empty_curation(self):
+        curated = CuratedKeyphrases(
+            leaves={}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        graphs, cache = ProcessShardExecutor(2).run_construction(
+            curated, DEFAULT_TOKENIZER)
+        assert graphs == {}
+        assert len(cache) == 0
+
+
+class TestTokenCacheStateMerge:
+    def test_absorb_remaps_onto_local_ids(self):
+        donor = TokenCache(DEFAULT_TOKENIZER)
+        donor.unique_ids("gaming headset pro")
+        parent = TokenCache(DEFAULT_TOKENIZER)
+        parent.unique_ids("wireless headset")
+        parent.absorb_state(donor.export_state())
+        # Donor tokens landed after the parent's, memo entries remapped.
+        assert parent.tokens_for(parent.unique_ids("gaming headset pro")) \
+            == ["gaming", "headset", "pro"]
+        assert parent.tokens_for(parent.unique_ids("wireless headset")) \
+            == ["wireless", "headset"]
+        assert len(parent) == 4  # headset interned once
+
+    def test_absorb_order_is_deterministic(self):
+        def shard_state(texts):
+            cache = TokenCache(DEFAULT_TOKENIZER)
+            for text in texts:
+                cache.unique_ids(text)
+            return cache.export_state()
+
+        states = [shard_state(["a b c"]), shard_state(["c d", "b e"])]
+        merged_a = TokenCache(DEFAULT_TOKENIZER)
+        merged_b = TokenCache(DEFAULT_TOKENIZER)
+        for state in states:
+            merged_a.absorb_state(state)
+            merged_b.absorb_state(state)
+        assert merged_a.export_state() == merged_b.export_state()
+
+    def test_absorb_preserves_dropped_raws(self):
+        donor = TokenCache(DEFAULT_TOKENIZER)
+        donor.unique_ids("good !!! words")  # "!!!" normalizes away
+        parent = TokenCache(DEFAULT_TOKENIZER)
+        parent.absorb_state(donor.export_state())
+        assert parent.resolve_raws(["!!!"]) == [-1]
+        assert parent.tokens_for(parent.resolve_raws(["good", "words"])) \
+            == ["good", "words"]
