@@ -1,0 +1,180 @@
+"""Multi-stream NRT throughput: asyncio front vs sequential sync loop.
+
+Synthesizes one event feed per stream from the shared synthetic world
+(titles composed from per-leaf token pools, as in
+``bench_fast_engine.py``), then serves them twice:
+
+* **sync** — one :class:`NRTService` per stream, fed sequentially; the
+  single-process baseline a synchronous caller would run.
+* **async** — one :class:`AsyncNRTFront` driving all streams
+  concurrently: bounded queues, wall-clock timers armed (set wide so
+  the measurement is pure ingest+flush), micro-batches handed off to
+  the executor.
+
+Both paths use the same engine configuration, and the served output of
+every stream is verified **byte-identical** between them before any
+number is reported — window partitioning may differ, served results may
+not.  The speedup is measured, not asserted: on a single core the async
+front roughly breaks even (it buys concurrency, not cycles); with
+multiple cores and ``--workers`` the executor overlap wins.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async_front.py          # full
+    PYTHONPATH=src python benchmarks/bench_async_front.py \
+        --streams 3 --events 300 --repeat 1                        # smoke
+
+Like the other standalone benches, emits a human-readable table plus a
+machine-readable ``BENCH_async_front.json`` for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for _helpers
+from _helpers import RESULTS_DIR, emit, emit_bench_json
+from bench_fast_engine import build_world
+
+from repro.eval.reporting import render_table
+from repro.serving import (AsyncNRTFront, ItemEvent, ItemEventKind,
+                           KeyValueStore, NRTService)
+
+
+def build_feeds(n_streams: int, events_per_stream: int, requests):
+    """Per-stream event feeds drawn round-robin from the synthetic
+    request pool (item ids offset per stream so streams never collide)."""
+    feeds = {}
+    for s in range(n_streams):
+        events = []
+        for i in range(events_per_stream):
+            _item, title, leaf_id = requests[(s + i * n_streams)
+                                             % len(requests)]
+            events.append(ItemEvent(
+                kind=(ItemEventKind.REVISED if i % 5 == 0
+                      else ItemEventKind.CREATED),
+                item_id=s * events_per_stream + i,
+                title=title, leaf_id=leaf_id, timestamp=i * 0.01))
+        feeds[f"stream-{s}"] = events
+    return feeds
+
+
+def run_sync(model, feeds, args):
+    """Sequential baseline: one sync NRTService per stream."""
+    services = {}
+    start = time.perf_counter()
+    for name, events in feeds.items():
+        service = NRTService(model, KeyValueStore(),
+                             window_size=args.window_size,
+                             window_seconds=args.window_seconds,
+                             engine=args.engine, workers=args.workers)
+        for event in events:
+            service.submit(event)
+        service.flush()
+        services[name] = service
+    return time.perf_counter() - start, services
+
+
+def run_async(model, feeds, args):
+    """Concurrent front: every stream multiplexed on one event loop."""
+
+    async def drive():
+        front = AsyncNRTFront(
+            model, window_size=args.window_size,
+            window_seconds=args.window_seconds,
+            wall_clock_seconds=30.0,   # wide: measure ingest, not timers
+            max_pending=args.max_pending,
+            engine=args.engine, workers=args.workers)
+        for name in feeds:
+            front.add_stream(name)
+
+        async def feed(name):
+            for event in feeds[name]:
+                await front.submit(name, event)
+
+        start = time.perf_counter()
+        async with front:              # stop() drains every open window
+            await asyncio.gather(*(feed(name) for name in feeds))
+        return time.perf_counter() - start, front
+
+    return asyncio.run(drive())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--streams", type=int, default=6)
+    parser.add_argument("--events", type=int, default=2000,
+                        help="events per stream")
+    parser.add_argument("--leaves", type=int, default=12)
+    parser.add_argument("--phrases-per-leaf", type=int, default=400)
+    parser.add_argument("--window-size", type=int, default=32)
+    parser.add_argument("--window-seconds", type=float, default=1.0)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--engine", choices=["reference", "fast"],
+                        default="fast")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="per-flush engine workers (forwarded)")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    model, requests = build_world(args.leaves, args.phrases_per_leaf,
+                                  max(args.streams * args.events, 512),
+                                  args.seed)
+    feeds = build_feeds(args.streams, args.events, requests)
+    total_events = args.streams * args.events
+    print(f"world: {model.n_leaves} leaves, {model.n_keyphrases} "
+          f"keyphrases; {args.streams} streams x {args.events} events")
+
+    sync_time = async_time = float("inf")
+    sync_services = front = None
+    for _ in range(args.repeat):
+        elapsed, services = run_sync(model, feeds, args)
+        if elapsed < sync_time:
+            sync_time, sync_services = elapsed, services
+        elapsed, run_front = run_async(model, feeds, args)
+        if elapsed < async_time:
+            async_time, front = elapsed, run_front
+
+    # Byte-identical served output per stream, async vs sync — window
+    # partitioning may differ, the served table may not.
+    for name, events in feeds.items():
+        for event in events:
+            if front.serve(name, event.item_id) \
+                    != sync_services[name].serve(event.item_id):
+                print(f"SERVED MISMATCH on {name} item {event.item_id}")
+                return 1
+
+    speedup = sync_time / async_time if async_time else float("inf")
+    rows = [
+        ["sync sequential", sync_time * 1e3, total_events / sync_time,
+         1.0],
+        [f"async x{args.streams} streams", async_time * 1e3,
+         total_events / async_time, speedup],
+    ]
+    table = render_table(
+        ["front", "total time (ms)", "events/s", "speedup"], rows,
+        title=f"Multi-stream NRT bake-off — {args.streams} streams, "
+              f"{total_events} events, window_size={args.window_size}, "
+              f"engine={args.engine} (served output verified identical)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    emit(RESULTS_DIR, "async_front", table)
+    emit_bench_json(RESULTS_DIR, "async_front", {
+        "verified_identical": True,
+        "workers": args.workers,
+        "streams": args.streams,
+        "events_per_stream": args.events,
+        "window_size": args.window_size,
+        "engine": args.engine,
+        "throughput": {row[0]: row[2] for row in rows},
+        "speedup": {row[0]: row[3] for row in rows},
+    })
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # for _helpers
-from _helpers import RESULTS_DIR, emit
+from _helpers import RESULTS_DIR, emit, emit_bench_json
 
 from repro.core.batch import batch_recommend
 from repro.core.curation import CurationConfig, curate, fast_curate
@@ -264,6 +264,17 @@ def main(argv=None) -> int:
               f"pooled={args.pooled} (models verified bit-identical)")
     RESULTS_DIR.mkdir(exist_ok=True)
     emit(RESULTS_DIR, "model_build", table)
+    # Machine-readable artifact so the perf trajectory is tracked
+    # across PRs (CI asserts it parses and the models were verified).
+    emit_bench_json(RESULTS_DIR, "model_build", {
+        "verified_identical": True,   # bit-identical models + served spot check
+        "workers": args.workers,
+        "parallel": args.parallel,
+        "n_keyphrases": n_keyphrases,
+        "n_stats": len(stats),
+        "throughput": {row[0]: row[2] for row in rows},
+        "speedup": {row[0]: row[3] for row in rows},
+    })
 
     if build_speedup < args.min_speedup:
         print(f"construct speedup {build_speedup:.2f}x below required "

@@ -1,22 +1,27 @@
 """Command-line interface for the GraphEx reproduction.
 
-Mirrors a production workflow in five subcommands::
+Mirrors a production workflow in six subcommands::
 
     repro-graphex simulate  --out logs.json [--profile tiny|default]
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
     repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process]
     repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process]
+    repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
-input) as JSON; ``construct`` persists the model with
+input) as JSON; ``curate`` persists the curated keyphrases *and* the
+curation config (so ``construct`` round-trips the exact configuration);
+``construct`` persists the model with
 :func:`repro.core.serialization.save_model`; ``recommend`` loads and
-serves.  ``evaluate`` runs the miniature Table III comparison.
+serves; ``serve-nrt`` demos the asyncio multi-stream NRT front.
+``evaluate`` runs the miniature Table III comparison.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -68,6 +73,10 @@ def _cmd_curate(args: argparse.Namespace) -> int:
         floor_search_count=args.floor), engine=args.engine)
     payload = {
         "effective_threshold": curated.effective_threshold,
+        # Persist the curation knobs so `construct` rebuilds the exact
+        # CuratedKeyphrases (a round-trip used to silently reset the
+        # config to defaults).
+        "config": dataclasses.asdict(curated.config),
         "leaves": {
             str(leaf_id): {
                 "texts": leaf.texts,
@@ -85,10 +94,13 @@ def _cmd_curate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_construct(args: argparse.Namespace) -> int:
+def _load_curated(path: str):
+    """Rebuild the exact ``curate --out`` CuratedKeyphrases — leaves,
+    effective threshold, *and* curation config (a round-trip used to
+    silently reset the config to defaults)."""
     from .core.curation import CuratedKeyphrases, CuratedLeaf
 
-    with open(args.curated, encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
     leaves = {}
     for leaf_id_str, data in payload["leaves"].items():
@@ -98,10 +110,16 @@ def _cmd_construct(args: argparse.Namespace) -> int:
                 data["recall_counts"]):
             leaf.add(text, search, recall)
         leaves[int(leaf_id_str)] = leaf
-    curated = CuratedKeyphrases(
+    # Older curated files predate the persisted config block; they fall
+    # back to defaults, as before.
+    return CuratedKeyphrases(
         leaves=leaves,
         effective_threshold=payload["effective_threshold"],
-        config=CurationConfig())
+        config=CurationConfig(**payload.get("config", {})))
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    curated = _load_curated(args.curated)
     start = time.perf_counter()
     model = GraphExModel.construct(curated, alignment=args.alignment,
                                    builder=args.builder,
@@ -130,6 +148,71 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     for rec in recs:
         print(f"{rec.score:8.3f}  S={rec.search_count:<8d} "
               f"R={rec.recall_count:<8d} {rec.text}")
+    return 0
+
+
+def _cmd_serve_nrt(args: argparse.Namespace) -> int:
+    """Demo of the asyncio NRT front: synthesize per-stream event feeds
+    from the model's own keyphrases and drive them concurrently."""
+    import asyncio
+    import random
+
+    from .serving import AsyncNRTFront, ItemEvent, ItemEventKind
+
+    model = load_model(args.model)
+    rng = random.Random(args.seed)
+    leaf_ids = model.leaf_ids
+    titles = {leaf_id: model.leaf_graph(leaf_id).label_texts
+              for leaf_id in leaf_ids}
+
+    def make_events(stream_index: int) -> List[ItemEvent]:
+        events = []
+        for i in range(args.events):
+            leaf_id = rng.choice(leaf_ids)
+            pool = titles[leaf_id]
+            events.append(ItemEvent(
+                kind=ItemEventKind.REVISED if rng.random() < 0.3
+                else ItemEventKind.CREATED,
+                item_id=stream_index * args.events + i,
+                title=rng.choice(pool) if pool else "",
+                leaf_id=leaf_id, timestamp=float(i)))
+        return events
+
+    front = AsyncNRTFront(
+        model, window_size=args.window_size,
+        window_seconds=args.window_seconds,
+        engine=args.engine, workers=args.workers,
+        parallel=args.parallel)
+    streams = [f"stream-{i}" for i in range(args.streams)]
+    feeds = {}
+    for index, name in enumerate(streams):
+        front.add_stream(name)
+        feeds[name] = make_events(index)
+
+    async def drive() -> float:
+        # Time the whole run including the shutdown drain: after the
+        # gather, events may still sit in the ingestion queues, and
+        # stopping the clock before stop() would overstate events/s.
+        start = time.perf_counter()
+        async with front:
+            await asyncio.gather(*(
+                _feed(front, name, feeds[name]) for name in streams))
+        return time.perf_counter() - start
+
+    async def _feed(front, name, events):
+        for event in events:
+            await front.submit(name, event)
+
+    elapsed = asyncio.run(drive())
+    total = args.streams * args.events
+    for stats in front.all_stats():
+        print(f"{stats.name}: {stats.n_submitted} events -> "
+              f"{stats.n_windows} windows, {stats.n_inferred} inferred, "
+              f"{stats.n_deleted} deleted, "
+              f"{stats.n_flush_failures} flush failures")
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    print(f"served {total} events across {args.streams} streams "
+          f"in {elapsed:.3f}s ({rate:,.0f} events/s)")
     return 0
 
 
@@ -233,6 +316,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "output, GIL-free tokenization; fast engine "
                             "only)")
     p_rec.set_defaults(func=_cmd_recommend)
+
+    p_srv = sub.add_parser(
+        "serve-nrt",
+        help="demo the asyncio NRT front on synthetic event streams")
+    p_srv.add_argument("--model", required=True)
+    p_srv.add_argument("--streams", type=int, default=3,
+                       help="concurrent NRT streams to drive")
+    p_srv.add_argument("--events", type=int, default=200,
+                       help="events synthesized per stream")
+    p_srv.add_argument("--window-size", type=int, default=32)
+    p_srv.add_argument("--window-seconds", type=float, default=1.0)
+    p_srv.add_argument("--engine", choices=ENGINES, default="fast")
+    p_srv.add_argument("--workers", type=int, default=1)
+    p_srv.add_argument("--parallel", choices=PARALLEL_MODES,
+                       default="thread")
+    p_srv.add_argument("--seed", type=int, default=7)
+    p_srv.set_defaults(func=_cmd_serve_nrt)
 
     p_eval = sub.add_parser("evaluate", help="run the model bake-off")
     p_eval.add_argument("--profile", choices=_PROFILES, default="tiny")

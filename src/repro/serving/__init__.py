@@ -1,15 +1,19 @@
-"""Production serving architecture (paper Figure 7): batch + NRT + KV."""
+"""Production serving architecture (paper Figure 7): batch + NRT + KV,
+plus the asyncio front that multiplexes many NRT streams."""
 
+from .async_front import AsyncNRTFront, StreamStats
 from .batch_pipeline import BatchPipeline, BatchRunReport
 from .kvstore import KeyValueStore
 from .nrt import ItemEvent, ItemEventKind, NRTService, WindowStats
 
 __all__ = [
+    "AsyncNRTFront",
     "BatchPipeline",
     "BatchRunReport",
     "KeyValueStore",
     "ItemEvent",
     "ItemEventKind",
     "NRTService",
+    "StreamStats",
     "WindowStats",
 ]

@@ -1,0 +1,410 @@
+"""Asyncio multi-stream NRT serving front (Figure 7 at production scale).
+
+The paper's NRT branch is "triggered by the event of new item creation
+or revision, behind a Flink processing window".  :class:`NRTService`
+models one such window synchronously; this module puts an asyncio front
+in front of *many* of them, so one process drives many NRT streams —
+one per marketplace site, meta category, or ingest partition — the way
+a Flink job multiplexes keyed windows over one task slot.
+
+Per stream, the front provides what the synchronous service cannot:
+
+* **Bounded ingestion queues.**  ``await submit(...)`` applies
+  backpressure when a stream's queue is full instead of buffering
+  without limit.
+* **Wall-clock window timers.**  :meth:`NRTService.submit` closes
+  windows on *event time* only — a quiet window waits for the next
+  event to observe that its time is up.  The front arms a wall-clock
+  timer whenever a window opens and flushes it when the timer fires,
+  so the last events of a burst are served without waiting for the
+  next burst.
+* **Micro-batch execution off the event loop.**  Window flushes run in
+  an executor (thread pool by default), keeping the loop free to
+  ingest other streams; the micro-batch itself still goes through the
+  existing engines (``engine``/``workers``/``parallel`` are forwarded
+  to :class:`NRTService`, so thread- or process-parallel shard
+  execution composes).
+* **Concurrent KV write-through.**  Each stream writes through to its
+  own :class:`KeyValueStore` (or a shared one — flushes against the
+  same store are serialized with a per-store lock, the stand-in for a
+  KV client's single connection).
+* **Graceful shutdown.**  :meth:`stop` drains every queue and flushes
+  every open window before returning.
+
+Because the front drives unmodified :class:`NRTService` instances and
+that service's crash-safe flush restores the window on failure, a
+failing engine or enrich hook never loses events here either: the
+front counts the failure and retries on the next timer tick or event.
+Per-request inference output does not depend on batch composition (the
+equivalence suites pin this), so the *served* result of a stream is
+byte-identical to a synchronous :class:`NRTService` fed the same event
+sequence, however the wall-clock timers happened to split the windows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.model import GraphExModel
+from .kvstore import KeyValueStore
+from .nrt import ItemEvent, NRTService
+
+#: Sentinel queued by :meth:`AsyncNRTFront.stop` to end a consumer.
+_CLOSE = object()
+
+
+@dataclass
+class StreamStats:
+    """Observability snapshot of one stream.
+
+    ``n_flush_failures`` counts *retryable* mid-flush failures (the
+    crash-safe service kept every event); ``n_dropped`` counts events
+    an exception rejected before they were buffered — the only way the
+    front ever loses an event, and always a malformed one.
+    """
+
+    name: str
+    n_submitted: int
+    n_pending: int
+    n_windows: int
+    n_inferred: int
+    n_deleted: int
+    n_flush_failures: int
+    n_dropped: int
+
+
+class _Stream:
+    """Internal per-stream state: service + queue + consumer task."""
+
+    def __init__(self, name: str, service: NRTService,
+                 queue: "asyncio.Queue", lock: threading.Lock) -> None:
+        self.name = name
+        self.service = service
+        self.queue = queue
+        self.lock = lock
+        self.task: Optional["asyncio.Task"] = None
+        self.opened_wall: Optional[float] = None
+        self.n_submitted = 0
+        self.n_flush_failures = 0
+        self.n_dropped = 0
+
+
+class AsyncNRTFront:
+    """Multiplexes many named NRT streams over one asyncio event loop.
+
+    Args:
+        model: The serving GraphEx model, shared by every stream.
+        window_size: Per-stream count bound, as in :class:`NRTService`.
+        window_seconds: Per-stream *event-time* bound forwarded to
+            :class:`NRTService`.
+        wall_clock_seconds: Wall-clock bound for the front's own window
+            timers (defaults to ``window_seconds``): an open window
+            flushes this many real seconds after it opened even if no
+            further event arrives.
+        max_pending: Bound of each stream's ingestion queue;
+            :meth:`submit` awaits (backpressure) while a queue is full.
+        k, hard_limit, enrich, engine, workers, parallel: Forwarded to
+            each stream's :class:`NRTService`.
+        executor: Optional executor for window flushes.  Defaults to a
+            private thread pool sized to the stream count (processes
+            make no sense here — the service mutates its own buffer);
+            pass a wider pool to overlap more concurrent flushes.
+
+    Usage::
+
+        front = AsyncNRTFront(model, window_size=64)
+        front.add_stream("site-us")
+        front.add_stream("site-de")
+        async with front:                      # start ... stop
+            await front.submit("site-us", event)
+        front.serve("site-us", item_id)        # after (or during) a run
+    """
+
+    def __init__(self, model: GraphExModel, *,
+                 window_size: int = 32, window_seconds: float = 1.0,
+                 wall_clock_seconds: Optional[float] = None,
+                 max_pending: int = 256,
+                 k: int = 20, hard_limit: int = 40,
+                 enrich: Optional[Callable[[ItemEvent], str]] = None,
+                 engine: str = "fast", workers: int = 1,
+                 parallel: str = "thread",
+                 executor: Optional[Executor] = None) -> None:
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}")
+        if wall_clock_seconds is not None and wall_clock_seconds <= 0:
+            raise ValueError("wall_clock_seconds must be > 0, got "
+                             f"{wall_clock_seconds}")
+        self._model = model
+        self._service_kwargs = dict(
+            window_size=window_size, window_seconds=window_seconds,
+            k=k, hard_limit=hard_limit, enrich=enrich, engine=engine,
+            workers=workers, parallel=parallel)
+        self._wall_clock_seconds = (
+            window_seconds if wall_clock_seconds is None
+            else wall_clock_seconds)
+        self._max_pending = max_pending
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._streams: Dict[str, _Stream] = {}
+        self._store_locks: Dict[int, threading.Lock] = {}
+        self._started = False
+        self._closing = False
+        # Constructing a probe service now surfaces bad engine/parallel
+        # combinations at front construction, not at first add_stream.
+        NRTService(model, KeyValueStore(), **self._service_kwargs)
+
+    # ------------------------------------------------------------------
+    # Stream management
+
+    def add_stream(self, name: str,
+                   store: Optional[KeyValueStore] = None) -> KeyValueStore:
+        """Register a named stream; returns its KV store.
+
+        Streams may share a ``store`` (their flushes then serialize on a
+        per-store lock); by default each stream gets a private one.  May
+        be called before or after :meth:`start` — a stream added to a
+        running front starts consuming immediately.
+        """
+        if name in self._streams:
+            raise ValueError(f"stream {name!r} already exists")
+        if self._closing:
+            raise RuntimeError("front is stopping")
+        store = store if store is not None else KeyValueStore()
+        lock = self._store_locks.setdefault(id(store), threading.Lock())
+        service = NRTService(self._model, store, **self._service_kwargs)
+        stream = _Stream(name, service,
+                         asyncio.Queue(maxsize=self._max_pending), lock)
+        self._streams[name] = stream
+        if self._started:
+            stream.task = asyncio.get_running_loop().create_task(
+                self._consume(stream))
+        return store
+
+    @property
+    def stream_names(self) -> List[str]:
+        """Registered stream names, in registration order."""
+        return list(self._streams)
+
+    def _stream(self, name: str) -> _Stream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise KeyError(f"unknown stream {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Spawn the consumer task of every registered stream."""
+        if self._started:
+            raise RuntimeError("front already started")
+        self._started = True
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(2, len(self._streams) or 2),
+                thread_name_prefix="nrt-flush")
+        loop = asyncio.get_running_loop()
+        for stream in self._streams.values():
+            stream.task = loop.create_task(self._consume(stream))
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain every queue, flush every open
+        window, then release the executor.  Idempotent."""
+        if not self._started or self._closing:
+            return
+        self._closing = True
+        for stream in self._streams.values():
+            await stream.queue.put(_CLOSE)
+        await asyncio.gather(*(s.task for s in self._streams.values()
+                               if s.task is not None))
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None   # a restarted front gets a fresh pool
+        self._started = False
+        self._closing = False
+
+    async def __aenter__(self) -> "AsyncNRTFront":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Ingestion and reads
+
+    async def submit(self, name: str, event: ItemEvent) -> None:
+        """Enqueue one event onto a stream (awaits when the stream's
+        queue is full — the backpressure point)."""
+        if self._closing:
+            raise RuntimeError("front is stopping")
+        if not self._started:
+            raise RuntimeError("front not started")
+        stream = self._stream(name)
+        await stream.queue.put(event)
+        stream.n_submitted += 1
+
+    async def join(self) -> None:
+        """Block until every queued event has been *consumed* (pulled
+        off its queue and submitted to its stream's service).  Events
+        may still sit in open window buffers afterwards — pair with
+        :meth:`flush_all` (or :meth:`stop`) to force them out."""
+        await asyncio.gather(*(s.queue.join()
+                               for s in self._streams.values()))
+
+    async def flush_stream(self, name: str) -> None:
+        """Flush one stream's open window now (off the event loop)."""
+        await self._flush(self._stream(name))
+
+    async def flush_all(self) -> None:
+        """Flush every stream's open window concurrently."""
+        await asyncio.gather(*(self._flush(s)
+                               for s in self._streams.values()))
+
+    def serve(self, name: str, item_id: int) -> List[str]:
+        """Seller-facing read: current keyphrases on one stream."""
+        return self._stream(name).service.serve(item_id)
+
+    def stats(self, name: str) -> StreamStats:
+        """Observability snapshot of one stream."""
+        stream = self._stream(name)
+        windows = stream.service.processed_windows
+        return StreamStats(
+            name=name,
+            n_submitted=stream.n_submitted,
+            n_pending=(stream.queue.qsize()
+                       + stream.service.pending_events),
+            n_windows=len(windows),
+            n_inferred=sum(w.n_inferred for w in windows),
+            n_deleted=sum(w.n_deleted for w in windows),
+            n_flush_failures=stream.n_flush_failures,
+            n_dropped=stream.n_dropped)
+
+    def all_stats(self) -> List[StreamStats]:
+        """Snapshots of every stream, in registration order."""
+        return [self.stats(name) for name in self._streams]
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _locked(self, stream: _Stream, fn, *args):
+        """Run a service call under the stream's store lock (executed in
+        the executor; the lock serializes flushes that share a store)."""
+        with stream.lock:
+            return fn(*args)
+
+    def _submit_batch(self, stream: _Stream,
+                      events: List[ItemEvent]) -> Tuple[int, int]:
+        """Submit a drained batch to the service (in the executor).
+
+        Returns ``(flush_failures, dropped)``.  A flush failure is
+        benign: the crash-safe submit kept the event buffered, and a
+        retry (timer, next batch, shutdown) replays it.  ``dropped``
+        counts events an exception rejected *before* they reached the
+        buffer (e.g. a malformed timestamp breaking the window
+        arithmetic) — those are genuinely gone and are surfaced in
+        :class:`StreamStats` rather than miscounted as retryable."""
+        failures = dropped = 0
+        with stream.lock:
+            for event in events:
+                try:
+                    stream.service.submit(event)
+                except Exception:
+                    # Frozen-dataclass equality: any equal event still
+                    # buffered means the crash-safe path retained it.
+                    if event in stream.service._buffer:
+                        failures += 1
+                    else:
+                        dropped += 1
+        return failures, dropped
+
+    async def _flush(self, stream: _Stream) -> None:
+        """One flush attempt off the loop; failures are counted, never
+        raised — the crash-safe service retains the events for retry."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                self._executor, self._locked, stream,
+                stream.service.flush)
+        except Exception:
+            stream.n_flush_failures += 1
+            # Back the timer off one full window before retrying.
+            stream.opened_wall = loop.time()
+        else:
+            stream.opened_wall = None
+
+    async def _consume(self, stream: _Stream) -> None:
+        """Per-stream consumer: serializes the stream's service calls,
+        arming a wall-clock timer whenever a window is open.
+
+        Every event already sitting in the queue rides along in ONE
+        executor hand-off (the submit loop runs off the event loop), so
+        a fast producer costs one thread round-trip per *batch*, not
+        per event."""
+        loop = asyncio.get_running_loop()
+        closing = False
+        while not closing:
+            timeout = None
+            if stream.opened_wall is not None:
+                timeout = max(0.0, self._wall_clock_seconds
+                              - (loop.time() - stream.opened_wall))
+            try:
+                if timeout is None:
+                    event = await stream.queue.get()
+                else:
+                    event = await asyncio.wait_for(stream.queue.get(),
+                                                   timeout)
+            except asyncio.TimeoutError:
+                # The wall-clock window expired with no event in sight:
+                # this is exactly the flush the event-time-only service
+                # cannot perform on its own.
+                await self._flush(stream)
+                continue
+            if event is _CLOSE:
+                stream.queue.task_done()
+                break
+            batch = [event]
+            while True:              # drain whatever is already queued
+                try:
+                    queued = stream.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if queued is _CLOSE:
+                    closing = True
+                    break
+                batch.append(queued)
+            windows_before = len(stream.service.processed_windows)
+            failures, dropped = await loop.run_in_executor(
+                self._executor, self._submit_batch, stream, batch)
+            stream.n_flush_failures += failures
+            stream.n_dropped += dropped
+            for _ in range(len(batch) + (1 if closing else 0)):
+                stream.queue.task_done()
+            if stream.service.pending_events:
+                # The timer measures from window open: (re)arm it when
+                # no window was open, or when the batch closed windows
+                # and its leftover events opened a fresh one (keeping
+                # the old start would fire the new window's timer
+                # prematurely).
+                closed_any = (len(stream.service.processed_windows)
+                              > windows_before)
+                if closed_any or stream.opened_wall is None:
+                    stream.opened_wall = loop.time()
+            else:
+                stream.opened_wall = None
+        # Shutdown: flush whatever is still buffered.  One attempt per
+        # remaining failure budget would be arbitrary — retry while the
+        # flush keeps failing *and* making the failure visible, bounded
+        # to avoid spinning on a permanently broken hook.
+        for _ in range(3):
+            if not stream.service.pending_events:
+                break
+            before = stream.n_flush_failures
+            await self._flush(stream)
+            if stream.n_flush_failures == before:
+                break

@@ -75,13 +75,22 @@ class BatchPipeline:
 
     def full_load(self, requests: Sequence[InferenceRequest]
                   ) -> BatchRunReport:
-        """Part 1: infer every item and promote a fresh version."""
+        """Part 1: infer every item and promote a fresh version.
+
+        Inference runs *before* a version is staged, and a staging
+        failure abandons the version (closing its prune exemption), so
+        an aborted load never leaks a half-written table.
+        """
         results = self._infer(requests)
         version = self.store.create_version()
-        self.store.bulk_load(
-            version,
-            {item_id: [r.text for r in recs]
-             for item_id, recs in results.items()})
+        try:
+            self.store.bulk_load(
+                version,
+                {item_id: [r.text for r in recs]
+                 for item_id, recs in results.items()})
+        except Exception:
+            self.store.abandon(version)
+            raise
         self.store.promote(version)
         # Retention is bounded like the differential path: without this
         # prune, a daily full refresh would retain every historical
@@ -94,18 +103,23 @@ class BatchPipeline:
                            deleted_item_ids: Iterable[int] = ()
                            ) -> BatchRunReport:
         """Part 2: re-infer only changed items, merge with yesterday's
-        table, promote atomically."""
+        table, promote atomically.  A staging failure abandons the
+        version, like :meth:`full_load`."""
         results = self._infer(changed)
         version = self.store.create_version()
-        self.store.copy_from_serving(version)
         n_deleted = 0
-        for item_id in deleted_item_ids:
-            self.store.delete(version, item_id)
-            n_deleted += 1
-        self.store.bulk_load(
-            version,
-            {item_id: [r.text for r in recs]
-             for item_id, recs in results.items()})
+        try:
+            self.store.copy_from_serving(version)
+            for item_id in deleted_item_ids:
+                self.store.delete(version, item_id)
+                n_deleted += 1
+            self.store.bulk_load(
+                version,
+                {item_id: [r.text for r in recs]
+                 for item_id, recs in results.items()})
+        except Exception:
+            self.store.abandon(version)
+            raise
         self.store.promote(version)
         self.store.prune()
         return BatchRunReport(version=version, n_inferred=len(results),

@@ -26,12 +26,20 @@ class KeyValueStore(Generic[V]):
         self._versions: Dict[int, Dict[int, V]] = {}
         self._serving_version: Optional[int] = None
         self._next_version = 1
+        self._open_staging: set = set()
 
     def create_version(self) -> int:
-        """Open a new staging version and return its id."""
+        """Open a new staging version and return its id.
+
+        The version stays *open* — exempt from :meth:`prune` — until it
+        is either :meth:`promote`\\ d or :meth:`abandon`\\ ed, so a slow
+        writer can never have its staging table pruned out from under a
+        later :meth:`put`.
+        """
         version = self._next_version
         self._next_version += 1
         self._versions[version] = {}
+        self._open_staging.add(version)
         return version
 
     def put(self, version: int, key: int, value: V) -> None:
@@ -67,13 +75,38 @@ class KeyValueStore(Generic[V]):
         if version not in self._versions:
             raise KeyError(f"unknown version {version}")
         self._serving_version = version
+        self._open_staging.discard(version)
+
+    def abandon(self, version: int) -> None:
+        """Discard a staging version whose writer failed mid-load.
+
+        Closes the version's prune exemption and drops its data, so a
+        crashed writer (an NRT flush whose engine raised, a batch load
+        that aborted) does not leak an unpromotable table forever.
+
+        Raises:
+            KeyError: If the version does not exist.
+            ValueError: If the version is already serving (abandoning
+                the live table would break every reader).
+        """
+        if version == self._serving_version:
+            raise ValueError("cannot abandon the serving version")
+        if version not in self._versions:
+            raise KeyError(f"unknown version {version}")
+        del self._versions[version]
+        self._open_staging.discard(version)
 
     def get(self, key: int) -> Optional[V]:
         """Point read from the serving version (None when absent or no
         version is serving)."""
         if self._serving_version is None:
             return None
-        return self._versions[self._serving_version].get(key)
+        # .get on the outer dict: a reader racing a concurrent
+        # promote+prune (the async front reads while flushes write
+        # through from executor threads) may observe a version id whose
+        # table was just pruned; that read resolves to "absent", not a
+        # crash.
+        return self._versions.get(self._serving_version, {}).get(key)
 
     def delete(self, version: int, key: int) -> None:
         """Remove one record from a staging version.
@@ -115,10 +148,18 @@ class KeyValueStore(Generic[V]):
         return iter(self._versions[version])
 
     def prune(self, keep_latest: int = 2) -> None:
-        """Drop all but the newest ``keep_latest`` versions (the serving
-        version is always kept)."""
+        """Drop all but the newest ``keep_latest`` versions.
+
+        The serving version is always kept, and so is every *open*
+        staging version (created but not yet promoted or abandoned):
+        pruning a table a writer still holds would make its later
+        :meth:`put` raise ``KeyError`` on a version id it was handed in
+        good faith.  Writers that fail must :meth:`abandon` their
+        version so this exemption does not leak tables forever.
+        """
         keep = set(sorted(self._versions)[-keep_latest:])
         if self._serving_version is not None:
             keep.add(self._serving_version)
+        keep.update(self._open_staging)
         self._versions = {v: data for v, data in self._versions.items()
                           if v in keep}

@@ -118,6 +118,19 @@ class NRTService:
         event never sits buffered until the next arrival (both windows
         may close in one submit; the latest stats are returned, and
         every closed window is recorded in :attr:`processed_windows`).
+
+        Window closure here is *event-time* only: a bound of
+        ``window_seconds`` is judged against event timestamps, so a
+        stale window flushes only when a later event arrives to observe
+        it.  The wall-clock timer that closes a quiet window without a
+        subsequent event lives in the asyncio front
+        (:class:`repro.serving.async_front.AsyncNRTFront`), which drives
+        this service per stream.
+
+        Crash safety: if a flush triggered by this submit fails, the
+        incoming event is *not* lost — it joins the restored window
+        buffer before the exception propagates, so a later retry
+        (:meth:`flush` or the next submit) replays every event.
         """
         if self._window_opened_at is None:
             self._window_opened_at = event.timestamp
@@ -125,7 +138,16 @@ class NRTService:
                    >= self._window_seconds)
         closed: Optional[WindowStats] = None
         if time_up and self._buffer:
-            closed = self.flush()
+            try:
+                closed = self.flush()
+            except Exception:
+                # The failed flush restored the stale window; the
+                # incoming event joins it rather than vanishing with the
+                # exception.  Window composition differs from a clean
+                # run, but per-request output is batch-independent, so
+                # the served result after a successful retry does not.
+                self._buffer.append(event)
+                raise
             self._window_opened_at = event.timestamp
         self._buffer.append(event)
         if len(self._buffer) >= self._window_size:
@@ -133,39 +155,55 @@ class NRTService:
         return closed
 
     def flush(self) -> Optional[WindowStats]:
-        """Process the open window immediately (no-op when empty)."""
+        """Process the open window immediately (no-op when empty).
+
+        Crash safety: on *any* failure — an enrich hook raising, the
+        engine failing mid-batch, a store write erroring — the drained
+        events are restored to the front of the buffer, the window-open
+        timestamp is reinstated, and the staged KV version is abandoned
+        (see :meth:`KeyValueStore.abandon`) before the exception
+        propagates.  No event is ever lost and no unpromotable staging
+        table leaks; a later flush simply retries the whole window.
+        """
         if not self._buffer:
             return None
         events, self._buffer = self._buffer, []
-        self._window_opened_at = None
-
-        # Last event per item wins inside a window (a create followed by a
-        # revise must serve the revised title).
-        latest: Dict[int, ItemEvent] = {}
-        for event in events:
-            latest[event.item_id] = event
+        opened_at, self._window_opened_at = self._window_opened_at, None
 
         version = self._store.create_version()
-        self._store.copy_from_serving(version)
-        n_deleted = 0
-        requests = []
-        for event in latest.values():
-            if event.kind is ItemEventKind.DELETED:
-                self._store.delete(version, event.item_id)
-                n_deleted += 1
-                continue
-            title = self._enrich(event) if self._enrich else event.title
-            requests.append((event.item_id, title, event.leaf_id))
-        # The whole window is one micro-batch through the configured
-        # engine — the Flink-window analogue of the paper's NRT branch.
-        results = batch_recommend(
-            self.model, requests, k=self._k,
-            hard_limit=self._hard_limit, engine=self._engine,
-            workers=self._workers, parallel=self._parallel)
-        n_inferred = len(requests)
-        for item_id, _title, _leaf_id in requests:
-            self._store.put(version, item_id,
-                            [r.text for r in results[item_id]])
+        try:
+            # Last event per item wins inside a window (a create followed
+            # by a revise must serve the revised title).
+            latest: Dict[int, ItemEvent] = {}
+            for event in events:
+                latest[event.item_id] = event
+
+            self._store.copy_from_serving(version)
+            n_deleted = 0
+            requests = []
+            for event in latest.values():
+                if event.kind is ItemEventKind.DELETED:
+                    self._store.delete(version, event.item_id)
+                    n_deleted += 1
+                    continue
+                title = self._enrich(event) if self._enrich else event.title
+                requests.append((event.item_id, title, event.leaf_id))
+            # The whole window is one micro-batch through the configured
+            # engine — the Flink-window analogue of the paper's NRT
+            # branch.
+            results = batch_recommend(
+                self.model, requests, k=self._k,
+                hard_limit=self._hard_limit, engine=self._engine,
+                workers=self._workers, parallel=self._parallel)
+            n_inferred = len(requests)
+            for item_id, _title, _leaf_id in requests:
+                self._store.put(version, item_id,
+                                [r.text for r in results[item_id]])
+        except Exception:
+            self._store.abandon(version)
+            self._buffer[:0] = events
+            self._window_opened_at = opened_at
+            raise
         self._store.promote(version)
         self._store.prune()
         stats = WindowStats(n_events=len(events), n_inferred=n_inferred,

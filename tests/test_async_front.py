@@ -1,0 +1,408 @@
+"""Tests for the asyncio multi-stream NRT front.
+
+Two contracts anchor the suite:
+
+* **Equivalence** — for every stream, the served keyphrases after a run
+  are byte-identical to a synchronous :class:`NRTService` fed the same
+  event sequence, however the wall-clock timers split the windows
+  (per-request output is batch-independent, so window partitioning
+  cannot show through).
+* **Zero event loss** — with a fault-injecting enrich hook failing
+  mid-flush, no event is ever lost on either the sync or the async
+  path: the crash-safe flush restores the window and a retry serves
+  everything (property-based, hypothesis).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    AsyncNRTFront,
+    ItemEvent,
+    ItemEventKind,
+    KeyValueStore,
+    NRTService,
+)
+from tests.conftest import FIG3_LEAF_ID
+
+#: Titles with varying overlap against the Figure 3 keyphrase set (the
+#: last one matches nothing, so some items legitimately serve []).
+TITLES = [
+    "audeze maxwell gaming headphones",
+    "bluetooth wireless headphones new",
+    "gaming headphones xbox",
+    "no tokens in common here",
+]
+
+KINDS = [ItemEventKind.CREATED, ItemEventKind.REVISED,
+         ItemEventKind.DELETED]
+
+
+def make_event(item_id: int, ts: float, title_index: int = 0,
+               kind: ItemEventKind = ItemEventKind.CREATED) -> ItemEvent:
+    return ItemEvent(kind=kind, item_id=item_id,
+                     title=TITLES[title_index % len(TITLES)],
+                     leaf_id=FIG3_LEAF_ID, timestamp=ts)
+
+
+def feed_sync(model, events, **service_kwargs) -> NRTService:
+    """The synchronous comparator: same events, one NRTService."""
+    service = NRTService(model, KeyValueStore(), **service_kwargs)
+    for event in events:
+        service.submit(event)
+    service.flush()
+    return service
+
+
+async def _feed(front: AsyncNRTFront, name: str, events) -> None:
+    for event in events:
+        await front.submit(name, event)
+
+
+class TestMultiStreamEquivalence:
+    def test_three_streams_byte_identical_to_sync(self, fig3_model):
+        """Acceptance: >= 3 concurrent streams, each serving output
+        byte-identical to a sync NRTService fed the same sequence —
+        with tight wall-clock timers deliberately chopping the async
+        windows differently from the sync event-time windows."""
+        streams = {
+            "site-us": [make_event(i, i * 0.4, title_index=i % 4,
+                                   kind=KINDS[i % 2]) for i in range(9)],
+            "site-de": [make_event(i, i * 2.0, title_index=(i + 1) % 4)
+                        for i in range(7)],
+            "site-uk": [make_event(i % 3, i * 0.1, title_index=i % 4,
+                                   kind=KINDS[i % 3]) for i in range(11)],
+        }
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=3,
+                                  window_seconds=1.0,
+                                  wall_clock_seconds=0.02)
+            for name in streams:
+                front.add_stream(name)
+            async with front:
+                await asyncio.gather(*(
+                    _feed(front, name, events)
+                    for name, events in streams.items()))
+            return front
+
+        front = asyncio.run(drive())
+        for name, events in streams.items():
+            sync = feed_sync(fig3_model, events, window_size=3,
+                             window_seconds=1.0)
+            stats = front.stats(name)
+            assert stats.n_pending == 0
+            assert stats.n_flush_failures == 0
+            # Every event was processed exactly once.
+            assert (sum(w.n_events
+                        for w in front._streams[name]
+                        .service.processed_windows) == len(events))
+            for item_id in {e.item_id for e in events}:
+                assert front.serve(name, item_id) \
+                    == sync.serve(item_id), (name, item_id)
+
+    def test_streams_added_while_running(self, fig3_model):
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2)
+            front.add_stream("early")
+            async with front:
+                await front.submit("early", make_event(1, 0.0))
+                front.add_stream("late")   # consuming immediately
+                await front.submit("late", make_event(2, 0.0))
+                await front.submit("late", make_event(3, 0.1))
+            return front
+
+        front = asyncio.run(drive())
+        assert front.serve("late", 2) and front.serve("late", 3)
+        assert front.serve("early", 1)   # drained by shutdown
+
+
+class TestWallClockTimer:
+    def test_flushes_quiet_window_without_subsequent_event(self,
+                                                           fig3_model):
+        """The fix for the event-time-only limitation: a lone event is
+        served after ``wall_clock_seconds`` with no later event (the
+        sync service would buffer it until the next arrival)."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=0.05)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", make_event(1, 0.0))
+                for _ in range(200):          # poll up to ~4s
+                    await asyncio.sleep(0.02)
+                    if front.serve("s", 1):
+                        break
+                # Served *before* shutdown, purely by the timer.
+                assert front.serve("s", 1)
+                assert front.stats("s").n_windows == 1
+            return front
+
+        asyncio.run(drive())
+
+    def test_timer_window_spans_multiple_events(self, fig3_model):
+        """Events arriving within the wall-clock bound share a window;
+        the timer measures from window open, not from the last event."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=0.2)
+            front.add_stream("s")
+            async with front:
+                for i in range(3):
+                    await front.submit("s", make_event(i, float(i)))
+                for _ in range(200):
+                    await asyncio.sleep(0.02)
+                    if front.stats("s").n_windows:
+                        break
+                stats = front.stats("s")
+                assert stats.n_windows == 1
+                assert stats.n_inferred == 3
+            return front
+
+        asyncio.run(drive())
+
+
+class TestShutdownAndBackpressure:
+    def test_graceful_shutdown_drains_open_windows(self, fig3_model):
+        """stop() flushes windows the size/time bounds never closed."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=60.0)
+            for name in ("a", "b"):
+                front.add_stream(name)
+            async with front:
+                for i in range(5):
+                    await front.submit("a", make_event(i, float(i) * 0.1))
+                await front.submit("b", make_event(9, 0.0))
+            return front
+
+        front = asyncio.run(drive())
+        for item_id in range(5):
+            assert front.serve("a", item_id)
+        assert front.serve("b", 9)
+        assert front.stats("a").n_windows == 1   # one drained window
+        assert front.stats("a").n_pending == 0
+
+    def test_bounded_queue_applies_backpressure_without_deadlock(
+            self, fig3_model):
+        """max_pending=1 forces submit to await the consumer; the feed
+        still completes and nothing is dropped."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=4,
+                                  max_pending=1)
+            front.add_stream("s")
+            async with front:
+                await asyncio.gather(*(
+                    _feed(front, "s",
+                          [make_event(10 * p + i, i * 0.1)
+                           for i in range(8)])
+                    for p in range(3)))          # 3 concurrent producers
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert stats.n_submitted == 24
+        assert stats.n_inferred == 24
+        assert stats.n_pending == 0
+
+    def test_shared_store_across_streams(self, fig3_model):
+        """Streams may write through to one store (per-store lock
+        serializes their flushes); reads see both streams' items."""
+        store = KeyValueStore()
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=1)
+            front.add_stream("a", store=store)
+            front.add_stream("b", store=store)
+            async with front:
+                await front.submit("a", make_event(1, 0.0))
+                await front.submit("b", make_event(2, 0.0))
+            return front
+
+        front = asyncio.run(drive())
+        # Both items visible from either stream (same table) and from
+        # the store a batch pipeline would share.
+        for name in ("a", "b"):
+            assert front.serve(name, 1)
+            assert front.serve(name, 2)
+        assert store.get(1) and store.get(2)
+
+    def test_malformed_event_counts_as_dropped_not_retryable(
+            self, fig3_model):
+        """An event rejected *before* it reaches the window buffer (the
+        only loss the front allows) is surfaced as ``n_dropped``, not
+        miscounted as a retryable flush failure; later events still
+        flow."""
+        bad = ItemEvent(kind=ItemEventKind.CREATED, item_id=1,
+                        title=TITLES[0], leaf_id=FIG3_LEAF_ID,
+                        timestamp=None)   # poisons the window arithmetic
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", make_event(7, 0.0))
+                await front.submit("s", bad)
+                await front.submit("s", make_event(8, 0.1))
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert stats.n_dropped == 1
+        assert stats.n_flush_failures == 0
+        assert stats.n_pending == 0
+        assert front.serve("s", 7) and front.serve("s", 8)
+
+    def test_api_contracts(self, fig3_model):
+        front = AsyncNRTFront(fig3_model)
+        front.add_stream("s")
+        with pytest.raises(ValueError, match="already exists"):
+            front.add_stream("s")
+        with pytest.raises(KeyError, match="unknown stream"):
+            front.serve("nope", 1)
+        with pytest.raises(ValueError, match="max_pending"):
+            AsyncNRTFront(fig3_model, max_pending=0)
+        with pytest.raises(ValueError, match="wall_clock_seconds"):
+            AsyncNRTFront(fig3_model, wall_clock_seconds=0.0)
+        # Engine/parallel pairings fail at front construction, exactly
+        # like the sync service (no event can be buffered then lost).
+        with pytest.raises(ValueError, match="unknown engine"):
+            AsyncNRTFront(fig3_model, engine="warp")
+        with pytest.raises(ValueError, match="single-process"):
+            AsyncNRTFront(fig3_model, engine="reference",
+                          parallel="process")
+
+        async def submit_unstarted():
+            await front.submit("s", make_event(1, 0.0))
+
+        with pytest.raises(RuntimeError, match="not started"):
+            asyncio.run(submit_unstarted())
+
+
+# ---------------------------------------------------------------------
+# Zero-event-loss property (acceptance criterion), sync and async.
+
+event_specs = st.lists(
+    st.tuples(st.integers(0, 5),                 # item id
+              st.sampled_from(KINDS),            # lifecycle kind
+              st.integers(0, 3),                 # title index
+              st.sampled_from([0.05, 0.3, 2.0])  # event-time gap
+              ),
+    min_size=1, max_size=16)
+
+
+def build_events(specs) -> list:
+    events, ts = [], 0.0
+    for item_id, kind, title_index, gap in specs:
+        ts += gap
+        events.append(make_event(item_id, ts, title_index, kind))
+    return events
+
+
+class FlakyEnrich:
+    """Fault injection: fail the first ``n_failures`` flush attempts.
+
+    Raises on its first call inside a flush (aborting that flush) while
+    budget remains; the lock keeps the budget exact when flushes run
+    concurrently in executor threads.
+    """
+
+    def __init__(self, n_failures: int) -> None:
+        self.remaining = n_failures
+        self._lock = threading.Lock()
+
+    def __call__(self, event: ItemEvent) -> str:
+        with self._lock:
+            if self.remaining > 0:
+                self.remaining -= 1
+                raise RuntimeError("injected mid-flush failure")
+        return event.title
+
+
+class TestZeroEventLoss:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs=event_specs, n_failures=st.integers(0, 3),
+           window_size=st.integers(1, 4))
+    def test_sync_no_loss_under_mid_flush_failures(
+            self, fig3_model, specs, n_failures, window_size):
+        events = build_events(specs)
+        flaky = FlakyEnrich(n_failures)
+        store = KeyValueStore()
+        service = NRTService(fig3_model, store, window_size=window_size,
+                             window_seconds=1.0, enrich=flaky)
+        for event in events:
+            try:
+                service.submit(event)
+            except RuntimeError:
+                pass                         # event retained, retry later
+        for _ in range(n_failures + 1):      # retries bounded by budget
+            try:
+                service.flush()
+                break
+            except RuntimeError:
+                continue
+        assert service.pending_events == 0
+        # Every event was processed exactly once, across all retries.
+        assert sum(w.n_events for w in service.processed_windows) \
+            == len(events)
+        # No leaked staging table: every retained version was promoted
+        # or abandoned (serving + at most keep_latest retained).
+        assert len(store.versions) <= 2
+        clean = feed_sync(fig3_model, events, window_size=window_size,
+                          window_seconds=1.0)
+        for item_id in {e.item_id for e in events}:
+            assert service.serve(item_id) == clean.serve(item_id)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs=event_specs, n_failures=st.integers(0, 3),
+           window_size=st.integers(1, 4))
+    def test_async_no_loss_under_mid_flush_failures(
+            self, fig3_model, specs, n_failures, window_size):
+        events = build_events(specs)
+        flaky = FlakyEnrich(n_failures)
+        names = ("s0", "s1", "s2")
+
+        async def drive():
+            front = AsyncNRTFront(
+                fig3_model, window_size=window_size, window_seconds=1.0,
+                wall_clock_seconds=30.0,     # timers out of the picture
+                enrich=flaky)
+            for name in names:
+                front.add_stream(name)
+            async with front:
+                await asyncio.gather(*(
+                    _feed(front, name, events) for name in names))
+                await front.join()           # queues fully consumed
+                for _ in range(n_failures + 1):
+                    if not any(s.n_pending for s in front.all_stats()):
+                        break
+                    await front.flush_all()
+            return front
+
+        front = asyncio.run(drive())
+        clean = feed_sync(fig3_model, events, window_size=window_size,
+                          window_seconds=1.0)
+        for name in names:
+            stats = front.stats(name)
+            assert stats.n_pending == 0
+            assert (sum(w.n_events
+                        for w in front._streams[name]
+                        .service.processed_windows) == len(events))
+            for item_id in {e.item_id for e in events}:
+                assert front.serve(name, item_id) \
+                    == clean.serve(item_id), (name, item_id)

@@ -147,3 +147,51 @@ class TestWorkflow:
             build_parser().parse_args(
                 ["recommend", "--model", "m", "--title", "t",
                  "--leaf", "1", "--engine", "warp"])
+
+    def test_curated_json_round_trips_curation_config(self, workflow_dir,
+                                                      tmp_path):
+        """Regression: construct used to rebuild CuratedKeyphrases with
+        ``CurationConfig()`` defaults, silently discarding the knobs
+        ``curate`` actually ran with."""
+        from repro.cli import _load_curated
+        from repro.core.curation import CurationConfig
+
+        out = tmp_path / "curated_knobs.json"
+        assert main(["curate", "--log", str(workflow_dir / "log.json"),
+                     "--out", str(out), "--min-search-count", "5",
+                     "--min-keyphrases", "77", "--floor", "3"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["min_search_count"] == 5
+        restored = _load_curated(str(out))
+        assert restored.config == CurationConfig(
+            min_search_count=5, min_keyphrases=77, floor_search_count=3)
+
+    def test_construct_accepts_legacy_curated_json(self, workflow_dir,
+                                                   tmp_path):
+        """Curated files written before the config block still load,
+        falling back to defaults (the old behavior, now explicit)."""
+        from repro.cli import _load_curated
+        from repro.core.curation import CurationConfig
+
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        payload.pop("config")
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps(payload))
+        assert _load_curated(str(legacy)).config == CurationConfig()
+        assert main(["construct", "--curated", str(legacy), "--out",
+                     str(tmp_path / "legacy_model")]) == 0
+
+    def test_serve_nrt_demo_runs_multi_stream(self, workflow_dir, capsys):
+        assert main(["serve-nrt", "--model", str(workflow_dir / "model"),
+                     "--streams", "3", "--events", "40",
+                     "--window-size", "8"]) == 0
+        out = capsys.readouterr().out
+        for stream in ("stream-0", "stream-1", "stream-2"):
+            assert stream in out
+        assert "0 flush failures" in out
+        assert "120 events across 3 streams" in out
+
+    def test_serve_nrt_rejects_bad_engine_pairing(self, workflow_dir):
+        with pytest.raises(ValueError, match="single-process"):
+            main(["serve-nrt", "--model", str(workflow_dir / "model"),
+                  "--engine", "reference", "--parallel", "process"])

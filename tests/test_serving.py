@@ -91,7 +91,9 @@ class TestKeyValueStore:
     def test_prune_keeps_serving(self):
         store = KeyValueStore()
         versions = [store.create_version() for _ in range(5)]
-        store.promote(versions[0])
+        for version in versions:
+            store.promote(version)   # each once-promoted: no open writers
+        store.promote(versions[0])   # serving is the oldest
         store.prune(keep_latest=2)
         assert versions[0] in store.versions
         assert len(store.versions) <= 3
@@ -115,6 +117,53 @@ class TestKeyValueStore:
             store.delete(77, 1)
         with pytest.raises(KeyError):
             store.put(77, 1, "x")
+
+    def test_prune_exempts_open_staging_version(self):
+        """Regression: ``prune(keep_latest=1)`` used to drop an open
+        (created, never promoted) staging version a writer still held,
+        so the writer's later ``put`` raised KeyError on a version id it
+        was handed in good faith."""
+        store = KeyValueStore()
+        v1 = store.create_version()
+        store.promote(v1)
+        slow_writer = store.create_version()   # open staging
+        v3 = store.create_version()
+        store.promote(v3)
+        store.prune(keep_latest=1)
+        store.put(slow_writer, 1, "late write")   # must not raise
+        store.promote(slow_writer)
+        assert store.get(1) == "late write"
+
+    def test_prune_drops_abandoned_and_superseded_versions(self):
+        """The exemption is only for *open* versions: abandoning closes
+        it, and promoted-then-superseded tables still prune away."""
+        store = KeyValueStore()
+        old = store.create_version()
+        store.promote(old)
+        failed = store.create_version()
+        store.abandon(failed)
+        for _ in range(3):
+            v = store.create_version()
+            store.promote(v)
+            store.prune(keep_latest=1)
+        assert failed not in store.versions
+        assert old not in store.versions
+        assert store.versions == [v]
+
+    def test_abandon_contracts(self):
+        """Abandon mirrors the other mutators: unknown version raises
+        KeyError, the serving version is untouchable."""
+        store = KeyValueStore()
+        with pytest.raises(KeyError):
+            store.abandon(77)
+        v = store.create_version()
+        store.promote(v)
+        with pytest.raises(ValueError):
+            store.abandon(v)
+        staged = store.create_version()
+        store.abandon(staged)
+        with pytest.raises(KeyError):
+            store.put(staged, 1, "x")  # abandoned: the table is gone
 
 
 class TestBatchPipeline:
@@ -190,6 +239,38 @@ class TestBatchPipeline:
         pipeline = BatchPipeline(model, hard_limit=1)
         pipeline.full_load(REQUESTS)
         assert len(pipeline.serve(1)) <= 1
+
+    def test_failed_load_abandons_staged_version(self, model):
+        """A staging failure must not leak an open (prune-exempt)
+        version: the pipeline abandons it and the store stays clean."""
+
+        class FlakyStore(KeyValueStore):
+            fail_next = False
+
+            def bulk_load(self, version, records):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise RuntimeError("kv outage")
+                super().bulk_load(version, records)
+
+        store = FlakyStore()
+        pipeline = BatchPipeline(model, store=store)
+        pipeline.full_load(REQUESTS)
+        serving_before = store.serving_version
+        versions_before = store.versions
+        for run in (lambda: pipeline.full_load(REQUESTS),
+                    lambda: pipeline.daily_differential(
+                        [(1, "gaming headphones xbox", FIG3_LEAF_ID)])):
+            store.fail_next = True
+            with pytest.raises(RuntimeError, match="kv outage"):
+                run()
+            assert store.serving_version == serving_before
+            assert store.versions == versions_before
+            assert pipeline.serve(1)  # still serving the old table
+        # The next clean run works and prunes normally.
+        report = pipeline.daily_differential(
+            [(1, "gaming headphones xbox", FIG3_LEAF_ID)])
+        assert store.serving_version == report.version
 
 
 class TestNRTService:
@@ -363,6 +444,89 @@ class TestNRTService:
         service.submit(self._event(1, 0.0))
         service.submit(self._event(2, 0.1))
         assert len(service.processed_windows) == 2
+
+    def test_flush_failure_loses_no_events_and_no_version(self, model):
+        """Regression: a failing enrich hook (or engine) mid-flush used
+        to lose the whole drained window *and* leak the staged KV
+        version unpromoted.  Now the events are restored, the version is
+        abandoned, and a retry serves everything."""
+        state = {"failures": 2}
+
+        def flaky_enrich(event):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise RuntimeError("enrichment outage")
+            return event.title
+
+        store = KeyValueStore()
+        service = NRTService(model, store, window_size=10,
+                             enrich=flaky_enrich)
+        service.submit(self._event(1, 0.0))
+        service.submit(self._event(2, 0.1))
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="enrichment outage"):
+                service.flush()
+            assert service.pending_events == 2   # window restored
+            assert store.versions == []          # staged version abandoned
+            assert service.processed_windows == []
+        stats = service.flush()                  # failures exhausted
+        assert stats is not None and stats.n_events == 2
+        assert stats.n_inferred == 2
+        assert service.serve(1) and service.serve(2)
+
+        clean = self._service(model, window_size=10)
+        clean.submit(self._event(1, 0.0))
+        clean.submit(self._event(2, 0.1))
+        clean.flush()
+        assert service.serve(1) == clean.serve(1)
+        assert service.serve(2) == clean.serve(2)
+
+    def test_failed_time_up_flush_keeps_incoming_event(self, model):
+        """The event whose arrival triggered the failing time-up flush
+        must not vanish with the exception: it joins the restored window
+        and is served by the retry."""
+        state = {"failures": 1}
+
+        def flaky_enrich(event):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise RuntimeError("boom")
+            return event.title
+
+        service = NRTService(model, KeyValueStore(), window_size=10,
+                             window_seconds=1.0, enrich=flaky_enrich)
+        service.submit(self._event(1, 0.0))
+        with pytest.raises(RuntimeError, match="boom"):
+            service.submit(self._event(2, 5.0))  # time-up flush fails
+        assert service.pending_events == 2
+        stats = service.flush()
+        assert stats.n_events == 2
+        assert service.serve(1) and service.serve(2)
+
+    def test_engine_failure_mid_flush_is_crash_safe(self, model,
+                                                    monkeypatch):
+        """Same crash-safety contract when the *engine* (not the enrich
+        hook) raises: window restored, staged version abandoned."""
+        import repro.serving.nrt as nrt_module
+        real = nrt_module.batch_recommend
+        state = {"failures": 1}
+
+        def flaky_engine(*args, **kwargs):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise RuntimeError("engine outage")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(nrt_module, "batch_recommend", flaky_engine)
+        store = KeyValueStore()
+        service = NRTService(model, store, window_size=2)
+        service.submit(self._event(1, 0.0))
+        with pytest.raises(RuntimeError, match="engine outage"):
+            service.submit(self._event(2, 0.1))  # size-bound flush fails
+        assert service.pending_events == 2
+        assert store.versions == []
+        assert service.flush().n_inferred == 2
+        assert service.serve(1) and service.serve(2)
 
     def test_shares_store_with_batch(self, model):
         """NRT writes land in the same store the batch pipeline serves —

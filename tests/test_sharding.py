@@ -211,3 +211,100 @@ class TestTokenCacheStateMerge:
         assert parent.resolve_raws(["!!!"]) == [-1]
         assert parent.tokens_for(parent.resolve_raws(["good", "words"])) \
             == ["good", "words"]
+
+
+class TestLazyImportCycleContract:
+    """``validate_model_for_engine`` (repro.core.batch) imports
+    ``sharding`` and ``fast_inference`` *inside* the call: a top-level
+    import would close the cycle batch -> sharding -> fast_inference ->
+    batch.  Pinned in fresh interpreters so a refactor that hoists the
+    imports fails here, not as a bootstrap-order-dependent ImportError
+    in production."""
+
+    def _fresh_python(self, code: str) -> None:
+        import os
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              cwd=os.path.dirname(os.path.dirname(
+                                  os.path.abspath(__file__))),
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_batch_has_no_module_level_cycle_imports(self):
+        """Static pin: batch.py must not import sharding/fast_inference
+        at module level (the package __init__ masks the cycle when the
+        whole package imports, so this is checked on the source)."""
+        import ast
+        import repro.core.batch as batch_module
+
+        with open(batch_module.__file__, encoding="utf-8") as fh:
+            tree = ast.parse(fh.read())
+        offenders = [
+            node.module for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom)
+            and node.col_offset == 0
+            and node.module in ("sharding", "fast_inference")]
+        assert offenders == [], (
+            f"batch.py imports {offenders} at module level — that "
+            f"closes the batch -> sharding -> fast_inference -> batch "
+            f"cycle the lazy imports exist to break")
+
+    def test_import_order_is_irrelevant(self):
+        # Either module may bootstrap first; the validator still works.
+        for first in ("repro.core.sharding", "repro.core.batch",
+                      "repro.core.fast_inference"):
+            self._fresh_python(
+                f"import {first}\n"
+                "from repro.core.batch import validate_model_for_engine\n"
+                "from tests.conftest import build_fig3_curated\n"
+                "from repro.core.model import GraphExModel\n"
+                "model = GraphExModel.construct(build_fig3_curated())\n"
+                "validate_model_for_engine(model, 'fast', 'process')\n")
+
+    def test_validator_probes_after_lazy_import(self):
+        """The call itself exercises both lazy imports: parallel-mode
+        validation (sharding) and the runner probe (fast_inference)."""
+        from repro.core.batch import validate_model_for_engine
+        model = make_model({1: [("gaming headset", 5, 5)]})
+        validate_model_for_engine(model, "fast", "process")
+        with pytest.raises(ValueError, match="semantics reference"):
+            validate_model_for_engine(model, "reference", "process")
+
+
+class TestDifferentialUpdateProcessShards:
+    def test_duplicate_item_ids_across_process_shards_last_wins(self):
+        """``differential_update(parallel='process')`` with the same
+        item id re-inferred in requests that land on *different* shards
+        (different leaf groups) must keep the last request, exactly like
+        the single-process paths."""
+        from repro.core.batch import differential_update
+
+        model = make_model({
+            leaf_id: [(f"shard{leaf_id} phrase {i}", 5 + i, 5)
+                      for i in range(4)]
+            for leaf_id in (1, 2, 3, 4)})
+        previous = {7: [], 99: []}
+        # Item 7 appears three times, targeting three different leaves —
+        # the LPT plan spreads those leaf groups across shards.
+        changed = [
+            (7, "shard1 phrase 0", 1),
+            (8, "shard2 phrase 1", 2),
+            (7, "shard3 phrase 2", 3),
+            (9, "shard4 phrase 3", 4),
+            (7, "shard2 phrase 0", 2),   # last one wins
+        ]
+        kwargs = dict(deleted_item_ids=[99, 7], k=5)
+        expected = differential_update(model, previous, changed,
+                                       engine="reference", **kwargs)
+        for workers in (2, 3):
+            merged = differential_update(model, previous, changed,
+                                         workers=workers,
+                                         parallel="process", **kwargs)
+            assert merged == expected
+            # Same-day delete+revise resolves to the revision across
+            # shard boundaries too.
+            assert merged[7] and merged[7] == expected[7]
+            assert 99 not in merged
