@@ -10,6 +10,13 @@ Synthesizes one event feed per stream from the shared synthetic world
   concurrently: bounded queues, wall-clock timers armed (set wide so
   the measurement is pure ingest+flush), micro-batches handed off to
   the executor.
+* **async + mid-run hot-swap** (default; ``--no-hot-swap`` skips it) —
+  the same run with a zero-downtime ``refresh_model`` issued halfway
+  through every feed, swapping in an identical rebuild of the model
+  (the daily-refresh stand-in).  The column shows the throughput dip
+  the per-stream quiesce costs; the served output must still be
+  byte-identical to the sync baseline, and at least one window must
+  have been served by the swapped-in generation.
 
 Both paths use the same engine configuration, and the served output of
 every stream is verified **byte-identical** between them before any
@@ -79,8 +86,13 @@ def run_sync(model, feeds, args):
     return time.perf_counter() - start, services
 
 
-def run_async(model, feeds, args):
-    """Concurrent front: every stream multiplexed on one event loop."""
+def run_async(model, feeds, args, swap_to=None):
+    """Concurrent front: every stream multiplexed on one event loop.
+
+    With ``swap_to``, a zero-downtime model hot-swap is issued halfway
+    through every feed — the throughput then includes the quiesce dip —
+    and all post-swap windows run under the swapped-in model.
+    """
 
     async def drive():
         front = AsyncNRTFront(
@@ -92,13 +104,25 @@ def run_async(model, feeds, args):
         for name in feeds:
             front.add_stream(name)
 
-        async def feed(name):
-            for event in feeds[name]:
+        async def feed(name, events):
+            for event in events:
                 await front.submit(name, event)
 
         start = time.perf_counter()
         async with front:              # stop() drains every open window
-            await asyncio.gather(*(feed(name) for name in feeds))
+            if swap_to is None:
+                await asyncio.gather(*(feed(name, feeds[name])
+                                       for name in feeds))
+            else:
+                half = {name: len(events) // 2
+                        for name, events in feeds.items()}
+                await asyncio.gather(*(feed(name,
+                                            feeds[name][:half[name]])
+                                       for name in feeds))
+                await front.refresh_model(swap_to)
+                await asyncio.gather(*(feed(name,
+                                            feeds[name][half[name]:])
+                                       for name in feeds))
         return time.perf_counter() - start, front
 
     return asyncio.run(drive())
@@ -118,6 +142,11 @@ def main(argv=None) -> int:
                         default="fast")
     parser.add_argument("--workers", type=int, default=1,
                         help="per-flush engine workers (forwarded)")
+    parser.add_argument("--hot-swap", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="also measure a run with a mid-run "
+                             "zero-downtime model hot-swap (served "
+                             "output verified identical)")
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
@@ -130,8 +159,17 @@ def main(argv=None) -> int:
     print(f"world: {model.n_leaves} leaves, {model.n_keyphrases} "
           f"keyphrases; {args.streams} streams x {args.events} events")
 
-    sync_time = async_time = float("inf")
-    sync_services = front = None
+    swap_model = None
+    if args.hot_swap:
+        # The daily refresh stand-in: an identical rebuild of the world
+        # (construction is deterministic), so the hot-swapped run must
+        # still serve byte-identically to the sync baseline.
+        swap_model, _ = build_world(
+            args.leaves, args.phrases_per_leaf,
+            max(args.streams * args.events, 512), args.seed)
+
+    sync_time = async_time = swap_time = float("inf")
+    sync_services = front = swap_front = None
     for _ in range(args.repeat):
         elapsed, services = run_sync(model, feeds, args)
         if elapsed < sync_time:
@@ -139,15 +177,38 @@ def main(argv=None) -> int:
         elapsed, run_front = run_async(model, feeds, args)
         if elapsed < async_time:
             async_time, front = elapsed, run_front
+        if swap_model is not None:
+            elapsed, run_front = run_async(model, feeds, args,
+                                           swap_to=swap_model)
+            if elapsed < swap_time:
+                swap_time, swap_front = elapsed, run_front
 
     # Byte-identical served output per stream, async vs sync — window
-    # partitioning may differ, the served table may not.
-    for name, events in feeds.items():
-        for event in events:
-            if front.serve(name, event.item_id) \
-                    != sync_services[name].serve(event.item_id):
-                print(f"SERVED MISMATCH on {name} item {event.item_id}")
-                return 1
+    # partitioning (and, for the hot-swap run, which model generation
+    # served a window) may differ, the served table may not.
+    checked_fronts = [("async", front)]
+    if swap_front is not None:
+        checked_fronts.append(("hot-swap", swap_front))
+    for tag, checked in checked_fronts:
+        for name, events in feeds.items():
+            for event in events:
+                if checked.serve(name, event.item_id) \
+                        != sync_services[name].serve(event.item_id):
+                    print(f"SERVED MISMATCH ({tag}) on {name} "
+                          f"item {event.item_id}")
+                    return 1
+    if swap_front is not None:
+        if swap_front.model_generation != 1:
+            print("HOT-SWAP DID NOT LAND (generation "
+                  f"{swap_front.model_generation})")
+            return 1
+        post_swap = sum(
+            w.model_generation == 1
+            for name in feeds
+            for w in swap_front.processed_windows(name))
+        if not post_swap:
+            print("HOT-SWAP SERVED NO GENERATION-1 WINDOW")
+            return 1
 
     speedup = sync_time / async_time if async_time else float("inf")
     rows = [
@@ -156,6 +217,11 @@ def main(argv=None) -> int:
         [f"async x{args.streams} streams", async_time * 1e3,
          total_events / async_time, speedup],
     ]
+    if swap_front is not None:
+        rows.append(
+            ["async + mid-run hot-swap", swap_time * 1e3,
+             total_events / swap_time,
+             sync_time / swap_time if swap_time else float("inf")])
     table = render_table(
         ["front", "total time (ms)", "events/s", "speedup"], rows,
         title=f"Multi-stream NRT bake-off — {args.streams} streams, "
@@ -170,6 +236,8 @@ def main(argv=None) -> int:
         "events_per_stream": args.events,
         "window_size": args.window_size,
         "engine": args.engine,
+        "hot_swap": swap_front is not None,
+        "hot_swap_verified": swap_front is not None,
         "throughput": {row[0]: row[2] for row in rows},
         "speedup": {row[0]: row[3] for row in rows},
     })

@@ -6,7 +6,7 @@ Mirrors a production workflow in six subcommands::
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
     repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process]
     repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process]
-    repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N]
+    repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N] [--refresh-after N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
@@ -14,7 +14,8 @@ input) as JSON; ``curate`` persists the curated keyphrases *and* the
 curation config (so ``construct`` round-trips the exact configuration);
 ``construct`` persists the model with
 :func:`repro.core.serialization.save_model`; ``recommend`` loads and
-serves; ``serve-nrt`` demos the asyncio multi-stream NRT front.
+serves; ``serve-nrt`` demos the asyncio multi-stream NRT front
+(``--refresh-after`` adds a mid-run zero-downtime model hot-swap).
 ``evaluate`` runs the miniature Table III comparison.
 """
 
@@ -189,14 +190,35 @@ def _cmd_serve_nrt(args: argparse.Namespace) -> int:
         front.add_stream(name)
         feeds[name] = make_events(index)
 
+    split = min(args.refresh_after, args.events) \
+        if args.refresh_after > 0 else 0
+
     async def drive() -> float:
         # Time the whole run including the shutdown drain: after the
         # gather, events may still sit in the ingestion queues, and
         # stopping the clock before stop() would overstate events/s.
         start = time.perf_counter()
         async with front:
-            await asyncio.gather(*(
-                _feed(front, name, feeds[name]) for name in streams))
+            if split:
+                # The daily-refresh demo: swap in a freshly loaded
+                # model mid-run (here: the same model re-read from
+                # disk, standing in for today's rebuild) while traffic
+                # keeps flowing — no stream stops serving.
+                await asyncio.gather(*(
+                    _feed(front, name, feeds[name][:split])
+                    for name in streams))
+                fresh = await asyncio.get_running_loop() \
+                    .run_in_executor(None, load_model, args.model)
+                generation = await front.refresh_model(fresh)
+                print(f"hot-swapped to model generation {generation} "
+                      f"after {split} events/stream "
+                      "(traffic kept flowing)")
+                await asyncio.gather(*(
+                    _feed(front, name, feeds[name][split:])
+                    for name in streams))
+            else:
+                await asyncio.gather(*(
+                    _feed(front, name, feeds[name]) for name in streams))
         return time.perf_counter() - start
 
     async def _feed(front, name, events):
@@ -210,6 +232,15 @@ def _cmd_serve_nrt(args: argparse.Namespace) -> int:
               f"{stats.n_windows} windows, {stats.n_inferred} inferred, "
               f"{stats.n_deleted} deleted, "
               f"{stats.n_flush_failures} flush failures")
+        if split:
+            by_generation: dict = {}
+            for window in front.processed_windows(stats.name):
+                by_generation[window.model_generation] = \
+                    by_generation.get(window.model_generation, 0) + 1
+            generations = ", ".join(
+                f"gen {generation}: {count}"
+                for generation, count in sorted(by_generation.items()))
+            print(f"  windows by model generation: {generations}")
     rate = total / elapsed if elapsed > 0 else float("inf")
     print(f"served {total} events across {args.streams} streams "
           f"in {elapsed:.3f}s ({rate:,.0f} events/s)")
@@ -331,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--workers", type=int, default=1)
     p_srv.add_argument("--parallel", choices=PARALLEL_MODES,
                        default="thread")
+    p_srv.add_argument("--refresh-after", type=int, default=0,
+                       help="hot-swap a freshly loaded model after this "
+                            "many events per stream, mid-run (0 = no "
+                            "refresh demo)")
     p_srv.add_argument("--seed", type=int, default=7)
     p_srv.set_defaults(func=_cmd_serve_nrt)
 

@@ -1,19 +1,23 @@
 """Production serving architecture (paper Figure 7): batch + NRT + KV,
-plus the asyncio front that multiplexes many NRT streams."""
+the asyncio front that multiplexes many NRT streams, and the daily
+refresh orchestrator that hot-swaps fresh models into all of them."""
 
 from .async_front import AsyncNRTFront, StreamStats
 from .batch_pipeline import BatchPipeline, BatchRunReport
 from .kvstore import KeyValueStore
 from .nrt import ItemEvent, ItemEventKind, NRTService, WindowStats
+from .refresh import DailyRefreshOrchestrator, RefreshReport
 
 __all__ = [
     "AsyncNRTFront",
     "BatchPipeline",
     "BatchRunReport",
+    "DailyRefreshOrchestrator",
     "KeyValueStore",
     "ItemEvent",
     "ItemEventKind",
     "NRTService",
+    "RefreshReport",
     "StreamStats",
     "WindowStats",
 ]

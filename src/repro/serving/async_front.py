@@ -29,7 +29,13 @@ Per stream, the front provides what the synchronous service cannot:
   same store are serialized with a per-store lock, the stand-in for a
   KV client's single connection).
 * **Graceful shutdown.**  :meth:`stop` drains every queue and flushes
-  every open window before returning.
+  every open window before returning — including events a racing
+  submit managed to enqueue behind the shutdown sentinel.
+* **Zero-downtime model hot-swap.**  :meth:`refresh_model` quiesces
+  each stream in turn (under its store lock, off the event loop, so a
+  flush in progress completes under the model that drained its window)
+  and retargets it to a freshly constructed model — the paper's daily
+  refresh — without dropping an event or interrupting reads.
 
 Because the front drives unmodified :class:`NRTService` instances and
 that service's crash-safe flush restores the window on failure, a
@@ -51,7 +57,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.model import GraphExModel
 from .kvstore import KeyValueStore
-from .nrt import ItemEvent, NRTService
+from .nrt import ItemEvent, NRTService, WindowStats, next_generation
 
 #: Sentinel queued by :meth:`AsyncNRTFront.stop` to end a consumer.
 _CLOSE = object()
@@ -65,6 +71,9 @@ class StreamStats:
     crash-safe service kept every event); ``n_dropped`` counts events
     an exception rejected before they were buffered — the only way the
     front ever loses an event, and always a malformed one.
+    ``n_pending`` is a point-in-time queue+buffer depth; a snapshot
+    taken while :meth:`AsyncNRTFront.stop` is draining may transiently
+    count the queued shutdown sentinel as one extra pending event.
     """
 
     name: str
@@ -152,6 +161,7 @@ class AsyncNRTFront:
         self._owns_executor = executor is None
         self._streams: Dict[str, _Stream] = {}
         self._store_locks: Dict[int, threading.Lock] = {}
+        self._generation = 0
         self._started = False
         self._closing = False
         # Constructing a probe service now surfaces bad engine/parallel
@@ -175,8 +185,23 @@ class AsyncNRTFront:
         if self._closing:
             raise RuntimeError("front is stopping")
         store = store if store is not None else KeyValueStore()
-        lock = self._store_locks.setdefault(id(store), threading.Lock())
+        # The stream serializes its service calls on the store's own
+        # transaction lock, so flushes sharing a store serialize not
+        # just with each other but with ANY writer holding it — e.g. a
+        # daily full load refreshing the same store from another
+        # thread.  (Duck-typed stores without a lock fall back to a
+        # per-front one, which still serializes the front's own
+        # streams.)
+        lock = getattr(store, "lock", None)
+        if lock is None:
+            lock = self._store_locks.setdefault(id(store),
+                                                threading.Lock())
         service = NRTService(self._model, store, **self._service_kwargs)
+        if self._generation:
+            # A stream added after a hot-swap starts on the refreshed
+            # model already (self._model tracks it); align its window
+            # generation stamps with the rest of the front.
+            service.refresh_model(self._model, self._generation)
         stream = _Stream(name, service,
                          asyncio.Queue(maxsize=self._max_pending), lock)
         self._streams[name] = stream
@@ -266,9 +291,75 @@ class AsyncNRTFront:
         await asyncio.gather(*(self._flush(s)
                                for s in self._streams.values()))
 
+    @property
+    def model_generation(self) -> int:
+        """How many model refreshes this front has seen (0 = the
+        construction-time model)."""
+        return self._generation
+
+    async def refresh_model(self, model: GraphExModel,
+                            generation: Optional[int] = None) -> int:
+        """Zero-downtime hot-swap: retarget every stream to ``model``.
+
+        The daily loop's serving edge: a freshly constructed model is
+        swapped into a *running* front without dropping an event or
+        interrupting reads.  The new model is validated against the
+        front's engine/parallel configuration first, so an incompatible
+        model leaves every stream serving the old one.  Then each
+        stream is quiesced in turn — its store lock is taken *off the
+        event loop* (in the executor, so a flush in progress completes
+        first and ingestion on other streams keeps flowing) — and its
+        service swapped at that window boundary.  A window drained
+        before the swap finishes under the old model; every window
+        drained after it (including events already buffered) is
+        inferred under the new one, stamped with the new generation in
+        its :class:`~repro.serving.nrt.WindowStats`.
+
+        Streams added after the swap start on the new model.  May be
+        called before :meth:`start` (the swap is then immediate) or
+        mid-run; returns the front's model generation after the swap.
+        """
+        if self._closing:
+            raise RuntimeError("front is stopping")
+        # Probe once up front, exactly like __init__: a bad
+        # model/engine pairing must fail before ANY stream is swapped.
+        NRTService(model, KeyValueStore(), **self._service_kwargs)
+        self._model = model
+        self._generation = next_generation(self._generation, generation)
+        if self._started:
+            loop = asyncio.get_running_loop()
+            for stream in list(self._streams.values()):
+                executor = self._executor
+                if executor is not None and not self._closing:
+                    try:
+                        await loop.run_in_executor(
+                            executor, self._locked, stream,
+                            stream.service.refresh_model, model,
+                            self._generation)
+                        continue
+                    except RuntimeError:
+                        # stop() won the race and shut the executor
+                        # down between hand-offs; fall through.
+                        pass
+                # The executor is gone mid-swap: finish the remaining
+                # quiesces inline so the front never ends half-swapped
+                # (the lock still serializes against draining flushes;
+                # blocking the loop is bounded — we are shutting down).
+                self._locked(stream, stream.service.refresh_model,
+                             model, self._generation)
+        else:
+            for stream in self._streams.values():
+                stream.service.refresh_model(model, self._generation)
+        return self._generation
+
     def serve(self, name: str, item_id: int) -> List[str]:
         """Seller-facing read: current keyphrases on one stream."""
         return self._stream(name).service.serve(item_id)
+
+    def processed_windows(self, name: str) -> List[WindowStats]:
+        """Every window one stream has processed — including which
+        model generation served each (hot-swap observability)."""
+        return self._stream(name).service.processed_windows
 
     def stats(self, name: str) -> StreamStats:
         """Observability snapshot of one stream."""
@@ -315,9 +406,11 @@ class AsyncNRTFront:
                 try:
                     stream.service.submit(event)
                 except Exception:
-                    # Frozen-dataclass equality: any equal event still
-                    # buffered means the crash-safe path retained it.
-                    if event in stream.service._buffer:
+                    # Public retention signal (identity-exact — see
+                    # NRTService.event_retained): the crash-safe submit
+                    # kept the event for replay, or it died before
+                    # buffering and is genuinely gone.
+                    if stream.service.event_retained(event):
                         failures += 1
                     else:
                         dropped += 1
@@ -397,10 +490,41 @@ class AsyncNRTFront:
                     stream.opened_wall = loop.time()
             else:
                 stream.opened_wall = None
-        # Shutdown: flush whatever is still buffered.  One attempt per
-        # remaining failure budget would be arbitrary — retry while the
-        # flush keeps failing *and* making the failure visible, bounded
-        # to avoid spinning on a permanently broken hook.
+        # Shutdown.  A submit that passed the _closing check can still
+        # land its event *behind* the _CLOSE sentinel: with the queue
+        # full the producer parks inside queue.put(), a get() on this
+        # side frees one slot and wakes it, and if stop() slips the
+        # sentinel into that slot first the racing event arrives after
+        # _CLOSE.  Breaking at the sentinel alone would strand (and
+        # silently lose) such events, so drain the queue until it stays
+        # empty across a loop tick — each drained slot wakes at most
+        # one parked producer, whose put lands within the next tick.
+        while True:
+            leftovers: List[ItemEvent] = []
+            while True:
+                try:
+                    queued = stream.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if queued is _CLOSE:
+                    stream.queue.task_done()
+                    continue
+                leftovers.append(queued)
+            if not leftovers:
+                await asyncio.sleep(0)   # let a just-woken producer land
+                if stream.queue.empty():
+                    break
+                continue
+            failures, dropped = await loop.run_in_executor(
+                self._executor, self._submit_batch, stream, leftovers)
+            stream.n_flush_failures += failures
+            stream.n_dropped += dropped
+            for _ in leftovers:
+                stream.queue.task_done()
+        # Flush whatever is still buffered.  One attempt per remaining
+        # failure budget would be arbitrary — retry while the flush
+        # keeps failing *and* making the failure visible, bounded to
+        # avoid spinning on a permanently broken hook.
         for _ in range(3):
             if not stream.service.pending_events:
                 break

@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..core.batch import (BatchResult, InferenceRequest, batch_recommend,
                           validate_hard_limit, validate_model_for_engine)
 from ..core.model import GraphExModel
-from .kvstore import KeyValueStore
+from .kvstore import KeyValueStore, transaction_lock
+from .nrt import next_generation
 
 
 @dataclass
@@ -66,6 +67,7 @@ class BatchPipeline:
         self._workers = workers
         self._engine = engine
         self._parallel = parallel
+        self._generation = 0
 
     def _infer(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         return batch_recommend(
@@ -79,59 +81,83 @@ class BatchPipeline:
 
         Inference runs *before* a version is staged, and a staging
         failure abandons the version (closing its prune exemption), so
-        an aborted load never leaks a half-written table.
+        an aborted load never leaks a half-written table.  The
+        stage→promote transaction holds the store's lock, so a load
+        sharing its store with live NRT writers (the orchestrated daily
+        refresh) serializes against their window flushes.
         """
         results = self._infer(requests)
-        version = self.store.create_version()
-        try:
-            self.store.bulk_load(
-                version,
-                {item_id: [r.text for r in recs]
-                 for item_id, recs in results.items()})
-        except Exception:
-            self.store.abandon(version)
-            raise
-        self.store.promote(version)
-        # Retention is bounded like the differential path: without this
-        # prune, a daily full refresh would retain every historical
-        # table ever promoted.
-        self.store.prune()
+        with transaction_lock(self.store):
+            version = self.store.create_version()
+            try:
+                self.store.bulk_load(
+                    version,
+                    {item_id: [r.text for r in recs]
+                     for item_id, recs in results.items()})
+            except Exception:
+                self.store.abandon(version)
+                raise
+            self.store.promote(version)
+            # Retention is bounded like the differential path: without
+            # this prune, a daily full refresh would retain every
+            # historical table ever promoted.
+            self.store.prune()
+            n_served = self.store.size()
         return BatchRunReport(version=version, n_inferred=len(results),
-                              n_served=self.store.size())
+                              n_served=n_served)
 
     def daily_differential(self, changed: Sequence[InferenceRequest],
                            deleted_item_ids: Iterable[int] = ()
                            ) -> BatchRunReport:
         """Part 2: re-infer only changed items, merge with yesterday's
         table, promote atomically.  A staging failure abandons the
-        version, like :meth:`full_load`."""
+        version, like :meth:`full_load` (which also documents the store
+        transaction lock both loads hold)."""
         results = self._infer(changed)
-        version = self.store.create_version()
-        n_deleted = 0
-        try:
-            self.store.copy_from_serving(version)
-            for item_id in deleted_item_ids:
-                self.store.delete(version, item_id)
-                n_deleted += 1
-            self.store.bulk_load(
-                version,
-                {item_id: [r.text for r in recs]
-                 for item_id, recs in results.items()})
-        except Exception:
-            self.store.abandon(version)
-            raise
-        self.store.promote(version)
-        self.store.prune()
+        with transaction_lock(self.store):
+            version = self.store.create_version()
+            n_deleted = 0
+            try:
+                self.store.copy_from_serving(version)
+                for item_id in deleted_item_ids:
+                    self.store.delete(version, item_id)
+                    n_deleted += 1
+                self.store.bulk_load(
+                    version,
+                    {item_id: [r.text for r in recs]
+                     for item_id, recs in results.items()})
+            except Exception:
+                self.store.abandon(version)
+                raise
+            self.store.promote(version)
+            self.store.prune()
+            n_served = self.store.size()
         return BatchRunReport(version=version, n_inferred=len(results),
-                              n_served=self.store.size(),
-                              n_deleted=n_deleted)
+                              n_served=n_served, n_deleted=n_deleted)
 
     def serve(self, item_id: int) -> List[str]:
         """The seller-facing read path: keyphrases for one item."""
         return list(self.store.get(item_id) or [])
 
-    def refresh_model(self, model: GraphExModel) -> None:
+    @property
+    def model_generation(self) -> int:
+        """How many model refreshes this pipeline has seen (0 = the
+        construction-time model)."""
+        return self._generation
+
+    def refresh_model(self, model: GraphExModel,
+                      generation: Optional[int] = None) -> int:
         """Swap in a newly constructed model (the daily model refresh the
-        paper's fast construction enables)."""
+        paper's fast construction enables).
+
+        The new model is validated against the configured
+        engine/parallel combination first, so an incompatible model
+        leaves the pipeline on the old one.  ``generation`` lets an
+        orchestrator number refreshes consistently across the whole
+        serving stack (defaults to the current generation + 1); the
+        pipeline's generation after the swap is returned.
+        """
         validate_model_for_engine(model, self._engine, self._parallel)
+        self._generation = next_generation(self._generation, generation)
         self.model = model
+        return self._generation

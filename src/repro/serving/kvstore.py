@@ -9,9 +9,21 @@ serving version so a batch refresh never serves a half-written table.
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from typing import Dict, Generic, Iterator, List, Mapping, Optional, TypeVar
 
 V = TypeVar("V")
+
+
+def transaction_lock(store):
+    """``store.lock``, or a no-op context manager for duck-typed stores
+    that predate it.  Writers use this instead of touching ``.lock``
+    directly, so a lock-less store degrades to the old single-writer
+    contract rather than raising mid-transaction (where e.g. an NRT
+    flush has already drained its window buffer)."""
+    lock = getattr(store, "lock", None)
+    return lock if lock is not None else nullcontext()
 
 
 class KeyValueStore(Generic[V]):
@@ -20,9 +32,24 @@ class KeyValueStore(Generic[V]):
     Writers stage data into a new version with :meth:`bulk_load` /
     :meth:`put`, then :meth:`promote` it; readers always see the promoted
     version.  Old versions are retained until :meth:`prune`.
+
+    :attr:`lock` is the store's *transaction* lock (reentrant): every
+    writer whose correctness spans multiple calls — stage, fill,
+    promote — must hold it for the whole transaction, the stand-in for
+    a KV client's single connection.  The serving-layer writers
+    (:class:`~repro.serving.nrt.NRTService` flushes, the batch
+    pipeline's loads, the async front's per-stream executor hand-offs)
+    all do, so e.g. a daily ``full_load`` running in one thread cannot
+    interleave with an NRT window flush on the same store in another:
+    without that, two concurrent :meth:`create_version` calls could be
+    handed the same id, and a flush seeded by :meth:`copy_from_serving`
+    *before* a full load's promote could re-promote yesterday's table
+    over it afterwards.  Point reads stay lock-free (:meth:`get`
+    already tolerates racing promote+prune).
     """
 
     def __init__(self) -> None:
+        self.lock = threading.RLock()
         self._versions: Dict[int, Dict[int, V]] = {}
         self._serving_version: Optional[int] = None
         self._next_version = 1
@@ -61,7 +88,23 @@ class KeyValueStore(Generic[V]):
 
     def copy_from_serving(self, version: int) -> None:
         """Seed a staging version with the current serving data
-        (the daily-differential merge starts from yesterday's table)."""
+        (the daily-differential merge starts from yesterday's table).
+
+        When nothing is serving yet the seed is empty, but the target
+        ``version`` is validated either way: an unknown version is a
+        caller bug and raises exactly as :meth:`put` does (it used to be
+        a silent no-op whenever no version was serving).
+
+        Raises:
+            KeyError: If the version does not exist.
+            ValueError: If the version is already serving (seeding the
+                live table with itself is a write to the serving
+                version).
+        """
+        if version == self._serving_version:
+            raise ValueError("cannot write to the serving version")
+        if version not in self._versions:
+            raise KeyError(f"unknown version {version}")
         if self._serving_version is not None:
             self._versions[version].update(
                 self._versions[self._serving_version])
@@ -156,8 +199,19 @@ class KeyValueStore(Generic[V]):
         :meth:`put` raise ``KeyError`` on a version id it was handed in
         good faith.  Writers that fail must :meth:`abandon` their
         version so this exemption does not leak tables forever.
+
+        ``keep_latest=0`` keeps *only* those exemptions — "retain no
+        history" (a ``[-0:]`` slice used to make it silently keep
+        everything).
+
+        Raises:
+            ValueError: If ``keep_latest`` is negative.
         """
-        keep = set(sorted(self._versions)[-keep_latest:])
+        if keep_latest < 0:
+            raise ValueError(
+                f"keep_latest must be >= 0, got {keep_latest}")
+        keep = (set(sorted(self._versions)[-keep_latest:])
+                if keep_latest else set())
         if self._serving_version is not None:
             keep.add(self._serving_version)
         keep.update(self._open_staging)

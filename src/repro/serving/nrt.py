@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.batch import (batch_recommend, validate_hard_limit,
                           validate_model_for_engine)
 from ..core.model import GraphExModel
-from .kvstore import KeyValueStore
+from .kvstore import KeyValueStore, transaction_lock
 
 
 class ItemEventKind(Enum):
@@ -42,13 +42,30 @@ class ItemEvent:
     timestamp: float
 
 
+def next_generation(current: int, explicit: Optional[int]) -> int:
+    """The swap-generation rule shared by every ``refresh_model``
+    across the serving stack: adopt an orchestrator's explicit number,
+    else increment the local one — never going backwards.  A target's
+    generation is strictly increasing across swaps, so one number can
+    never name two different models on the same target (an explicit
+    number at or below the local history is bumped past it instead)."""
+    return current + 1 if explicit is None else max(current + 1, explicit)
+
+
 @dataclass
 class WindowStats:
-    """Outcome of one processed window."""
+    """Outcome of one processed window.
+
+    ``model_generation`` records which model refresh served the window
+    (0 = the construction-time model), so observers of a hot-swapped
+    service can see exactly which model version produced a given
+    window's predictions.
+    """
 
     n_events: int
     n_inferred: int
     n_deleted: int
+    model_generation: int = 0
 
 
 class NRTService:
@@ -92,6 +109,7 @@ class NRTService:
         self._engine = engine
         self._workers = workers
         self._parallel = parallel
+        self._generation = 0
         self._buffer: List[ItemEvent] = []
         self._window_opened_at: Optional[float] = None
         self._processed_windows: List[WindowStats] = []
@@ -100,6 +118,59 @@ class NRTService:
     def pending_events(self) -> int:
         """Events buffered in the open window."""
         return len(self._buffer)
+
+    @property
+    def model_generation(self) -> int:
+        """How many model refreshes this service has seen (0 = the
+        construction-time model).  Every :class:`WindowStats` carries
+        the generation that served it."""
+        return self._generation
+
+    def refresh_model(self, model: GraphExModel,
+                      generation: Optional[int] = None) -> int:
+        """Hot-swap in a newly constructed model (the daily refresh).
+
+        The swap takes effect at the next *window boundary*: a window
+        already drained by an in-progress :meth:`flush` finishes under
+        the model it was drained with (flush snapshots the model at
+        drain time), and every window drained afterwards — including
+        events already buffered in the open window — is inferred under
+        the new model.
+
+        The new model is validated against the configured
+        engine/parallel combination *before* the swap, so an
+        incompatible model leaves the service serving the old one.
+
+        Args:
+            model: The replacement model.
+            generation: Explicit generation number to adopt (an
+                orchestrator numbering refreshes across many services);
+                defaults to the current generation + 1, and is never
+                allowed to go backwards — see :func:`next_generation`.
+
+        Returns:
+            The service's model generation after the swap.
+        """
+        validate_model_for_engine(model, self._engine, self._parallel)
+        self._generation = next_generation(self._generation, generation)
+        self.model = model
+        return self._generation
+
+    def event_retained(self, event: ItemEvent) -> bool:
+        """Whether *this exact* event object sits in the open window
+        buffer — the public retention signal for drivers whose
+        :meth:`submit` raised.
+
+        Identity, not equality: a duplicate *equal* event elsewhere in
+        the buffer cannot alias, and the answer stays exact however
+        many windows a failing submit flushed before it raised (a
+        buffered-count comparison cannot tell "stale window flushed,
+        then the incoming event's own flush failed and restored it"
+        from a genuine pre-buffer death).  A retained event is replayed
+        by a later flush; anything else died before buffering and is
+        genuinely gone.
+        """
+        return any(buffered is event for buffered in self._buffer)
 
     @property
     def processed_windows(self) -> List[WindowStats]:
@@ -132,10 +203,13 @@ class NRTService:
         buffer before the exception propagates, so a later retry
         (:meth:`flush` or the next submit) replays every event.
         """
-        if self._window_opened_at is None:
-            self._window_opened_at = event.timestamp
-        time_up = (event.timestamp - self._window_opened_at
-                   >= self._window_seconds)
+        # Compute before mutating: a malformed timestamp must die here
+        # WITHOUT adopting itself as the window-open time, or it would
+        # poison the arithmetic for every later well-formed event.
+        opened_at = (event.timestamp if self._window_opened_at is None
+                     else self._window_opened_at)
+        time_up = event.timestamp - opened_at >= self._window_seconds
+        self._window_opened_at = opened_at
         closed: Optional[WindowStats] = None
         if time_up and self._buffer:
             try:
@@ -169,45 +243,58 @@ class NRTService:
             return None
         events, self._buffer = self._buffer, []
         opened_at, self._window_opened_at = self._window_opened_at, None
+        # Snapshot at drain time: a concurrent refresh_model (the async
+        # front swaps from another thread, serialized by its store lock)
+        # must never retarget a window mid-flush — a window drained
+        # under one model finishes under it, and its stats record that
+        # model's generation.
+        model, generation = self.model, self._generation
 
-        version = self._store.create_version()
-        try:
-            # Last event per item wins inside a window (a create followed
-            # by a revise must serve the revised title).
-            latest: Dict[int, ItemEvent] = {}
-            for event in events:
-                latest[event.item_id] = event
+        # The whole stage→fill→promote transaction holds the store's
+        # (reentrant) lock, so a concurrent writer on a shared store —
+        # a daily full load running in another thread — can never
+        # interleave with this window and re-promote a stale table.
+        with transaction_lock(self._store):
+            version = self._store.create_version()
+            try:
+                # Last event per item wins inside a window (a create
+                # followed by a revise must serve the revised title).
+                latest: Dict[int, ItemEvent] = {}
+                for event in events:
+                    latest[event.item_id] = event
 
-            self._store.copy_from_serving(version)
-            n_deleted = 0
-            requests = []
-            for event in latest.values():
-                if event.kind is ItemEventKind.DELETED:
-                    self._store.delete(version, event.item_id)
-                    n_deleted += 1
-                    continue
-                title = self._enrich(event) if self._enrich else event.title
-                requests.append((event.item_id, title, event.leaf_id))
-            # The whole window is one micro-batch through the configured
-            # engine — the Flink-window analogue of the paper's NRT
-            # branch.
-            results = batch_recommend(
-                self.model, requests, k=self._k,
-                hard_limit=self._hard_limit, engine=self._engine,
-                workers=self._workers, parallel=self._parallel)
-            n_inferred = len(requests)
-            for item_id, _title, _leaf_id in requests:
-                self._store.put(version, item_id,
-                                [r.text for r in results[item_id]])
-        except Exception:
-            self._store.abandon(version)
-            self._buffer[:0] = events
-            self._window_opened_at = opened_at
-            raise
-        self._store.promote(version)
-        self._store.prune()
+                self._store.copy_from_serving(version)
+                n_deleted = 0
+                requests = []
+                for event in latest.values():
+                    if event.kind is ItemEventKind.DELETED:
+                        self._store.delete(version, event.item_id)
+                        n_deleted += 1
+                        continue
+                    title = self._enrich(event) if self._enrich \
+                        else event.title
+                    requests.append((event.item_id, title, event.leaf_id))
+                # The whole window is one micro-batch through the
+                # configured engine — the Flink-window analogue of the
+                # paper's NRT branch.
+                results = batch_recommend(
+                    model, requests, k=self._k,
+                    hard_limit=self._hard_limit, engine=self._engine,
+                    workers=self._workers, parallel=self._parallel)
+                n_inferred = len(requests)
+                for item_id, _title, _leaf_id in requests:
+                    self._store.put(version, item_id,
+                                    [r.text for r in results[item_id]])
+            except Exception:
+                self._store.abandon(version)
+                self._buffer[:0] = events
+                self._window_opened_at = opened_at
+                raise
+            self._store.promote(version)
+            self._store.prune()
         stats = WindowStats(n_events=len(events), n_inferred=n_inferred,
-                            n_deleted=n_deleted)
+                            n_deleted=n_deleted,
+                            model_generation=generation)
         self._processed_windows.append(stats)
         return stats
 

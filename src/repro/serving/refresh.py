@@ -1,0 +1,214 @@
+"""Daily model-refresh orchestration (the paper's Figure 7 loop).
+
+Fast construction exists precisely so a *fresh* model can be rebuilt and
+put in front of sellers every day.  This module ties that loop together
+end to end:
+
+1. **Construct** a new model from today's curated keyphrases through the
+   fast builder (seconds at paper scale, Section IV-G).
+2. **Batch-load** it: :meth:`BatchPipeline.full_load` re-infers the
+   catalog and atomically promotes the fresh KV table.
+3. **Hot-swap** every registered NRT serving target —
+   :class:`~repro.serving.nrt.NRTService` and
+   :class:`~repro.serving.async_front.AsyncNRTFront` instances keep
+   serving throughout; each is retargeted at a window boundary via its
+   ``refresh_model``.
+
+Every refresh is *generation-numbered*: the orchestrator stamps the same
+generation into every swapped target, and each processed window records
+the generation that served it
+(:attr:`~repro.serving.nrt.WindowStats.model_generation`), so an
+observer can tell exactly which day's model produced a given window.
+
+The heavy steps (construction, batch inference) run in an executor, so
+an asyncio front being refreshed keeps ingesting events while the new
+model is built behind it — the zero-downtime property the daily loop
+needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from ..core.batch import InferenceRequest
+from ..core.curation import CuratedKeyphrases
+from ..core.model import GraphExModel
+from .batch_pipeline import BatchPipeline
+
+__all__ = ["DailyRefreshOrchestrator", "RefreshReport"]
+
+
+@dataclass
+class RefreshReport:
+    """What one orchestrated daily refresh did."""
+
+    generation: int
+    n_leaves: int
+    n_keyphrases: int
+    n_inferred: int
+    n_served: int
+    n_targets: int
+    construct_seconds: float
+    load_seconds: float
+    swap_seconds: float
+
+
+class DailyRefreshOrchestrator:
+    """Runs the daily construct → batch-load → hot-swap loop.
+
+    Args:
+        pipeline: The batch pipeline whose store serves the catalog; its
+            model is refreshed and its :meth:`~BatchPipeline.full_load`
+            re-run on every refresh.
+        builder, workers, parallel: Forwarded to
+            :meth:`GraphExModel.construct` (fast builder by default —
+            the whole point of the daily loop).
+        alignment: Ranking alignment for the constructed models.
+        build_pooled: Also build the pooled fallback graph each day.
+
+    Usage::
+
+        orchestrator = DailyRefreshOrchestrator(pipeline, workers=4)
+        orchestrator.register(front)          # a live AsyncNRTFront
+        report = await orchestrator.refresh(todays_curated, catalog)
+        assert front.model_generation == report.generation
+    """
+
+    def __init__(self, pipeline: BatchPipeline, *,
+                 builder: str = "fast", workers: int = 1,
+                 parallel: str = "thread", alignment: str = "lta",
+                 build_pooled: bool = False) -> None:
+        self.pipeline = pipeline
+        self._builder = builder
+        self._workers = workers
+        self._parallel = parallel
+        self._alignment = alignment
+        self._build_pooled = build_pooled
+        self._targets: List[Any] = []
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Refresh generations *issued* so far (0 = none yet).  A
+        refresh that failed midway still consumed its number — see
+        :meth:`refresh` — so a generation never names two different
+        models."""
+        return self._generation
+
+    @property
+    def model(self) -> GraphExModel:
+        """The model currently deployed everywhere (the pipeline's)."""
+        return self.pipeline.model
+
+    @property
+    def targets(self) -> List[Any]:
+        """Registered serving targets, in registration order."""
+        return list(self._targets)
+
+    def register(self, target: Any) -> Any:
+        """Register an NRT serving target for hot-swap on each refresh.
+
+        Anything exposing ``refresh_model(model, generation=...)`` works
+        — :class:`~repro.serving.nrt.NRTService` (swapped inline) and
+        :class:`~repro.serving.async_front.AsyncNRTFront` (awaited, so
+        its streams quiesce off the event loop).  Returns the target for
+        chaining.
+        """
+        if not callable(getattr(target, "refresh_model", None)):
+            raise TypeError(
+                f"{type(target).__name__} has no refresh_model(); "
+                "cannot hot-swap it")
+        self._targets.append(target)
+        return target
+
+    async def refresh(self, curated: CuratedKeyphrases,
+                      requests: Sequence[InferenceRequest]
+                      ) -> RefreshReport:
+        """Run one daily refresh: construct, batch-load, hot-swap.
+
+        Construction and the full batch load run in an executor so a
+        live asyncio front keeps ingesting while the new model is
+        prepared — the store's transaction lock serializes the load
+        against window flushes on a shared store, so a flush in flight
+        can never re-promote a pre-refresh table over the fresh load.
+        The new generation number is stamped into every swapped target.
+
+        Deploy semantics: the refresh is a staged deploy, not a
+        transaction.  Once construction succeeds its generation number
+        is *burned* (never reused for a different model), and a failure
+        in the batch load or a later target swap propagates with the
+        earlier stages already deployed — the pipeline may be on the
+        new model while some NRT targets still serve the old one.
+        Serving stays consistent throughout (every table promotion is
+        atomic); rerunning :meth:`refresh` converges the stack.  On the
+        successful path there is likewise a bounded staleness window:
+        an NRT flush landing between the batch promote and that
+        stream's own swap still infers under the old model, so its
+        items serve old-model keyphrases until their next seller event
+        or the next day's refresh — the same eventual consistency the
+        paper's daily loop accepts, observable per window through
+        ``WindowStats.model_generation``.
+        """
+        loop = asyncio.get_running_loop()
+
+        start = time.perf_counter()
+        model = await loop.run_in_executor(
+            None, lambda: GraphExModel.construct(
+                curated, alignment=self._alignment,
+                build_pooled=self._build_pooled, builder=self._builder,
+                workers=self._workers, parallel=self._parallel))
+        construct_seconds = time.perf_counter() - start
+        # Issue a number strictly above every deployment's local
+        # history — a target may have been hot-swapped directly since
+        # the last orchestrated refresh — so each adopts it verbatim
+        # (next_generation never bumps past it) and every window stamp
+        # maps back to exactly one RefreshReport.  Burned now: a
+        # failure below leaves a gap rather than reusing the number
+        # for a different day's model.
+        generation = 1 + max(
+            [self._generation, self.pipeline.model_generation]
+            + [getattr(target, "model_generation", 0)
+               for target in self._targets])
+        self._generation = generation
+
+        # Batch first: the fresh catalog-wide table must be promoted
+        # before the NRT edge starts writing new-model windows on top.
+        start = time.perf_counter()
+        self.pipeline.refresh_model(model, generation=generation)
+        report = await loop.run_in_executor(
+            None, self.pipeline.full_load, list(requests))
+        load_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for target in self._targets:
+            result = target.refresh_model(model, generation=generation)
+            if inspect.isawaitable(result):
+                await result
+        swap_seconds = time.perf_counter() - start
+
+        return RefreshReport(
+            generation=generation,
+            n_leaves=model.n_leaves,
+            n_keyphrases=model.n_keyphrases,
+            n_inferred=report.n_inferred,
+            n_served=report.n_served,
+            n_targets=len(self._targets),
+            construct_seconds=construct_seconds,
+            load_seconds=load_seconds,
+            swap_seconds=swap_seconds)
+
+    def refresh_sync(self, curated: CuratedKeyphrases,
+                     requests: Sequence[InferenceRequest]
+                     ) -> RefreshReport:
+        """:meth:`refresh` for synchronous callers (no running loop).
+
+        Only valid when no registered target needs a *live* event loop
+        — i.e. every :class:`AsyncNRTFront` registered here is not
+        currently running (a running front must be refreshed from its
+        own loop via the async :meth:`refresh`).
+        """
+        return asyncio.run(self.refresh(curated, requests))

@@ -58,6 +58,28 @@ def fig3_model(fig3_curated) -> GraphExModel:
     return GraphExModel.construct(fig3_curated)
 
 
+def build_fig3_variant_curated() -> CuratedKeyphrases:
+    """A "day 2" variant of the Figure 3 world: one keyphrase gained
+    traction overnight.  Its model serves *different* output for the
+    Figure 3 title than the base model, so hot-swap tests can tell
+    which model produced a given result."""
+    leaf = CuratedLeaf(leaf_id=FIG3_LEAF_ID)
+    for text, search, recall in FIG3_KEYPHRASES:
+        leaf.add(text, search, recall)
+    leaf.add("gaming headphones", 950, 320)
+    return CuratedKeyphrases(
+        leaves={FIG3_LEAF_ID: leaf},
+        effective_threshold=1,
+        config=CurationConfig(min_search_count=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig3_variant_model() -> GraphExModel:
+    """The refreshed "day 2" model of :func:`build_fig3_variant_curated`."""
+    return GraphExModel.construct(build_fig3_variant_curated())
+
+
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small deterministic synthetic dataset (catalog + queries)."""

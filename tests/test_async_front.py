@@ -16,6 +16,7 @@ Two contracts anchor the suite:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import threading
 
 import pytest
@@ -63,6 +64,44 @@ def feed_sync(model, events, **service_kwargs) -> NRTService:
 async def _feed(front: AsyncNRTFront, name: str, events) -> None:
     for event in events:
         await front.submit(name, event)
+
+
+#: Strategy for property tests: item id, lifecycle kind, title, gap.
+event_specs = st.lists(
+    st.tuples(st.integers(0, 5),                 # item id
+              st.sampled_from(KINDS),            # lifecycle kind
+              st.integers(0, 3),                 # title index
+              st.sampled_from([0.05, 0.3, 2.0])  # event-time gap
+              ),
+    min_size=1, max_size=16)
+
+
+def build_events(specs) -> list:
+    events, ts = [], 0.0
+    for item_id, kind, title_index, gap in specs:
+        ts += gap
+        events.append(make_event(item_id, ts, title_index, kind))
+    return events
+
+
+class FlakyEnrich:
+    """Fault injection: fail the first ``n_failures`` flush attempts.
+
+    Raises on its first call inside a flush (aborting that flush) while
+    budget remains; the lock keeps the budget exact when flushes run
+    concurrently in executor threads.
+    """
+
+    def __init__(self, n_failures: int) -> None:
+        self.remaining = n_failures
+        self._lock = threading.Lock()
+
+    def __call__(self, event: ItemEvent) -> str:
+        with self._lock:
+            if self.remaining > 0:
+                self.remaining -= 1
+                raise RuntimeError("injected mid-flush failure")
+        return event.title
 
 
 class TestMultiStreamEquivalence:
@@ -240,6 +279,141 @@ class TestShutdownAndBackpressure:
             assert front.serve(name, 2)
         assert store.get(1) and store.get(2)
 
+    def test_event_enqueued_behind_close_sentinel_is_not_lost(
+            self, fig3_model):
+        """Regression: a ``submit`` that passed the ``_closing`` check
+        could land its event *behind* the ``_CLOSE`` sentinel (full
+        queue: the consumer's get frees one slot, ``stop``'s sentinel
+        takes it first, the racing put lands after).  The consumer used
+        to break at the sentinel and strand the event in the queue.
+        The race's end state — an event queued after ``_CLOSE`` — is
+        reproduced deterministically here."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=60.0,
+                                  max_pending=2)
+            front.add_stream("s")
+            await front.start()
+            stream = front._streams["s"]
+            stop_task = asyncio.create_task(front.stop())
+            # One loop tick: stop() has queued _CLOSE, the consumer has
+            # not yet woken to read it.
+            await asyncio.sleep(0)
+            assert stream.queue.qsize() == 1     # the sentinel
+            # The racing submit's put lands behind the sentinel.
+            stream.queue.put_nowait(make_event(1, 0.0))
+            stream.n_submitted += 1
+            await stop_task
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert front.serve("s", 1)               # served, not stranded
+        assert stats.n_pending == 0
+        assert stats.n_dropped == 0
+        assert stats.n_windows == 1              # drained by shutdown
+
+    def test_duplicate_equal_events_with_flush_failure_are_retryable(
+            self, fig3_model):
+        """The retention signal is the public buffered-count delta, not
+        equality membership against the service's private buffer (an
+        *equal* duplicate already in flight would satisfy a membership
+        probe whether or not the incoming event was kept).  A batch
+        carrying duplicate equal events through an injected flush
+        failure counts one retryable failure, drops nothing, and serves
+        the item after the retry."""
+        flaky = FlakyEnrich(1)
+        dup = make_event(5, 0.0)
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=30.0, enrich=flaky)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", dup)
+                await front.submit("s", dup)     # equal twin in flight
+                await front.join()
+                await front.flush_all()
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert stats.n_dropped == 0
+        assert stats.n_flush_failures == 1
+        assert stats.n_pending == 0
+        assert front.serve("s", 5)
+        # The whole window (both copies) replayed through the retry.
+        assert sum(w.n_events
+                   for w in front.processed_windows("s")) == 2
+
+    def test_retained_event_after_successful_stale_flush_not_miscounted(
+            self, fig3_model):
+        """Regression for the retention signal: one submit can flush a
+        stale window *successfully* (shrinking the buffer) and then
+        fail its own event's size-bound flush (which restores it).  A
+        buffered-count delta reads that as "buffer shrank → dropped";
+        the identity-based ``event_retained`` correctly reports the
+        event kept, so it is counted retryable and replayed."""
+        # Enrich failure pattern, one flag per enrich CALL:
+        # flush[e1] fails; flush[e1,e2] fails on e1; flush[e1,e2]
+        # succeeds (2 calls); flush[e3] fails; retry flush[e3] succeeds.
+        pattern = [True, True, False, False, True, False]
+        lock = threading.Lock()
+
+        def enrich(event):
+            with lock:
+                fail = pattern.pop(0) if pattern else False
+            if fail:
+                raise RuntimeError("injected mid-flush failure")
+            return event.title
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=1,
+                                  window_seconds=1.0,
+                                  wall_clock_seconds=30.0,
+                                  enrich=enrich)
+            front.add_stream("s")
+            async with front:
+                # Separate batches so each submit's outcome is judged
+                # on its own.
+                await front.submit("s", make_event(1, 0.0))
+                await front.join()
+                await front.submit("s", make_event(2, 0.5))
+                await front.join()
+                # Time-up arrival: its submit first flushes the stale
+                # [e1, e2] window (succeeds), then fails e3's own flush.
+                await front.submit("s", make_event(3, 5.0))
+                await front.join()
+                await front.flush_all()       # replay e3
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert stats.n_dropped == 0           # e3 was never lost
+        assert stats.n_flush_failures == 3
+        assert stats.n_pending == 0
+        for item_id in (1, 2, 3):
+            assert front.serve("s", item_id)
+        assert sum(w.n_events
+                   for w in front.processed_windows("s")) == 3
+
+    def test_streams_sharing_a_store_share_its_transaction_lock(
+            self, fig3_model):
+        """The per-stream lock IS the store's transaction lock, so
+        flushes serialize with any other writer holding it (e.g. an
+        orchestrated full_load), not just with sibling streams."""
+        store = KeyValueStore()
+        front = AsyncNRTFront(fig3_model)
+        front.add_stream("a", store=store)
+        front.add_stream("b", store=store)
+        front.add_stream("c")
+        assert front._streams["a"].lock is store.lock
+        assert front._streams["b"].lock is store.lock
+        assert front._streams["c"].lock is not store.lock
+
     def test_malformed_event_counts_as_dropped_not_retryable(
             self, fig3_model):
         """An event rejected *before* it reaches the window buffer (the
@@ -265,6 +439,35 @@ class TestShutdownAndBackpressure:
         assert stats.n_flush_failures == 0
         assert stats.n_pending == 0
         assert front.serve("s", 7) and front.serve("s", 8)
+
+    def test_malformed_timestamp_does_not_poison_the_stream(
+            self, fig3_model):
+        """Regression: a malformed-timestamp event arriving while no
+        window was open used to install its timestamp as
+        ``_window_opened_at`` before the arithmetic raised, so every
+        later well-formed event raised too and the whole stream went
+        permanently dark.  The bad event now dies alone.  (The
+        timestamp must be non-None to poison: None reads back as "no
+        window open".)"""
+        bad = ItemEvent(kind=ItemEventKind.CREATED, item_id=1,
+                        title=TITLES[0], leaf_id=FIG3_LEAF_ID,
+                        timestamp="bogus")
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", bad)     # no window open yet
+                for i in range(4):
+                    await front.submit("s", make_event(10 + i, i * 0.1))
+            return front
+
+        front = asyncio.run(drive())
+        stats = front.stats("s")
+        assert stats.n_dropped == 1              # only the bad event
+        assert stats.n_pending == 0
+        for i in range(4):
+            assert front.serve("s", 10 + i)
 
     def test_api_contracts(self, fig3_model):
         front = AsyncNRTFront(fig3_model)
@@ -292,44 +495,212 @@ class TestShutdownAndBackpressure:
             asyncio.run(submit_unstarted())
 
 
+class TestModelHotSwap:
+    def test_refresh_before_start_and_streams_added_after_swap(
+            self, fig3_model, fig3_variant_model):
+        """refresh_model works on a not-yet-started front, and streams
+        added after the swap start on the new model with the front's
+        generation."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=1)
+            front.add_stream("old")
+            assert await front.refresh_model(fig3_variant_model) == 1
+            front.add_stream("late")     # added after the swap
+            assert front.model_generation == 1
+            async with front:
+                await front.submit("old", make_event(1, 0.0))
+                await front.submit("late", make_event(2, 0.0))
+            return front
+
+        front = asyncio.run(drive())
+        for name, item_id in (("old", 1), ("late", 2)):
+            sync = feed_sync(fig3_variant_model,
+                             [make_event(item_id, 0.0)], window_size=1)
+            assert front.serve(name, item_id) == sync.serve(item_id)
+            assert all(w.model_generation == 1
+                       for w in front.processed_windows(name))
+
+    def test_refresh_validation_leaves_every_stream_on_old_model(
+            self, fig3_model):
+        """A bad model/engine pairing fails the up-front probe: no
+        stream is swapped and the front keeps serving."""
+        from repro.core.model import GraphExModel
+        scalar_only = lambda c, l, t: c / l if t > 0 else c * 0.0
+        bad = GraphExModel({lid: fig3_model.leaf_graph(lid)
+                            for lid in fig3_model.leaf_ids},
+                           alignment=scalar_only)
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=1)
+            front.add_stream("s")
+            async with front:
+                with pytest.raises(ValueError, match="not element-wise"):
+                    await front.refresh_model(bad)
+                assert front.model_generation == 0
+                await front.submit("s", make_event(1, 0.0))
+            return front
+
+        front = asyncio.run(drive())
+        assert front.serve("s", 1)
+        assert front._streams["s"].service.model is fig3_model
+
+    def test_refresh_waits_for_in_flight_flush(self, fig3_model,
+                                               fig3_variant_model):
+        """The quiesce happens under the stream's store lock: a flush
+        already in progress when refresh_model is issued completes
+        under the old model (generation 0 window), and the swap lands
+        right after it."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_enrich(event):
+            entered.set()
+            release.wait(timeout=10.0)
+            return event.title
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=30.0,
+                                  enrich=slow_enrich)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", make_event(1, 0.0))
+                await front.submit("s", make_event(2, 0.1))
+                # The size-bound flush is now blocked inside the enrich
+                # hook, holding the store lock.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait)
+                refresh = asyncio.create_task(
+                    front.refresh_model(fig3_variant_model))
+                await asyncio.sleep(0.05)
+                assert not refresh.done()    # waiting on the quiesce
+                release.set()
+                assert await refresh == 1
+            return front
+
+        front = asyncio.run(drive())
+        windows = front.processed_windows("s")
+        assert [w.model_generation for w in windows] == [0]
+        sync = feed_sync(fig3_model,
+                         [make_event(1, 0.0), make_event(2, 0.1)],
+                         window_size=2)
+        for item_id in (1, 2):
+            assert front.serve("s", item_id) == sync.serve(item_id)
+
+    def test_refresh_completes_even_if_executor_shuts_down_mid_swap(
+            self, fig3_model, fig3_variant_model):
+        """A stop() racing refresh_model can tear the executor down
+        between per-stream hand-offs; the refresh then finishes the
+        remaining quiesces inline, so the front never ends half-swapped
+        (some streams on the new model, some on the old)."""
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2,
+                                  wall_clock_seconds=30.0)
+            front.add_stream("a")
+            front.add_stream("b")
+            async with front:
+                await front.submit("a", make_event(1, 0.0))
+                await front.join()
+                await front.flush_all()
+                # Simulate stop() winning the executor race.
+                front._executor.shutdown(wait=True)
+                assert await front.refresh_model(fig3_variant_model) == 1
+                for name in ("a", "b"):
+                    assert front._streams[name].service.model \
+                        is fig3_variant_model
+                # Restore a live executor so shutdown can drain.
+                from concurrent.futures import ThreadPoolExecutor
+                front._executor = ThreadPoolExecutor(max_workers=2)
+            return front
+
+        front = asyncio.run(drive())
+        assert front.model_generation == 1
+        assert front.serve("a", 1)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs1=event_specs, specs2=event_specs,
+           window_size=st.integers(1, 4))
+    def test_mid_run_swap_loses_nothing_and_post_swap_output_is_fresh(
+            self, fig3_model, fig3_variant_model, specs1, specs2,
+            window_size):
+        """Acceptance property: a refresh_model issued mid-run with
+        concurrent traffic on 3 streams loses zero events, never swaps
+        mid-window (every window carries exactly one generation,
+        monotone per stream), and the served output of every event
+        submitted after the swap is byte-identical to a fresh front
+        constructed on the new model and fed those events."""
+        names = ("s0", "s1", "s2")
+        phase1 = build_events(specs1)
+        # Post-swap events get disjoint item ids so their served rows
+        # are attributable regardless of window composition.
+        phase2 = [dataclasses.replace(e, item_id=e.item_id + 100)
+                  for e in build_events(specs2)]
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=window_size,
+                                  window_seconds=1.0,
+                                  wall_clock_seconds=30.0)
+            for name in names:
+                front.add_stream(name)
+            swap_done = asyncio.Event()
+
+            async def feed_phases(name):
+                for event in phase1:
+                    await front.submit(name, event)
+                await swap_done.wait()
+                for event in phase2:
+                    await front.submit(name, event)
+
+            async def swapper():
+                # Mid-run: phase-1 traffic is still queued/in flight on
+                # every stream when the refresh is issued.
+                await asyncio.sleep(0)
+                await front.refresh_model(fig3_variant_model)
+                swap_done.set()
+
+            async with front:
+                await asyncio.gather(
+                    *(feed_phases(name) for name in names), swapper())
+            return front
+
+        async def drive_fresh():
+            fresh = AsyncNRTFront(fig3_variant_model,
+                                  window_size=window_size,
+                                  window_seconds=1.0,
+                                  wall_clock_seconds=30.0)
+            fresh.add_stream("fresh")
+            async with fresh:
+                await _feed(fresh, "fresh", phase2)
+            return fresh
+
+        front = asyncio.run(drive())
+        fresh = asyncio.run(drive_fresh())
+        total = len(phase1) + len(phase2)
+        for name in names:
+            stats = front.stats(name)
+            assert stats.n_pending == 0
+            assert stats.n_flush_failures == 0
+            windows = front.processed_windows(name)
+            # Zero events lost, across both phases and the swap.
+            assert sum(w.n_events for w in windows) == total
+            # Never swaps mid-window: one generation per window,
+            # monotone across the stream's run.
+            generations = [w.model_generation for w in windows]
+            assert generations == sorted(generations)
+            assert set(generations) <= {0, 1}
+            # Post-swap served output is byte-identical to the fresh
+            # front built on the new model.
+            for item_id in {e.item_id for e in phase2}:
+                assert front.serve(name, item_id) \
+                    == fresh.serve("fresh", item_id), (name, item_id)
+
+
 # ---------------------------------------------------------------------
 # Zero-event-loss property (acceptance criterion), sync and async.
-
-event_specs = st.lists(
-    st.tuples(st.integers(0, 5),                 # item id
-              st.sampled_from(KINDS),            # lifecycle kind
-              st.integers(0, 3),                 # title index
-              st.sampled_from([0.05, 0.3, 2.0])  # event-time gap
-              ),
-    min_size=1, max_size=16)
-
-
-def build_events(specs) -> list:
-    events, ts = [], 0.0
-    for item_id, kind, title_index, gap in specs:
-        ts += gap
-        events.append(make_event(item_id, ts, title_index, kind))
-    return events
-
-
-class FlakyEnrich:
-    """Fault injection: fail the first ``n_failures`` flush attempts.
-
-    Raises on its first call inside a flush (aborting that flush) while
-    budget remains; the lock keeps the budget exact when flushes run
-    concurrently in executor threads.
-    """
-
-    def __init__(self, n_failures: int) -> None:
-        self.remaining = n_failures
-        self._lock = threading.Lock()
-
-    def __call__(self, event: ItemEvent) -> str:
-        with self._lock:
-            if self.remaining > 0:
-                self.remaining -= 1
-                raise RuntimeError("injected mid-flush failure")
-        return event.title
 
 
 class TestZeroEventLoss:

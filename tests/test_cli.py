@@ -191,6 +191,19 @@ class TestWorkflow:
         assert "0 flush failures" in out
         assert "120 events across 3 streams" in out
 
+    def test_serve_nrt_mid_run_refresh_demo(self, workflow_dir, capsys):
+        """--refresh-after hot-swaps a freshly loaded model mid-run:
+        the run completes with zero flush failures and the per-stream
+        window summary shows generation-1 windows."""
+        assert main(["serve-nrt", "--model", str(workflow_dir / "model"),
+                     "--streams", "2", "--events", "30",
+                     "--window-size", "8", "--refresh-after", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-swapped to model generation 1" in out
+        assert "gen 1:" in out
+        assert "0 flush failures" in out
+        assert "60 events across 2 streams" in out
+
     def test_serve_nrt_rejects_bad_engine_pairing(self, workflow_dir):
         with pytest.raises(ValueError, match="single-process"):
             main(["serve-nrt", "--model", str(workflow_dir / "model"),

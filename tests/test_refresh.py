@@ -1,0 +1,247 @@
+"""Tests for the daily refresh orchestrator (construct → load → swap).
+
+The Figure 7 daily loop end to end: a new model is constructed through
+the fast builder, the batch table is fully re-loaded and atomically
+promoted, and every registered NRT serving target — sync services and
+live asyncio fronts alike — is hot-swapped at a window boundary, all
+stamped with one shared generation number.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    AsyncNRTFront,
+    BatchPipeline,
+    DailyRefreshOrchestrator,
+    ItemEvent,
+    ItemEventKind,
+    KeyValueStore,
+    NRTService,
+)
+from tests.conftest import (FIG3_LEAF_ID, build_fig3_curated,
+                            build_fig3_variant_curated)
+
+REQUESTS = [
+    (1, "audeze maxwell gaming headphones", FIG3_LEAF_ID),
+    (2, "bluetooth wireless headphones new", FIG3_LEAF_ID),
+]
+
+
+def make_event(item_id: int, ts: float,
+               title: str = "audeze maxwell gaming headphones"
+               ) -> ItemEvent:
+    return ItemEvent(kind=ItemEventKind.CREATED, item_id=item_id,
+                     title=title, leaf_id=FIG3_LEAF_ID, timestamp=ts)
+
+
+class TestDailyRefreshOrchestrator:
+    def test_register_requires_refresh_model(self, fig3_model):
+        orchestrator = DailyRefreshOrchestrator(BatchPipeline(fig3_model))
+        with pytest.raises(TypeError, match="refresh_model"):
+            orchestrator.register(object())
+        assert orchestrator.targets == []
+
+    def test_refresh_deploys_one_generation_across_the_stack(
+            self, fig3_model, fig3_variant_model):
+        """One refresh retargets the pipeline AND a registered sync
+        service, reloads the batch table under the new model, and
+        stamps the same generation everywhere."""
+        store = KeyValueStore()
+        pipeline = BatchPipeline(fig3_model, store=store)
+        pipeline.full_load(REQUESTS)
+        service = NRTService(fig3_model, store, window_size=1)
+        orchestrator = DailyRefreshOrchestrator(pipeline)
+        assert orchestrator.register(service) is service
+
+        report = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                           REQUESTS)
+        assert report.generation == 1 == orchestrator.generation
+        assert pipeline.model_generation == 1
+        assert service.model_generation == 1
+        assert pipeline.model is service.model is orchestrator.model
+        assert report.n_targets == 1
+        assert report.n_inferred == len(REQUESTS)
+        assert report.n_served == len(REQUESTS)
+
+        # The batch table was re-inferred under the new model.
+        clean_pipeline = BatchPipeline(fig3_variant_model)
+        clean_pipeline.full_load(REQUESTS)
+        for item_id, _title, _leaf in REQUESTS:
+            assert pipeline.serve(item_id) == clean_pipeline.serve(item_id)
+
+        # The NRT edge now infers under the new model, stamped with the
+        # orchestrator's generation.
+        service.submit(make_event(9, 0.0))
+        clean = NRTService(fig3_variant_model, KeyValueStore(),
+                           window_size=1)
+        clean.submit(make_event(9, 0.0))
+        assert service.serve(9) == clean.serve(9)
+        assert service.processed_windows[-1].model_generation == 1
+
+    def test_successive_refreshes_increment_generation(self, fig3_model):
+        pipeline = BatchPipeline(fig3_model)
+        service = NRTService(fig3_model, pipeline.store, window_size=1)
+        orchestrator = DailyRefreshOrchestrator(pipeline)
+        orchestrator.register(service)
+        first = orchestrator.refresh_sync(build_fig3_curated(), REQUESTS)
+        second = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                           REQUESTS)
+        assert (first.generation, second.generation) == (1, 2)
+        assert orchestrator.generation == 2
+        assert service.model_generation == 2
+        service.submit(make_event(9, 0.0))
+        assert service.processed_windows[-1].model_generation == 2
+
+    def test_refresh_hot_swaps_running_front_mid_traffic(
+            self, fig3_model, fig3_variant_model):
+        """The zero-downtime path: a live AsyncNRTFront keeps serving
+        while the orchestrator rebuilds + reloads behind it, then every
+        stream is quiesced and swapped; traffic submitted afterwards is
+        served by the new model."""
+
+        async def drive():
+            pipeline = BatchPipeline(fig3_model)
+            pipeline.full_load(REQUESTS)
+            front = AsyncNRTFront(fig3_model, window_size=2,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=30.0)
+            front.add_stream("a")
+            front.add_stream("b")
+            orchestrator = DailyRefreshOrchestrator(pipeline)
+            orchestrator.register(front)
+            async with front:
+                for name in ("a", "b"):
+                    await front.submit(name, make_event(1, 0.0))
+                report = await orchestrator.refresh(
+                    build_fig3_variant_curated(), REQUESTS)
+                for name in ("a", "b"):
+                    await front.submit(name, make_event(50, 0.1))
+            return front, report
+
+        front, report = asyncio.run(drive())
+        assert report.generation == 1
+        assert front.model_generation == 1
+        clean = NRTService(fig3_variant_model, KeyValueStore(),
+                           window_size=1)
+        clean.submit(make_event(50, 0.1))
+        for name in ("a", "b"):
+            stats = front.stats(name)
+            assert stats.n_pending == 0
+            assert stats.n_submitted == 2          # zero loss
+            assert sum(w.n_events
+                       for w in front.processed_windows(name)) == 2
+            assert front.serve(name, 50) == clean.serve(50)
+
+    def test_orchestrator_issues_above_any_local_swap(
+            self, fig3_model, fig3_variant_model):
+        """A target hot-swapped directly between orchestrated refreshes
+        does not desynchronize the numbering: the orchestrator issues a
+        generation strictly above every deployment's local history, so
+        each target adopts it verbatim and the class-docstring contract
+        ``target.model_generation == report.generation`` holds."""
+        pipeline = BatchPipeline(fig3_model)
+        service = NRTService(fig3_model, pipeline.store, window_size=1)
+        service.refresh_model(fig3_variant_model)   # local swap: gen 1
+        orchestrator = DailyRefreshOrchestrator(pipeline)
+        orchestrator.register(service)
+        report = orchestrator.refresh_sync(build_fig3_curated(), REQUESTS)
+        assert report.generation == 2               # strictly above 1
+        assert service.model_generation == report.generation
+        assert pipeline.model_generation == report.generation
+
+    def test_failed_refresh_burns_its_generation_number(self, fig3_model):
+        """A refresh that fails after construction consumed its
+        generation number: the next successful refresh gets a fresh one,
+        so a generation never names two different days' models."""
+
+        class FlakyStore(KeyValueStore):
+            fail_next = False
+
+            def bulk_load(self, version, records):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise RuntimeError("kv outage")
+                super().bulk_load(version, records)
+
+        store = FlakyStore()
+        pipeline = BatchPipeline(fig3_model, store=store)
+        service = NRTService(fig3_model, store, window_size=1)
+        orchestrator = DailyRefreshOrchestrator(pipeline)
+        orchestrator.register(service)
+        store.fail_next = True
+        with pytest.raises(RuntimeError, match="kv outage"):
+            orchestrator.refresh_sync(build_fig3_curated(), REQUESTS)
+        assert orchestrator.generation == 1     # burned
+        assert service.model_generation == 0    # swap never reached
+        report = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                           REQUESTS)
+        assert report.generation == 2
+        assert service.model_generation == 2
+        assert pipeline.serve(REQUESTS[0][0])   # stack converged
+
+    def test_full_load_waits_for_in_flight_flush_on_shared_store(
+            self, fig3_model, fig3_variant_model):
+        """Regression: the orchestrated full_load runs in an executor
+        while a live front flushes the same store from another thread.
+        Both writers now hold the store's transaction lock, so a window
+        flush that started *before* the refresh can no longer promote a
+        pre-refresh snapshot over the freshly loaded table."""
+        import threading
+        entered = threading.Event()
+
+        def slow_enrich(event):
+            entered.set()
+            import time as _time
+            _time.sleep(0.5)    # hold the store lock across the refresh
+            return event.title
+
+        async def drive():
+            store = KeyValueStore()
+            pipeline = BatchPipeline(fig3_model, store=store)
+            pipeline.full_load(REQUESTS)
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=1000.0,
+                                  wall_clock_seconds=60.0,
+                                  enrich=slow_enrich)
+            front.add_stream("s", store=store)
+            orchestrator = DailyRefreshOrchestrator(pipeline)
+            orchestrator.register(front)
+            async with front:
+                await front.submit("s", make_event(999, 0.0))
+                await front.join()
+                flush_task = asyncio.create_task(front.flush_stream("s"))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait)     # flush holds the lock now
+                report = await orchestrator.refresh(
+                    build_fig3_variant_curated(), REQUESTS)
+                await flush_task
+            return pipeline, report
+
+        pipeline, report = asyncio.run(drive())
+        assert report.generation == 1
+        # The catalog serves the new model's output: the in-flight
+        # old-model flush promoted BEFORE the full load, not after.
+        clean = BatchPipeline(fig3_variant_model)
+        clean.full_load(REQUESTS)
+        for item_id, _title, _leaf in REQUESTS:
+            assert pipeline.serve(item_id) == clean.serve(item_id)
+
+    def test_refresh_forwards_construction_knobs(self, fig3_model):
+        """builder/workers/parallel reach GraphExModel.construct: the
+        reference builder produces a bit-identical deployment."""
+        pipeline = BatchPipeline(fig3_model)
+        fast = DailyRefreshOrchestrator(pipeline, builder="fast",
+                                        workers=2)
+        fast_report = fast.refresh_sync(build_fig3_variant_curated(),
+                                        REQUESTS)
+        reference = DailyRefreshOrchestrator(BatchPipeline(fig3_model),
+                                             builder="reference")
+        reference.refresh_sync(build_fig3_variant_curated(), REQUESTS)
+        assert fast_report.generation == 1
+        for item_id, _title, _leaf in REQUESTS:
+            assert fast.pipeline.serve(item_id) \
+                == reference.pipeline.serve(item_id)

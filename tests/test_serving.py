@@ -150,6 +150,60 @@ class TestKeyValueStore:
         assert old not in store.versions
         assert store.versions == [v]
 
+    def test_prune_keep_latest_zero_keeps_only_exemptions(self):
+        """Regression: ``prune(keep_latest=0)`` sliced the whole list
+        (``[-0:]``), so "keep no history" silently kept every version.
+        Zero now retains only the serving version and open staging."""
+        store = KeyValueStore()
+        for _ in range(4):
+            serving = store.create_version()
+            store.promote(serving)
+        open_staging = store.create_version()
+        store.prune(keep_latest=0)
+        assert store.versions == sorted([serving, open_staging])
+        store.prune(keep_latest=0)   # idempotent
+        assert store.versions == sorted([serving, open_staging])
+        # The exemptions still function: the slow writer finishes.
+        store.put(open_staging, 1, "late write")
+        store.promote(open_staging)
+        store.prune(keep_latest=0)
+        assert store.versions == [open_staging]
+        assert store.get(1) == "late write"
+
+    def test_prune_negative_keep_latest_rejected(self):
+        store = KeyValueStore()
+        store.promote(store.create_version())
+        with pytest.raises(ValueError, match="keep_latest"):
+            store.prune(keep_latest=-1)
+
+    def test_copy_from_serving_unknown_version_raises_like_put(self):
+        """Regression: with nothing serving yet, ``copy_from_serving``
+        never touched the target table, so an unknown version was a
+        silent no-op instead of the caller bug ``put``/``delete``
+        report.  The version is now validated up front either way."""
+        store = KeyValueStore()
+        with pytest.raises(KeyError):
+            store.copy_from_serving(77)      # nothing serving yet
+        serving = store.create_version()
+        store.put(serving, 1, "a")
+        store.promote(serving)
+        with pytest.raises(KeyError):
+            store.copy_from_serving(77)      # serving present
+        with pytest.raises(ValueError):
+            store.copy_from_serving(serving)  # serving is immutable
+        # The valid path still seeds from the serving table.
+        staged = store.create_version()
+        store.copy_from_serving(staged)
+        assert store.size(staged) == 1
+
+    def test_copy_from_serving_into_empty_store_is_valid_and_empty(self):
+        """A known version with nothing serving seeds an empty table —
+        the first daily differential of a brand-new store."""
+        store = KeyValueStore()
+        staged = store.create_version()
+        store.copy_from_serving(staged)
+        assert store.size(staged) == 0
+
     def test_abandon_contracts(self):
         """Abandon mirrors the other mutators: unknown version raises
         KeyError, the serving version is untouchable."""
@@ -232,8 +286,26 @@ class TestBatchPipeline:
         pipeline = BatchPipeline(model)
         pipeline.full_load(REQUESTS)
         fresh = GraphExModel.construct(build_fig3_curated())
-        pipeline.refresh_model(fresh)
+        assert pipeline.model_generation == 0
+        assert pipeline.refresh_model(fresh) == 1
         assert pipeline.model is fresh
+        assert pipeline.model_generation == 1
+        # An orchestrator can impose its own numbering.
+        assert pipeline.refresh_model(fresh, generation=7) == 7
+
+    def test_refresh_model_validates_before_swapping(self, model):
+        """An incompatible model must leave the pipeline serving the
+        old one (generation included)."""
+        scalar_only = lambda c, l, t: c / l if t > 0 else c * 0.0
+        bad = GraphExModel({lid: model.leaf_graph(lid)
+                            for lid in model.leaf_ids},
+                           alignment=scalar_only)
+        pipeline = BatchPipeline(model)
+        with pytest.raises(ValueError, match="not element-wise"):
+            pipeline.refresh_model(bad)
+        assert pipeline.model is model
+        assert pipeline.model_generation == 0
+        assert pipeline.full_load(REQUESTS).n_inferred == 3
 
     def test_hard_limit_applied(self, model):
         pipeline = BatchPipeline(model, hard_limit=1)
@@ -527,6 +599,123 @@ class TestNRTService:
         assert store.versions == []
         assert service.flush().n_inferred == 2
         assert service.serve(1) and service.serve(2)
+
+    def test_refresh_model_swaps_at_window_boundary(self, model,
+                                                    fig3_variant_model):
+        """Events buffered in the open (not yet drained) window are
+        inferred under the new model: the swap lands at the next drain,
+        and the window's stats carry the new generation."""
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0))
+        assert service.model_generation == 0
+        assert service.refresh_model(fig3_variant_model) == 1
+        assert service.model is fig3_variant_model
+        stats = service.flush()
+        assert stats.model_generation == 1
+        clean = self._service(fig3_variant_model, window_size=10)
+        clean.submit(self._event(1, 0.0))
+        clean.flush()
+        assert service.serve(1) == clean.serve(1)
+
+    def test_refresh_model_never_retargets_window_mid_flush(
+            self, model, fig3_variant_model):
+        """A window drained under the old model finishes under it even
+        when the swap lands *mid-flush* (the async front swaps from
+        another thread): flush snapshots model + generation at drain
+        time.  The next window then runs under the new model."""
+        holder = {}
+
+        def swapping_enrich(event):
+            if holder["service"].model_generation == 0:
+                holder["service"].refresh_model(fig3_variant_model)
+            return event.title
+
+        service = NRTService(model, KeyValueStore(), window_size=10,
+                             enrich=swapping_enrich)
+        holder["service"] = service
+        service.submit(self._event(1, 0.0))
+        stats = service.flush()              # swap lands inside here
+        assert service.model_generation == 1
+        assert stats.model_generation == 0   # old model finished it
+        old = self._service(model, window_size=1)
+        old.submit(self._event(1, 0.0))
+        assert service.serve(1) == old.serve(1)
+        service.submit(self._event(2, 0.1))
+        stats = service.flush()
+        assert stats.model_generation == 1
+        new = self._service(fig3_variant_model, window_size=1)
+        new.submit(self._event(2, 0.1))
+        assert service.serve(2) == new.serve(2)
+
+    def test_refresh_model_validates_before_swapping(self, model):
+        """An incompatible model/engine pairing must leave the service
+        on the old model (it keeps serving)."""
+        scalar_only = lambda c, l, t: c / l if t > 0 else c * 0.0
+        bad = GraphExModel({lid: model.leaf_graph(lid)
+                            for lid in model.leaf_ids},
+                           alignment=scalar_only)
+        service = self._service(model, window_size=1)
+        with pytest.raises(ValueError, match="not element-wise"):
+            service.refresh_model(bad)
+        assert service.model is model
+        assert service.model_generation == 0
+        service.submit(self._event(1, 0.0))
+        assert service.serve(1)
+
+    def test_refresh_model_adopts_orchestrator_generation(
+            self, model, fig3_variant_model):
+        service = self._service(model, window_size=1)
+        assert service.refresh_model(fig3_variant_model,
+                                     generation=7) == 7
+        service.submit(self._event(1, 0.0))
+        assert service.processed_windows[-1].model_generation == 7
+
+    def test_generation_never_goes_backwards(self, model,
+                                             fig3_variant_model):
+        """Mixing local refreshes with an orchestrator's explicit
+        numbering cannot reuse a generation for a different model: an
+        explicit number at or below the local history is bumped past
+        it, keeping per-service generations strictly increasing."""
+        service = self._service(model, window_size=1)
+        assert service.refresh_model(fig3_variant_model,
+                                     generation=5) == 5
+        assert service.refresh_model(model) == 6         # local bump
+        # A stale orchestrator (counter behind this service) cannot
+        # relabel: 2 < 6 is bumped to 7.
+        assert service.refresh_model(fig3_variant_model,
+                                     generation=2) == 7
+        assert service.model_generation == 7
+
+    def test_duck_typed_store_without_lock_still_crash_safe(self, model):
+        """A pre-transaction-lock store (no ``.lock`` attribute) keeps
+        the old single-writer contract: flushes work, and a mid-flush
+        failure still restores the window instead of dying on the
+        missing lock *after* the buffer was drained."""
+
+        class LegacyStore(KeyValueStore):
+            def __init__(self):
+                super().__init__()
+                del self.lock
+
+        state = {"failures": 1}
+
+        def flaky_enrich(event):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise RuntimeError("enrichment outage")
+            return event.title
+
+        store = LegacyStore()
+        assert not hasattr(store, "lock")
+        service = NRTService(model, store, window_size=10,
+                             enrich=flaky_enrich)
+        service.submit(self._event(1, 0.0))
+        with pytest.raises(RuntimeError, match="enrichment outage"):
+            service.flush()
+        assert service.pending_events == 1   # window restored, not lost
+        stats = service.flush()
+        assert stats is not None and stats.n_inferred == 1
+        assert service.serve(1)
 
     def test_shares_store_with_batch(self, model):
         """NRT writes land in the same store the batch pipeline serves —
