@@ -25,11 +25,20 @@ Two dataset modes, like ``bench_fast_engine.py``'s synthetic world:
 
 With ``--parallel process`` an extra row builds the model with
 whole-leaf shards in worker processes
-(:class:`repro.core.sharding.ProcessShardExecutor`, per-shard token
+(:class:`repro.core.sharding.ProcessShardExecutor`, whose workers hand
+their graphs back as zero-copy format-3 leaf bundles, per-shard token
 caches merged afterwards), verifies it bit-identical too, and reports
 the process-vs-thread speedup — measured, not asserted; the column
-includes pool start-up and graph shipping and needs multiple physical
-cores to win.
+includes pool start-up and artifact staging and needs multiple
+physical cores to win.
+
+A **model-open latency** section saves the built model as a format-3
+artifact and times ``load_model(dir)`` (copied: every array and string
+materialized) against ``load_model(dir, mmap=True)`` (read-only views
+over the artifact file, strings decoded lazily).  The mapped model is
+verified to serve byte-identical output first; the two open times land
+in the table (``open/copied``, ``open/mmap``) and in the BENCH json as
+``model_open_latency``.
 
 Usage::
 
@@ -46,7 +55,9 @@ pytest-benchmark session) so the CI smoke run stays cheap.
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -58,6 +69,7 @@ from _helpers import RESULTS_DIR, emit, emit_bench_json
 from repro.core.batch import batch_recommend
 from repro.core.curation import CurationConfig, curate, fast_curate
 from repro.core.model import GraphExModel
+from repro.core.serialization import load_model, save_model
 from repro.data.generator import DEFAULT_PROFILE, TINY_PROFILE, \
     generate_dataset
 from repro.eval.reporting import render_table
@@ -223,10 +235,34 @@ def main(argv=None) -> int:
     # End-to-end spot check: the built models serve identical output.
     requests = [(i, stat.text, stat.leaf_id)
                 for i, stat in enumerate(stats[:500])]
-    if batch_recommend(model_fast, requests, k=10) \
-            != batch_recommend(model_ref, requests, k=10):
+    expected = batch_recommend(model_ref, requests, k=10)
+    if batch_recommend(model_fast, requests, k=10) != expected:
         print("MODEL MISMATCH: built models serve different output")
         return 1
+
+    # Model-open latency: persist once as a format-3 artifact, then
+    # time a full copied load against a zero-copy mmap open.  The mmap
+    # open touches only metadata (arrays stay file-backed, strings
+    # decode lazily), so it should win by orders of magnitude — and
+    # its model must serve byte-identically before the number counts.
+    artifact = Path(tempfile.mkdtemp(prefix="graphex-bench-model-"))
+    try:
+        save_model(model_fast, artifact / "model", format_version=3)
+        open_copied_time, model_copied = best_of(
+            lambda: load_model(artifact / "model"), args.repeat)
+        open_mmap_time, model_mapped = best_of(
+            lambda: load_model(artifact / "model", mmap=True),
+            args.repeat)
+        if batch_recommend(model_mapped, requests, k=10) != expected \
+                or batch_recommend(model_copied, requests, k=10) \
+                != expected:
+            print("MODEL MISMATCH: reopened artifact serves "
+                  "different output")
+            return 1
+    finally:
+        shutil.rmtree(artifact, ignore_errors=True)
+    open_speedup = open_copied_time / open_mmap_time if open_mmap_time \
+        else float("inf")
 
     cur_speedup = cur_ref_time / cur_fast_time if cur_fast_time \
         else float("inf")
@@ -247,6 +283,10 @@ def main(argv=None) -> int:
          n_keyphrases / total_ref, 1.0],
         ["pipeline/fast", total_fast * 1e3,
          n_keyphrases / total_fast, total_ref / total_fast],
+        ["open/copied", open_copied_time * 1e3,
+         n_keyphrases / open_copied_time, 1.0],
+        ["open/mmap", open_mmap_time * 1e3,
+         n_keyphrases / open_mmap_time, open_speedup],
     ]
     if build_proc_time is not None:
         rows.insert(4, [f"construct/process x{process_workers}",
@@ -274,6 +314,11 @@ def main(argv=None) -> int:
         "n_stats": len(stats),
         "throughput": {row[0]: row[2] for row in rows},
         "speedup": {row[0]: row[3] for row in rows},
+        "model_open_latency": {
+            "copied_ms": open_copied_time * 1e3,
+            "mmap_ms": open_mmap_time * 1e3,
+            "speedup": open_speedup,
+        },
     })
 
     if build_speedup < args.min_speedup:

@@ -15,6 +15,7 @@ Run:  python examples/daily_refresh_serving.py
 """
 
 import asyncio
+import tempfile
 import time
 
 from repro.core import GraphExModel
@@ -68,7 +69,12 @@ async def main_async() -> None:
                           wall_clock_seconds=0.2)
     front.add_stream("site-us", store=store)   # shares the batch store
     front.add_stream("site-de")
-    orchestrator = DailyRefreshOrchestrator(pipeline, workers=4)
+    # artifact_dir: each refresh persists a format-3 artifact and
+    # deploys its *memory-mapped* open, so the pipeline and every
+    # stream share one physical model copy (swap = remap, not reload).
+    artifact_root = tempfile.mkdtemp(prefix="graphex-daily-")
+    orchestrator = DailyRefreshOrchestrator(pipeline, workers=4,
+                                            artifact_dir=artifact_root)
     orchestrator.register(front)
 
     async with front:
@@ -91,6 +97,8 @@ async def main_async() -> None:
               f"{refresh.load_seconds * 1e3:.0f} ms, hot-swapped "
               f"{refresh.n_targets} serving target(s) in "
               f"{refresh.swap_seconds * 1e3:.0f} ms")
+        print(f"   deployed mapped from artifact "
+              f"{refresh.artifact_path}")
 
         print("\nDay 2, 14:02: seller revises a listing (NRT path, "
               "new model)")

@@ -4,8 +4,8 @@ Mirrors a production workflow in six subcommands::
 
     repro-graphex simulate  --out logs.json [--profile tiny|default]
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
-    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process]
-    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process]
+    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process] [--format-version 1|2|3]
+    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process] [--mmap]
     repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N] [--refresh-after N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
 
@@ -13,9 +13,12 @@ Mirrors a production workflow in six subcommands::
 input) as JSON; ``curate`` persists the curated keyphrases *and* the
 curation config (so ``construct`` round-trips the exact configuration);
 ``construct`` persists the model with
-:func:`repro.core.serialization.save_model`; ``recommend`` loads and
-serves; ``serve-nrt`` demos the asyncio multi-stream NRT front
-(``--refresh-after`` adds a mid-run zero-downtime model hot-swap).
+:func:`repro.core.serialization.save_model` (format 3 by default — the
+zero-copy page-aligned artifact); ``recommend`` loads and serves
+(``--mmap`` opens the artifact without copying); ``serve-nrt`` demos
+the asyncio multi-stream NRT front (``--refresh-after`` adds a mid-run
+zero-downtime model hot-swap, handed off by artifact *path* so a
+format-3 model remaps instead of reloading).
 ``evaluate`` runs the miniature Table III comparison.
 """
 
@@ -127,17 +130,17 @@ def _cmd_construct(args: argparse.Namespace) -> int:
                                    workers=args.workers,
                                    parallel=args.parallel)
     elapsed = time.perf_counter() - start
-    save_model(model, args.out)
+    save_model(model, args.out, format_version=args.format_version)
     rate = model.n_keyphrases / elapsed if elapsed > 0 else float("inf")
     print(f"constructed {model.n_leaves} leaf graphs / "
           f"{model.n_keyphrases} labels in {elapsed:.3f}s "
           f"({rate:,.0f} keyphrases/s, builder={args.builder}) "
-          f"-> {args.out}")
+          f"-> {args.out} (format v{args.format_version})")
     return 0
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
-    model = load_model(args.model)
+    model = load_model(args.model, mmap=args.mmap)
     results = batch_recommend(model, [(0, args.title, args.leaf)],
                               k=args.k, engine=args.engine,
                               workers=args.workers,
@@ -207,9 +210,11 @@ def _cmd_serve_nrt(args: argparse.Namespace) -> int:
                 await asyncio.gather(*(
                     _feed(front, name, feeds[name][:split])
                     for name in streams))
-                fresh = await asyncio.get_running_loop() \
-                    .run_in_executor(None, load_model, args.model)
-                generation = await front.refresh_model(fresh)
+                # Hand the front the artifact *path*: a format-3
+                # directory remaps zero-copy (one shared physical
+                # model across every stream), older formats fall back
+                # to a copied load inside refresh_model.
+                generation = await front.refresh_model(args.model)
                 print(f"hot-swapped to model generation {generation} "
                       f"after {split} events/stream "
                       "(traffic kept flowing)")
@@ -324,6 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "token caches merged afterwards "
                             "(bit-identical model, GIL-free "
                             "tokenization; fast builder only)")
+    p_con.add_argument("--format-version", type=int, choices=[1, 2, 3],
+                       default=3,
+                       help="on-disk format: 3 (default) writes the "
+                            "zero-copy page-aligned artifact that "
+                            "'recommend --mmap' and hot-swap-by-path "
+                            "open without copying; 2/1 write the "
+                            "older npz formats")
     p_con.set_defaults(func=_cmd_construct)
 
     p_rec = sub.add_parser("recommend", help="serve one title")
@@ -346,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs them in worker processes (identical "
                             "output, GIL-free tokenization; fast engine "
                             "only)")
+    p_rec.add_argument("--mmap", action="store_true",
+                       help="open the model zero-copy over the "
+                            "format-3 artifact file (read-only views, "
+                            "no copy); identical output to a copied "
+                            "load")
     p_rec.set_defaults(func=_cmd_recommend)
 
     p_srv = sub.add_parser(

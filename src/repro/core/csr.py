@@ -21,6 +21,13 @@ class CSRGraph:
             left vertex ``u`` are ``indices[indptr[u]:indptr[u + 1]]``.
         indices: ``int32`` array of right-vertex ids, sorted within each
             adjacency list and free of duplicates.
+
+    Zero-copy friendly: ``np.asarray`` in the constructor passes an
+    already-typed array through *without copying*, preserving its
+    writeability flag — so a graph wrapped around read-only views of a
+    memory-mapped model artifact (serialization format 3) stays backed
+    by the file, and in-place writes to its arrays raise.  See
+    :attr:`is_readonly`.
     """
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
@@ -30,6 +37,14 @@ class CSRGraph:
         self._n_right = int(n_right)
         if validate:
             self.validate()
+
+    @property
+    def is_readonly(self) -> bool:
+        """Whether the CSR arrays reject in-place writes — true for
+        graphs opened zero-copy from an mmap-backed model artifact,
+        false for freshly built ones."""
+        return not (self.indptr.flags.writeable
+                    or self.indices.flags.writeable)
 
     @classmethod
     def from_edges(cls, edges: Iterable[Tuple[int, int]], n_left: int,

@@ -50,16 +50,22 @@ class LeafGraph:
         leaf_id: Leaf category id this graph serves.
         word_vocab: Interning of the unique words (left vertices).
         graph: CSR adjacency from word id to label id.
-        label_texts: Keyphrase strings in label-id order.
+        label_texts: Keyphrase strings in label-id order.  Any
+            integer-indexable sequence of str: an ordinary list on
+            built/copied models, a lazy decode-on-access view
+            (:class:`repro.core.serialization.LazyStringList`) on
+            mmap-opened ones — both compare equal element-wise.
         label_lengths: Unique-token count ``|l|`` per label.
-        search_counts: Search Count ``S(l)`` per label.
+        search_counts: Search Count ``S(l)`` per label.  On an
+            mmap-opened model this (like every array here) is a
+            read-only view over the artifact file.
         recall_counts: Recall Count ``R(l)`` per label.
     """
 
     leaf_id: int
     word_vocab: Vocabulary
     graph: CSRGraph
-    label_texts: List[str]
+    label_texts: Sequence[str]
     label_lengths: np.ndarray
     search_counts: np.ndarray
     recall_counts: np.ndarray

@@ -1,19 +1,41 @@
-"""Model persistence and size accounting.
+"""Model persistence, zero-copy opens, and size accounting.
 
-A :class:`~repro.core.model.GraphExModel` serializes to a directory:
+A :class:`~repro.core.model.GraphExModel` serializes to a directory in
+one of three on-disk formats (the newest is the default; all three
+load):
 
-* ``arrays.npz`` — every leaf's CSR arrays, label lengths, Search /
-  Recall counts, plus its word and label-text ids into the shared
-  string pool (compressed).
-* ``model.json`` — the shared string pool, alignment name, tokenizer
-  config and leaf ids.
+* **Format 1** — ``arrays.npz`` (compressed CSR/count arrays) plus
+  per-leaf string lists inside ``model.json``.  The original layout;
+  read-only legacy support.
+* **Format 2** — ``arrays.npz`` plus a *shared string pool* in
+  ``model.json``: every distinct string (vocabulary word or label text)
+  is stored exactly once and per-leaf membership is persisted as
+  integer id arrays in the npz.  Marketplace vocabulary overlaps
+  heavily across leaf graphs, so pooling shrinks the JSON
+  substantially.
+* **Format 3** (default) — the zero-copy model plane.  Every numeric
+  array (per-leaf CSR ``indptr``/``indices``, count arrays, pool-id
+  arrays) plus the shared string pool (one UTF-8 blob + offset arrays)
+  lands uncompressed and page-aligned in a single ``arrays-*.bin``
+  payload; ``model.json`` carries only the manifest (offset, dtype,
+  shape per array).  ``load_model(directory, mmap=True)`` then opens
+  the model as *read-only views over one* ``np.memmap`` — no array is
+  copied, no pickle runs, label strings decode lazily on first access
+  — so opening is O(metadata) rather than O(model), N processes on one
+  host share a single physical copy of the pages, and a daily hot-swap
+  is a remap instead of a reload.
 
-Format version 2 stores every distinct string (vocabulary word or label
-text) exactly once in a shared pool — marketplace vocabulary overlaps
-heavily across leaf graphs, and the pooled graph duplicates every leaf's
-strings wholesale, so pooling shrinks ``model.json`` substantially.
-Per-leaf membership is persisted as integer id arrays in the npz.
-Version 1 directories (per-leaf string lists) still load.
+Atomic re-save: format 3 writes the payload under a fresh
+``arrays-<token>.bin`` name and atomically replaces ``model.json``
+(write-to-temp + ``os.replace``), so a rebuild over the same directory
+never tears the artifact for concurrent readers, and models already
+mapped from the old payload keep serving (the old inode stays alive
+under its mappings until they close — POSIX semantics).
+
+Bit-identity contract: a model loads element-wise/string-identical
+through every format, and an mmap-opened model serves byte-identical
+output to a copied-open one through both inference engines
+(``tests/test_model_serialization.py`` pins this property-based).
 
 ``model_size_bytes`` of the serialized form backs the Figure 6b
 model-size comparison.
@@ -22,8 +44,11 @@ model-size comparison.
 from __future__ import annotations
 
 import json
+import os
+import uuid
+from collections import abc
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,11 +61,115 @@ from .vocab import Vocabulary
 _ARRAYS_FILE = "arrays.npz"
 _META_FILE = "model.json"
 _POOLED_KEY = "pooled"
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+#: Format versions :func:`load_model` understands.  An artifact written
+#: by a *newer* build (or a corrupted one) fails fast with a
+#: ``ValueError`` naming the offending version instead of crashing
+#: obscurely deeper in deserialization.
+SUPPORTED_FORMATS = (1, 2, 3)
+
+#: Formats :func:`save_model` can write (v1 is kept writable for the
+#: cross-format equivalence suite and downgrade tooling).
+WRITABLE_FORMATS = (1, 2, 3)
+
+#: Every format-3 array starts on a page boundary, so each memmap view
+#: is naturally aligned and the kernel can fault arrays independently.
+_PAGE_SIZE = 4096
+
+#: Manifest keys of the shared string pool inside the v3 payload.
+_POOL_BLOB = "pool/blob"
+_POOL_BYTE_OFFSETS = "pool/byte_offsets"
+_POOL_CHAR_OFFSETS = "pool/char_offsets"
 
 
 def _leaf_key(leaf_id: int) -> str:
     return _POOLED_KEY if leaf_id == -1 else str(leaf_id)
+
+
+# ---------------------------------------------------------------------------
+# The lazy string plane (format 3, mmap opens)
+
+
+class _LazyStringPool:
+    """The shared string pool, decoded lazily from a mapped UTF-8 blob.
+
+    ``blob`` is a read-only ``uint8`` view over the mapped payload and
+    ``byte_offsets`` the ``n + 1`` slice boundaries; a string is decoded
+    on first access and cached, so an mmap open pays for exactly the
+    strings it touches (eagerly: per-leaf vocabulary words, which the
+    interning dict needs; lazily: label texts, which only materialised
+    recommendations read).
+    """
+
+    __slots__ = ("_blob", "_byte_offsets", "_cache")
+
+    def __init__(self, blob: np.ndarray, byte_offsets: np.ndarray) -> None:
+        self._blob = blob
+        self._byte_offsets = byte_offsets
+        self._cache: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._byte_offsets) - 1
+
+    def __getitem__(self, pool_id: int) -> str:
+        pool_id = int(pool_id)
+        cached = self._cache.get(pool_id)
+        if cached is None:
+            lo = int(self._byte_offsets[pool_id])
+            hi = int(self._byte_offsets[pool_id + 1])
+            cached = bytes(self._blob[lo:hi]).decode("utf-8")
+            self._cache[pool_id] = cached
+        return cached
+
+
+class LazyStringList(abc.Sequence):
+    """A list-equivalent view of pool strings, decoded on access.
+
+    ``label_texts`` of an mmap-opened leaf is one of these: indexing,
+    iteration, ``len`` and equality behave exactly like the ``list`` the
+    copied open builds, but nothing decodes until read.  Pickling (e.g.
+    shipping a mapped model to inference worker processes) materialises
+    a plain list — the mapped file need not exist on the other side.
+    """
+
+    __slots__ = ("_pool", "_ids")
+
+    def __init__(self, pool: _LazyStringPool, ids: np.ndarray) -> None:
+        self._pool = pool
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._pool[i] for i in self._ids[index]]
+        return self._pool[self._ids[index]]
+
+    def __iter__(self) -> Iterator[str]:
+        pool = self._pool
+        return (pool[i] for i in self._ids)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, LazyStringList)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return f"LazyStringList({list(self)!r})"
+
+    def __reduce__(self):
+        return (list, (list(self),))
+
+
+# ---------------------------------------------------------------------------
+# Shared pack/unpack (all formats)
 
 
 def _pack_leaf(prefix: str, leaf: LeafGraph,
@@ -62,12 +191,17 @@ def _pack_leaf(prefix: str, leaf: LeafGraph,
 
 
 def _unpack_leaf(meta: Dict[str, object], arrays: Dict[str, np.ndarray],
-                 prefix: str, string_pool: List[str]) -> LeafGraph:
-    if f"{prefix}/label_ids" in arrays:  # format 2: shared string pool
+                 prefix: str, string_pool,
+                 lazy: bool = False, validate: bool = True) -> LeafGraph:
+    if f"{prefix}/label_ids" in arrays:  # formats 2/3: shared string pool
         words = [string_pool[i]
                  for i in arrays[f"{prefix}/word_ids"].tolist()]
-        label_texts = [string_pool[i]
-                       for i in arrays[f"{prefix}/label_ids"].tolist()]
+        label_ids = arrays[f"{prefix}/label_ids"]
+        if lazy:
+            label_texts: Sequence[str] = LazyStringList(string_pool,
+                                                        label_ids)
+        else:
+            label_texts = [string_pool[i] for i in label_ids.tolist()]
     else:  # format 1: per-leaf string lists in the JSON
         words = list(meta["words"])
         label_texts = list(meta["label_texts"])
@@ -75,6 +209,7 @@ def _unpack_leaf(meta: Dict[str, object], arrays: Dict[str, np.ndarray],
         indptr=arrays[f"{prefix}/indptr"],
         indices=arrays[f"{prefix}/indices"],
         n_right=max(1, len(label_texts)),
+        validate=validate,
     )
     return LeafGraph(
         leaf_id=int(meta["leaf_id"]),
@@ -87,64 +222,272 @@ def _unpack_leaf(meta: Dict[str, object], arrays: Dict[str, np.ndarray],
     )
 
 
-def save_model(model: GraphExModel, directory: Union[str, Path]) -> Path:
-    """Serialize a model to a directory (created if needed).
-
-    Returns:
-        The directory path.
-    """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def _pack_all(leaves: Sequence[LeafGraph]
+              ) -> Tuple[Dict[str, Dict[str, object]],
+                         Dict[str, np.ndarray], Vocabulary]:
     arrays: Dict[str, np.ndarray] = {}
     leaves_meta: Dict[str, Dict[str, object]] = {}
     pool = Vocabulary()
-    for leaf_id in model.leaf_ids:
-        leaf = model.leaf_graph(leaf_id)
-        key = _leaf_key(leaf_id)
+    for leaf in leaves:
+        key = _leaf_key(leaf.leaf_id)
         leaves_meta[key] = _pack_leaf(key, leaf, arrays, pool)
+    return leaves_meta, arrays, pool
+
+
+# ---------------------------------------------------------------------------
+# Format-3 payload: one uncompressed, page-aligned binary file
+
+
+def _write_payload_v3(directory: Path, arrays: Dict[str, np.ndarray],
+                      pool_tokens: Sequence[str]) -> Tuple[str, Dict]:
+    """Write the raw binary payload; returns (filename, manifest).
+
+    Arrays are laid out little-endian at page-aligned offsets.  The
+    string pool becomes one UTF-8 blob plus byte offsets (for lazy
+    per-string decodes straight off the mapping) and codepoint offsets
+    (so a copied open can decode the whole blob once and slice).
+    """
+    encoded = [token.encode("utf-8") for token in pool_tokens]
+    byte_offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    byte_offsets[1:] = np.cumsum([len(chunk) for chunk in encoded],
+                                 dtype=np.int64)
+    char_offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    char_offsets[1:] = np.cumsum([len(token) for token in pool_tokens],
+                                 dtype=np.int64)
+    payload = dict(arrays)
+    payload[_POOL_BLOB] = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    payload[_POOL_BYTE_OFFSETS] = byte_offsets
+    payload[_POOL_CHAR_OFFSETS] = char_offsets
+
+    filename = f"arrays-{uuid.uuid4().hex}.bin"
+    manifest: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    tmp_path = directory / (filename + ".tmp")
+    with open(tmp_path, "wb") as fh:
+        for key, array in payload.items():
+            array = np.ascontiguousarray(array)
+            # Persist explicitly little-endian so the manifest dtype is
+            # platform-independent (no copy on little-endian hosts).
+            dtype = array.dtype.newbyteorder("<")
+            array = array.astype(dtype, copy=False)
+            padding = -offset % _PAGE_SIZE
+            if padding:
+                fh.write(b"\x00" * padding)
+                offset += padding
+            manifest[key] = {"offset": offset, "dtype": dtype.str,
+                             "shape": list(array.shape)}
+            data = array.tobytes()
+            fh.write(data)
+            offset += len(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, directory / filename)
+    return filename, manifest
+
+
+def _open_payload_v3(directory: Path, meta: Dict, mmap: bool):
+    """Read or map the v3 payload; returns ``(arrays, pool, lazy)``.
+
+    ``mmap=True`` returns read-only ``np.ndarray`` views over one
+    ``np.memmap`` (plain-ndarray views, so a mapped model still
+    pickles — by materialising — into inference worker processes) and
+    a lazy string pool; nothing but the manifest is read eagerly, and
+    CSR invariant validation is skipped (it would fault in every page,
+    defeating the O(metadata) open — the payload was written by
+    :func:`save_model` and is covered by the cross-format suite).
+
+    ``mmap=False`` reads the file once and copies every array out
+    (writable, independent of the file) and decodes the whole pool.
+    """
+    path = directory / meta["arrays_file"]
+    manifest = meta["arrays"]
+    arrays: Dict[str, np.ndarray] = {}
+    if mmap:
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+
+        def view(entry) -> np.ndarray:
+            dtype = np.dtype(entry["dtype"])
+            start = entry["offset"]
+            stop = start + dtype.itemsize * int(np.prod(entry["shape"]))
+            return np.asarray(raw[start:stop].view(dtype)).reshape(
+                entry["shape"])
+
+        for key, entry in manifest.items():
+            if not key.startswith("pool/"):
+                arrays[key] = view(entry)
+        pool = _LazyStringPool(view(manifest[_POOL_BLOB]),
+                               view(manifest[_POOL_BYTE_OFFSETS]))
+        return arrays, pool, True
+
+    data = path.read_bytes()
+    for key, entry in manifest.items():
+        if key.startswith("pool/"):
+            continue
+        dtype = np.dtype(entry["dtype"])
+        count = int(np.prod(entry["shape"]))
+        arrays[key] = np.frombuffer(
+            data, dtype=dtype, count=count,
+            offset=entry["offset"]).reshape(entry["shape"]).copy()
+    blob_entry = manifest[_POOL_BLOB]
+    blob_start = blob_entry["offset"]
+    blob = data[blob_start:blob_start + int(blob_entry["shape"][0])]
+    chars_entry = manifest[_POOL_CHAR_OFFSETS]
+    char_offsets = np.frombuffer(
+        data, dtype=np.dtype(chars_entry["dtype"]),
+        count=int(chars_entry["shape"][0]),
+        offset=chars_entry["offset"]).tolist()
+    decoded = blob.decode("utf-8")
+    pool = [decoded[char_offsets[i]:char_offsets[i + 1]]
+            for i in range(len(char_offsets) - 1)]
+    return arrays, pool, False
+
+
+def _replace_meta(directory: Path, meta: Dict) -> None:
+    """Atomically (re)write ``model.json`` via write-to-temp + rename."""
+    tmp_path = directory / (_META_FILE + f".tmp-{uuid.uuid4().hex}")
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, directory / _META_FILE)
+
+
+def _prune_stale_payloads(directory: Path, keep: Optional[str]) -> None:
+    """Unlink payload files the current ``model.json`` no longer names.
+
+    Models already mapped from a stale payload keep serving: the inode
+    survives under its mappings (the rebuild-over-old-path scenario the
+    serving tests pin).
+    """
+    for path in directory.glob("arrays-*.bin"):
+        if path.name != keep:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent pruner
+                pass
+    if keep is not None:
+        npz = directory / _ARRAYS_FILE
+        if npz.exists():
+            npz.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Public API
+
+
+def save_model(model: GraphExModel, directory: Union[str, Path],
+               format_version: int = _FORMAT_VERSION) -> Path:
+    """Serialize a model to a directory (created if needed).
+
+    Args:
+        model: The model to persist.
+        directory: Destination directory; re-saving over a directory
+            that already holds a model atomically replaces it (format 3
+            writes a fresh payload file and swaps ``model.json`` last,
+            so concurrent readers never observe a torn artifact and
+            already-mapped models keep serving the old payload).
+        format_version: On-disk format to write — 3 (default,
+            zero-copy/mmap-able), 2 (compressed npz + shared pool) or
+            1 (legacy per-leaf string lists).
+
+    Returns:
+        The directory path.
+
+    Raises:
+        ValueError: On a format version this build cannot write.
+    """
+    if format_version not in WRITABLE_FORMATS:
+        raise ValueError(
+            f"cannot write model format_version {format_version!r}; "
+            f"writable formats are {WRITABLE_FORMATS}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    leaves = [model.leaf_graph(leaf_id) for leaf_id in model.leaf_ids]
     if model.pooled_graph is not None:
-        leaves_meta[_POOLED_KEY] = _pack_leaf(
-            _POOLED_KEY, model.pooled_graph, arrays, pool)
+        leaves.append(model.pooled_graph)
+    leaves_meta, arrays, pool = _pack_all(leaves)
 
     tokenizer = model.tokenizer
     stems = bool(getattr(tokenizer, "stems", False))
     meta = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": format_version,
         "alignment": model.alignment_name,
         "tokenizer": {"type": "space", "stem": stems},
-        "string_pool": pool.tokens,
         "leaves": leaves_meta,
     }
-    np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
-    with open(directory / _META_FILE, "w", encoding="utf-8") as fh:
-        json.dump(meta, fh)
+    if format_version == 1:
+        # Legacy layout: per-leaf string lists in the JSON, no pool-id
+        # arrays in the npz.
+        for leaf in leaves:
+            key = _leaf_key(leaf.leaf_id)
+            meta["leaves"][key] = {
+                "leaf_id": leaf.leaf_id,
+                "words": list(leaf.word_vocab.tokens),
+                "label_texts": list(leaf.label_texts),
+            }
+        arrays = {key: array for key, array in arrays.items()
+                  if not (key.endswith("/word_ids")
+                          or key.endswith("/label_ids"))}
+        np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+        _replace_meta(directory, meta)
+        _prune_stale_payloads(directory, keep=None)
+    elif format_version == 2:
+        meta["string_pool"] = pool.tokens
+        np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+        _replace_meta(directory, meta)
+        _prune_stale_payloads(directory, keep=None)
+    else:
+        filename, manifest = _write_payload_v3(directory, arrays,
+                                               pool.tokens)
+        meta["arrays_file"] = filename
+        meta["arrays"] = manifest
+        meta["pool_size"] = len(pool)
+        _replace_meta(directory, meta)
+        _prune_stale_payloads(directory, keep=filename)
     return directory
 
 
-def load_model(directory: Union[str, Path]) -> GraphExModel:
-    """Load a model previously written by :func:`save_model`.
-
-    Accepts format versions 1 (per-leaf string lists) and 2 (shared
-    string pool).
-
-    Raises:
-        FileNotFoundError: If the directory lacks the expected files.
-        ValueError: On unknown format versions.
-    """
-    directory = Path(directory)
+def _read_meta(directory: Path) -> Dict:
+    """Read ``model.json`` and validate its ``format_version``."""
     with open(directory / _META_FILE, encoding="utf-8") as fh:
         meta = json.load(fh)
-    if meta.get("format_version") not in (1, 2):
+    version = meta.get("format_version")
+    if version not in SUPPORTED_FORMATS:
         raise ValueError(
-            f"unsupported model format: {meta.get('format_version')!r}")
-    string_pool = list(meta.get("string_pool", ()))
-    with np.load(directory / _ARRAYS_FILE) as npz:
-        arrays = {key: npz[key] for key in npz.files}
+            f"unsupported model format_version {version!r} in "
+            f"{directory / _META_FILE}; this build reads versions "
+            f"{SUPPORTED_FORMATS} (was the artifact written by a newer "
+            f"build?)")
+    return meta
+
+
+def model_format_version(directory: Union[str, Path]) -> int:
+    """The ``format_version`` of a serialized model directory.
+
+    Raises:
+        FileNotFoundError: If the directory lacks ``model.json``.
+        ValueError: If the version is not one this build supports.
+    """
+    return int(_read_meta(Path(directory))["format_version"])
+
+
+def _load_from_meta(meta: Dict, directory: Path,
+                    mmap: bool) -> GraphExModel:
+    version = meta["format_version"]
+    if version == 3:
+        arrays, string_pool, lazy = _open_payload_v3(directory, meta, mmap)
+    else:
+        string_pool = list(meta.get("string_pool", ()))
+        with np.load(directory / _ARRAYS_FILE) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+        lazy = False
 
     leaf_graphs: Dict[int, LeafGraph] = {}
     pooled = None
     for key, leaf_meta in meta["leaves"].items():
-        leaf = _unpack_leaf(leaf_meta, arrays, key, string_pool)
+        leaf = _unpack_leaf(leaf_meta, arrays, key, string_pool,
+                            lazy=lazy, validate=not mmap)
         if key == _POOLED_KEY:
             pooled = leaf
         else:
@@ -157,6 +500,110 @@ def load_model(directory: Union[str, Path]) -> GraphExModel:
     get_alignment(alignment)  # fail fast on unknown names
     return GraphExModel(leaf_graphs, tokenizer=tokenizer,
                         alignment=alignment, pooled_graph=pooled)
+
+
+def load_model(directory: Union[str, Path],
+               mmap: bool = False) -> GraphExModel:
+    """Load a model previously written by :func:`save_model`.
+
+    Accepts format versions 1 (per-leaf string lists), 2 (shared string
+    pool) and 3 (page-aligned binary payload).  All formats load
+    bit-identical models; ``tests/test_model_serialization.py`` pins
+    the equivalence property-based.
+
+    Args:
+        directory: The serialized model directory.
+        mmap: Open a format-3 model zero-copy — every numpy array is a
+            *read-only* view over one ``np.memmap`` (in-place writes
+            raise), label strings decode lazily, and N processes
+            opening the same artifact share one physical copy of the
+            pages.  Requires format 3; older directories must be
+            re-saved first (the error says so).
+
+    Raises:
+        FileNotFoundError: If the directory lacks the expected files.
+        ValueError: On an unknown/future format version (the error
+            names the version), or ``mmap=True`` on a pre-3 format.
+    """
+    directory = Path(directory)
+    meta = _read_meta(directory)
+    version = int(meta["format_version"])
+    if mmap and version != 3:
+        raise ValueError(
+            f"mmap=True requires model format_version 3, but "
+            f"{directory} holds format_version {version}; re-save it "
+            f"with save_model(model, directory) to enable zero-copy "
+            f"opens")
+    return _load_from_meta(meta, directory, mmap=mmap)
+
+
+def open_model(source: Union[GraphExModel, str, Path]) -> GraphExModel:
+    """Polymorphic model hand-off: a model passes through, a path opens.
+
+    The serving stack's ``refresh_model`` entry points route through
+    this, so an orchestrator can hand a *directory path* to N serving
+    processes instead of shipping N pickled copies: a format-3 artifact
+    opens zero-copy (``mmap=True`` — the hot-swap is a remap, not a
+    reload), older formats fall back to an ordinary copied load.
+    """
+    if isinstance(source, GraphExModel):
+        return source
+    directory = Path(source)
+    return load_model(directory,
+                      mmap=model_format_version(directory) == 3)
+
+
+# ---------------------------------------------------------------------------
+# Leaf-shard bundles (the process-construction return path)
+
+
+def save_leaf_graphs(leaves: Sequence[LeafGraph],
+                     directory: Union[str, Path]) -> Path:
+    """Persist built leaf graphs as a format-3 *leaf bundle*.
+
+    The return path of process-shard construction: a worker builds its
+    shard's leaves, writes them here (raw page-aligned arrays + string
+    pool — no pickle), and the parent opens the bundle zero-copy with
+    :func:`load_leaf_graphs`.  A bundle is not a full model (no
+    tokenizer/alignment); :func:`load_model` rejects it.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    leaves_meta, arrays, pool = _pack_all(leaves)
+    filename, manifest = _write_payload_v3(directory, arrays, pool.tokens)
+    _replace_meta(directory, {
+        "kind": "leaf-bundle",
+        "format_version": _FORMAT_VERSION,
+        "leaves": leaves_meta,
+        "arrays_file": filename,
+        "arrays": manifest,
+        "pool_size": len(pool),
+    })
+    return directory
+
+
+def load_leaf_graphs(directory: Union[str, Path],
+                     mmap: bool = True) -> List[LeafGraph]:
+    """Open a :func:`save_leaf_graphs` bundle (zero-copy by default).
+
+    Returns the leaf graphs in the bundle's insertion order, arrays
+    backed read-only by the mapping when ``mmap=True`` — the bundle
+    file may be unlinked afterwards; live mappings keep it readable.
+    """
+    directory = Path(directory)
+    with open(directory / _META_FILE, encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("kind") != "leaf-bundle":
+        raise ValueError(f"{directory} is not a leaf bundle")
+    if meta.get("format_version") not in SUPPORTED_FORMATS:
+        raise ValueError(
+            f"unsupported leaf-bundle format_version "
+            f"{meta.get('format_version')!r}; this build reads versions "
+            f"{SUPPORTED_FORMATS}")
+    arrays, pool, lazy = _open_payload_v3(directory, meta, mmap)
+    return [_unpack_leaf(leaf_meta, arrays, key, pool,
+                         lazy=lazy, validate=not mmap)
+            for key, leaf_meta in meta["leaves"].items()]
 
 
 def model_size_bytes(directory: Union[str, Path]) -> int:

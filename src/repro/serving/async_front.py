@@ -53,9 +53,11 @@ import asyncio
 import threading
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.model import GraphExModel
+from ..core.serialization import open_model
 from .kvstore import KeyValueStore
 from .nrt import ItemEvent, NRTService, WindowStats, next_generation
 
@@ -297,13 +299,19 @@ class AsyncNRTFront:
         construction-time model)."""
         return self._generation
 
-    async def refresh_model(self, model: GraphExModel,
+    async def refresh_model(self, model: Union[GraphExModel, str, Path],
                             generation: Optional[int] = None) -> int:
         """Zero-downtime hot-swap: retarget every stream to ``model``.
 
         The daily loop's serving edge: a freshly constructed model is
         swapped into a *running* front without dropping an event or
-        interrupting reads.  The new model is validated against the
+        interrupting reads.  ``model`` may also be an artifact
+        directory path — it is opened *once* here (zero-copy mmap for a
+        format-3 artifact, via
+        :func:`repro.core.serialization.open_model`) and every stream
+        is retargeted at the same mapped instance, so the whole front
+        shares one physical copy and the swap is a remap, not N
+        reloads.  The new model is validated against the
         front's engine/parallel configuration first, so an incompatible
         model leaves every stream serving the old one.  Then each
         stream is quiesced in turn — its store lock is taken *off the
@@ -321,6 +329,7 @@ class AsyncNRTFront:
         """
         if self._closing:
             raise RuntimeError("front is stopping")
+        model = open_model(model)
         # Probe once up front, exactly like __init__: a bad
         # model/engine pairing must fail before ANY stream is swapped.
         NRTService(model, KeyValueStore(), **self._service_kwargs)

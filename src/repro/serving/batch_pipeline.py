@@ -14,11 +14,13 @@ to cross-check against the scalar path (identical output, slower).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.batch import (BatchResult, InferenceRequest, batch_recommend,
                           validate_hard_limit, validate_model_for_engine)
 from ..core.model import GraphExModel
+from ..core.serialization import open_model
 from .kvstore import KeyValueStore, transaction_lock
 from .nrt import next_generation
 
@@ -145,18 +147,24 @@ class BatchPipeline:
         construction-time model)."""
         return self._generation
 
-    def refresh_model(self, model: GraphExModel,
+    def refresh_model(self, model: Union[GraphExModel, str, Path],
                       generation: Optional[int] = None) -> int:
         """Swap in a newly constructed model (the daily model refresh the
         paper's fast construction enables).
 
-        The new model is validated against the configured
-        engine/parallel combination first, so an incompatible model
-        leaves the pipeline on the old one.  ``generation`` lets an
-        orchestrator number refreshes consistently across the whole
-        serving stack (defaults to the current generation + 1); the
-        pipeline's generation after the swap is returned.
+        ``model`` may be a :class:`GraphExModel` or an artifact
+        directory (opened via
+        :func:`repro.core.serialization.open_model` — zero-copy mmap
+        for format-3 artifacts, so co-hosted pipelines handed the same
+        path share one physical copy).  The new model is validated
+        against the configured engine/parallel combination first, so an
+        incompatible model leaves the pipeline on the old one.
+        ``generation`` lets an orchestrator number refreshes
+        consistently across the whole serving stack (defaults to the
+        current generation + 1); the pipeline's generation after the
+        swap is returned.
         """
+        model = open_model(model)
         validate_model_for_engine(model, self._engine, self._parallel)
         self._generation = next_generation(self._generation, generation)
         self.model = model

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch import (batch_recommend, validate_hard_limit,
                           validate_model_for_engine)
 from ..core.model import GraphExModel
+from ..core.serialization import open_model
 from .kvstore import KeyValueStore, transaction_lock
 
 
@@ -126,9 +128,15 @@ class NRTService:
         the generation that served it."""
         return self._generation
 
-    def refresh_model(self, model: GraphExModel,
+    def refresh_model(self, model: Union[GraphExModel, str, Path],
                       generation: Optional[int] = None) -> int:
         """Hot-swap in a newly constructed model (the daily refresh).
+
+        ``model`` may be an in-memory :class:`GraphExModel` or an
+        *artifact directory path*: a path is opened through
+        :func:`repro.core.serialization.open_model`, so a format-3
+        artifact maps zero-copy and the swap is a remap — N services on
+        one host pointed at the same artifact share one physical copy.
 
         The swap takes effect at the next *window boundary*: a window
         already drained by an in-progress :meth:`flush` finishes under
@@ -142,7 +150,8 @@ class NRTService:
         incompatible model leaves the service serving the old one.
 
         Args:
-            model: The replacement model.
+            model: The replacement model, or the directory of a saved
+                one (opened mmap when it is a format-3 artifact).
             generation: Explicit generation number to adopt (an
                 orchestrator numbering refreshes across many services);
                 defaults to the current generation + 1, and is never
@@ -151,6 +160,7 @@ class NRTService:
         Returns:
             The service's model generation after the swap.
         """
+        model = open_model(model)
         validate_model_for_engine(model, self._engine, self._parallel)
         self._generation = next_generation(self._generation, generation)
         self.model = model

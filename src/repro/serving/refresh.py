@@ -32,11 +32,13 @@ import asyncio
 import inspect
 import time
 from dataclasses import dataclass
-from typing import Any, List, Sequence
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Union
 
 from ..core.batch import InferenceRequest
 from ..core.curation import CuratedKeyphrases
 from ..core.model import GraphExModel
+from ..core.serialization import load_model, save_model
 from .batch_pipeline import BatchPipeline
 
 __all__ = ["DailyRefreshOrchestrator", "RefreshReport"]
@@ -55,6 +57,10 @@ class RefreshReport:
     construct_seconds: float
     load_seconds: float
     swap_seconds: float
+    #: Directory of the persisted format-3 artifact this refresh
+    #: deployed (``None`` when the orchestrator has no ``artifact_dir``
+    #: and the model was handed off in memory instead).
+    artifact_path: Optional[str] = None
 
 
 class DailyRefreshOrchestrator:
@@ -69,6 +75,15 @@ class DailyRefreshOrchestrator:
             the whole point of the daily loop).
         alignment: Ranking alignment for the constructed models.
         build_pooled: Also build the pooled fallback graph each day.
+        artifact_dir: When set, every refresh persists its freshly
+            constructed model as a format-3 artifact under
+            ``artifact_dir/gen-<N>`` and deploys the *memory-mapped*
+            open of that artifact: the pipeline and every registered
+            target receive views over one physical copy, and the
+            report's :attr:`RefreshReport.artifact_path` names the
+            directory so other hosts/processes can open the same
+            artifact themselves.  Unset (default) hands the in-memory
+            model around as before.
 
     Usage::
 
@@ -81,13 +96,16 @@ class DailyRefreshOrchestrator:
     def __init__(self, pipeline: BatchPipeline, *,
                  builder: str = "fast", workers: int = 1,
                  parallel: str = "thread", alignment: str = "lta",
-                 build_pooled: bool = False) -> None:
+                 build_pooled: bool = False,
+                 artifact_dir: Optional[Union[str, Path]] = None) -> None:
         self.pipeline = pipeline
         self._builder = builder
         self._workers = workers
         self._parallel = parallel
         self._alignment = alignment
         self._build_pooled = build_pooled
+        self._artifact_dir = (None if artifact_dir is None
+                              else Path(artifact_dir))
         self._targets: List[Any] = []
         self._generation = 0
 
@@ -124,6 +142,19 @@ class DailyRefreshOrchestrator:
                 "cannot hot-swap it")
         self._targets.append(target)
         return target
+
+    @staticmethod
+    def _persist_and_map(model: GraphExModel,
+                         directory: Path) -> GraphExModel:
+        """Save ``model`` as a format-3 artifact and reopen it mapped.
+
+        Runs in the executor.  The returned model's arrays are
+        read-only views over the artifact file — the instance handed to
+        the pipeline and every serving target, so one physical copy
+        backs the whole deployment.
+        """
+        save_model(model, directory, format_version=3)
+        return load_model(directory, mmap=True)
 
     async def refresh(self, curated: CuratedKeyphrases,
                       requests: Sequence[InferenceRequest]
@@ -175,6 +206,20 @@ class DailyRefreshOrchestrator:
                for target in self._targets])
         self._generation = generation
 
+        # Persist-then-remap: with an artifact_dir, the built model is
+        # written out as a format-3 artifact (in the executor — the
+        # front keeps ingesting) and the *mapped* open of that artifact
+        # is what gets deployed, so the pipeline and every target share
+        # one physical copy and the in-memory build is dropped.
+        artifact_path: Optional[str] = None
+        if self._artifact_dir is not None:
+            artifact = self._artifact_dir / f"gen-{generation}"
+            persist_start = time.perf_counter()
+            model = await loop.run_in_executor(
+                None, self._persist_and_map, model, artifact)
+            artifact_path = str(artifact)
+            construct_seconds += time.perf_counter() - persist_start
+
         # Batch first: the fresh catalog-wide table must be promoted
         # before the NRT edge starts writing new-model windows on top.
         start = time.perf_counter()
@@ -199,7 +244,8 @@ class DailyRefreshOrchestrator:
             n_targets=len(self._targets),
             construct_seconds=construct_seconds,
             load_seconds=load_seconds,
-            swap_seconds=swap_seconds)
+            swap_seconds=swap_seconds,
+            artifact_path=artifact_path)
 
     def refresh_sync(self, curated: CuratedKeyphrases,
                      requests: Sequence[InferenceRequest]

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import tempfile
 import threading
+from pathlib import Path
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -623,16 +625,21 @@ class TestModelHotSwap:
     @settings(max_examples=10, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     @given(specs1=event_specs, specs2=event_specs,
-           window_size=st.integers(1, 4))
+           window_size=st.integers(1, 4), by_path=st.booleans())
     def test_mid_run_swap_loses_nothing_and_post_swap_output_is_fresh(
             self, fig3_model, fig3_variant_model, specs1, specs2,
-            window_size):
+            window_size, by_path):
         """Acceptance property: a refresh_model issued mid-run with
         concurrent traffic on 3 streams loses zero events, never swaps
         mid-window (every window carries exactly one generation,
         monotone per stream), and the served output of every event
         submitted after the swap is byte-identical to a fresh front
-        constructed on the new model and fed those events."""
+        constructed on the new model and fed those events.
+
+        ``by_path`` additionally exercises the ISSUE 6 hand-off: the
+        refresh receives a format-3 artifact *directory* instead of a
+        model object, so the swap is a zero-copy remap — with the same
+        served bytes."""
         names = ("s0", "s1", "s2")
         phase1 = build_events(specs1)
         # Post-swap events get disjoint item ids so their served rows
@@ -640,7 +647,7 @@ class TestModelHotSwap:
         phase2 = [dataclasses.replace(e, item_id=e.item_id + 100)
                   for e in build_events(specs2)]
 
-        async def drive():
+        async def drive(swap_target):
             front = AsyncNRTFront(fig3_model, window_size=window_size,
                                   window_seconds=1.0,
                                   wall_clock_seconds=30.0)
@@ -659,7 +666,7 @@ class TestModelHotSwap:
                 # Mid-run: phase-1 traffic is still queued/in flight on
                 # every stream when the refresh is issued.
                 await asyncio.sleep(0)
-                await front.refresh_model(fig3_variant_model)
+                await front.refresh_model(swap_target)
                 swap_done.set()
 
             async with front:
@@ -677,7 +684,15 @@ class TestModelHotSwap:
                 await _feed(fresh, "fresh", phase2)
             return fresh
 
-        front = asyncio.run(drive())
+        if by_path:
+            from repro.core.serialization import save_model
+            with tempfile.TemporaryDirectory() as tmp:
+                artifact = save_model(fig3_variant_model,
+                                      Path(tmp) / "m",
+                                      format_version=3)
+                front = asyncio.run(drive(str(artifact)))
+        else:
+            front = asyncio.run(drive(fig3_variant_model))
         fresh = asyncio.run(drive_fresh())
         total = len(phase1) + len(phase2)
         for name in names:

@@ -142,6 +142,37 @@ class TestWorkflow:
             assert (sharded.leaf_graph(leaf_id).label_texts
                     == serial.leaf_graph(leaf_id).label_texts)
 
+    def test_construct_format_version_round_trips(self, workflow_dir,
+                                                  tmp_path):
+        """Every writable format the flag offers loads back with the
+        same leaves; the default out dir is a format-3 artifact."""
+        from repro.core.serialization import (load_model,
+                                              model_format_version)
+        curated_path = workflow_dir / "curated.json"
+        baseline = load_model(workflow_dir / "model")
+        assert model_format_version(workflow_dir / "model") == 3
+        for version in (1, 2, 3):
+            out_dir = tmp_path / f"model_v{version}"
+            assert main(["construct", "--curated", str(curated_path),
+                         "--out", str(out_dir), "--format-version",
+                         str(version)]) == 0
+            assert model_format_version(out_dir) == version
+            assert load_model(out_dir).leaf_ids == baseline.leaf_ids
+
+    def test_recommend_mmap_prints_identical_output(self, workflow_dir,
+                                                    capsys):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        leaf_id = int(next(iter(payload["leaves"])))
+        text = payload["leaves"][str(leaf_id)]["texts"][0]
+        outputs = {}
+        for extra in ([], ["--mmap"]):
+            assert main(["recommend", "--model",
+                         str(workflow_dir / "model"), "--title", text,
+                         "--leaf", str(leaf_id)] + extra) == 0
+            outputs[bool(extra)] = capsys.readouterr().out
+        assert outputs[True] == outputs[False]
+        assert text in outputs[True]
+
     def test_recommend_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(

@@ -3,14 +3,23 @@
 from __future__ import annotations
 
 import json
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.batch import batch_recommend, differential_update
 from repro.core.curation import CuratedKeyphrases, CuratedLeaf, CurationConfig
 from repro.core.model import GraphExModel, build_leaf_graph
-from repro.core.serialization import load_model, model_size_bytes, save_model
+from repro.core.serialization import (SUPPORTED_FORMATS, LazyStringList,
+                                      load_model, model_format_version,
+                                      model_size_bytes, open_model,
+                                      save_model)
 from repro.core.tokenize import DEFAULT_TOKENIZER, STEMMING_TOKENIZER
 
 
@@ -182,7 +191,7 @@ class TestRoundtripFidelity:
         even when the pooled graph duplicates every leaf's strings."""
         model = GraphExModel.construct(curated_two_leaves(),
                                        build_pooled=True)
-        path = save_model(model, tmp_path / "m")
+        path = save_model(model, tmp_path / "m", format_version=2)
         meta = json.loads((path / "model.json").read_text())
         assert meta["format_version"] == 2
         pool = meta["string_pool"]
@@ -281,3 +290,236 @@ class TestBatch:
         model = GraphExModel.construct(curated_two_leaves())
         results = batch_recommend(model, self._requests(), k=5, hard_limit=1)
         assert all(len(recs) <= 1 for recs in results.values())
+
+
+# ---------------------------------------------------------------------------
+# Cross-format equivalence + the zero-copy mapped plane (format 3)
+
+
+_TOKENS = ["alpha", "beta", "gamma", "delta", "épée", "graph",
+           "router", "音楽", "headphones", "mesh"]
+
+
+@st.composite
+def curated_worlds(draw):
+    """Small random curated worlds: 1-3 leaves, each with a handful of
+    keyphrases over a shared token alphabet (including non-ASCII, so
+    the UTF-8 string pool is exercised for real)."""
+    leaves = {}
+    for leaf_id in range(1, draw(st.integers(1, 3)) + 1):
+        leaf = CuratedLeaf(leaf_id=leaf_id)
+        seen = set()
+        for _ in range(draw(st.integers(1, 6))):
+            words = draw(st.lists(st.sampled_from(_TOKENS),
+                                  min_size=1, max_size=3))
+            text = " ".join(words)
+            if text in seen:
+                continue
+            seen.add(text)
+            leaf.add(text, draw(st.integers(1, 500)),
+                     draw(st.integers(1, 500)))
+        leaves[leaf_id] = leaf
+    return CuratedKeyphrases(
+        leaves=leaves, effective_threshold=1,
+        config=CurationConfig(min_search_count=1))
+
+
+def assert_graphs_identical(a, b):
+    assert b.leaf_id == a.leaf_id
+    assert b.word_vocab.tokens == a.word_vocab.tokens
+    assert np.array_equal(b.graph.indptr, a.graph.indptr)
+    assert np.array_equal(b.graph.indices, a.graph.indices)
+    assert list(b.label_texts) == list(a.label_texts)
+    assert np.array_equal(b.label_lengths, a.label_lengths)
+    assert np.array_equal(b.search_counts, a.search_counts)
+    assert np.array_equal(b.recall_counts, a.recall_counts)
+
+
+def assert_models_identical(a, b):
+    assert b.leaf_ids == a.leaf_ids
+    for leaf_id in a.leaf_ids:
+        assert_graphs_identical(a.leaf_graph(leaf_id),
+                                b.leaf_graph(leaf_id))
+    assert (a.pooled_graph is None) == (b.pooled_graph is None)
+    if a.pooled_graph is not None:
+        assert_graphs_identical(a.pooled_graph, b.pooled_graph)
+
+
+def _world_requests(model):
+    requests = [(0, "alpha beta gamma épée", 999)]  # pooled/miss path
+    for i, leaf_id in enumerate(model.leaf_ids, start=1):
+        graph = model.leaf_graph(leaf_id)
+        requests.append((i, graph.label_texts[0], leaf_id))
+    return requests
+
+
+def _serve_mapped_artifact(directory, requests):
+    """Process-pool worker: open the shared v3 artifact zero-copy and
+    serve a batch (module-level so it pickles)."""
+    model = load_model(Path(directory), mmap=True)
+    results = batch_recommend(model, requests, k=5)
+    return {item_id: [(r.text, r.score, r.search_count, r.recall_count)
+                      for r in recs]
+            for item_id, recs in results.items()}
+
+
+class TestCrossFormat:
+    """ISSUE 6: every writable format round-trips bit-identical, and
+    the mmap-opened v3 plane is indistinguishable from a copied load
+    through both inference engines."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(curated=curated_worlds(), build_pooled=st.booleans())
+    def test_v1_v2_v3_load_bit_identical(self, curated, build_pooled):
+        model = GraphExModel.construct(curated,
+                                       build_pooled=build_pooled)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = {}
+            for version in (1, 2, 3):
+                path = Path(tmp) / f"v{version}"
+                save_model(model, path, format_version=version)
+                assert model_format_version(path) == version
+                loaded[version] = load_model(path)
+            for version, reopened in loaded.items():
+                assert_models_identical(model, reopened)
+
+    @settings(max_examples=25, deadline=None)
+    @given(curated=curated_worlds(), build_pooled=st.booleans())
+    def test_v3_mmap_vs_copied_identical_output(self, curated,
+                                                build_pooled):
+        model = GraphExModel.construct(curated,
+                                       build_pooled=build_pooled)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "m"
+            save_model(model, path, format_version=3)
+            copied = load_model(path)
+            mapped = load_model(path, mmap=True)
+            assert_models_identical(copied, mapped)
+            requests = _world_requests(model)
+            for engine in ("fast", "reference"):
+                expected = batch_recommend(model, requests, k=5,
+                                           engine=engine)
+                assert batch_recommend(copied, requests, k=5,
+                                       engine=engine) == expected
+                assert batch_recommend(mapped, requests, k=5,
+                                       engine=engine) == expected
+
+    def test_future_format_version_named_in_error(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves())
+        path = save_model(model, tmp_path / "m")
+        (path / "model.json").write_text('{"format_version": 99}')
+        with pytest.raises(ValueError) as excinfo:
+            load_model(path)
+        message = str(excinfo.value)
+        assert "99" in message
+        assert str(SUPPORTED_FORMATS) in message
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_mmap_requires_format_3(self, tmp_path, version):
+        model = GraphExModel.construct(curated_two_leaves())
+        path = save_model(model, tmp_path / "m", format_version=version)
+        with pytest.raises(ValueError, match="mmap"):
+            load_model(path, mmap=True)
+
+    def test_unsupported_write_version_rejected(self, tmp_path):
+        model = GraphExModel.construct(curated_two_leaves())
+        with pytest.raises(ValueError, match="4"):
+            save_model(model, tmp_path / "m", format_version=4)
+
+
+class TestMappedPlane:
+    """Safety properties of the zero-copy (mmap) model plane."""
+
+    def _mapped(self, tmp_path, **construct_kwargs):
+        model = GraphExModel.construct(curated_two_leaves(),
+                                       **construct_kwargs)
+        path = save_model(model, tmp_path / "m", format_version=3)
+        return model, path, load_model(path, mmap=True)
+
+    def test_mapped_arrays_are_read_only(self, tmp_path):
+        _model, _path, mapped = self._mapped(tmp_path,
+                                             build_pooled=True)
+        for leaf_id in mapped.leaf_ids:
+            graph = mapped.leaf_graph(leaf_id)
+            assert graph.graph.is_readonly
+            for array in (graph.graph.indptr, graph.graph.indices,
+                          graph.label_lengths, graph.search_counts,
+                          graph.recall_counts):
+                assert not array.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    array[0] = 1
+        assert mapped.pooled_graph.graph.is_readonly
+
+    def test_built_graphs_are_not_readonly(self):
+        model = GraphExModel.construct(curated_two_leaves())
+        for leaf_id in model.leaf_ids:
+            assert not model.leaf_graph(leaf_id).graph.is_readonly
+
+    def test_mapped_model_survives_atomic_replace(self, tmp_path):
+        """The rebuild-over-old-path scenario: a process still holding
+        yesterday's mapped model keeps serving it bit-identically
+        after today's save_model replaces the directory contents."""
+        old_model, path, mapped = self._mapped(tmp_path)
+        requests = _world_requests(old_model)
+        before = batch_recommend(mapped, requests, k=5)
+
+        leaf = CuratedLeaf(leaf_id=10)
+        leaf.add("completely different phrase", 50, 5)
+        new_model = GraphExModel.construct(CuratedKeyphrases(
+            leaves={10: leaf}, effective_threshold=1,
+            config=CurationConfig(min_search_count=1)))
+        save_model(new_model, path, format_version=3)
+
+        # The old mapping still reads the (unlinked) old payload.
+        assert batch_recommend(mapped, requests, k=5) == before
+        # A fresh open sees the replacement.
+        fresh = load_model(path, mmap=True)
+        assert_models_identical(new_model, fresh)
+
+    def test_concurrent_workers_share_one_artifact(self, tmp_path):
+        """Two process workers opening the same v3 artifact serve
+        outputs identical to the in-memory model's."""
+        model, path, _mapped = self._mapped(tmp_path)
+        requests = _world_requests(model)
+        expected = {
+            item_id: [(r.text, r.score, r.search_count, r.recall_count)
+                      for r in recs]
+            for item_id, recs in
+            batch_recommend(model, requests, k=5).items()}
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_serve_mapped_artifact, str(path),
+                                   requests) for _ in range(2)]
+            results = [future.result(timeout=60) for future in futures]
+        assert results[0] == expected
+        assert results[1] == expected
+
+    def test_mapped_model_pickles_by_materializing(self, tmp_path):
+        model, _path, mapped = self._mapped(tmp_path)
+        clone = pickle.loads(pickle.dumps(mapped))
+        assert_models_identical(model, clone)
+
+    def test_open_model_passthrough_and_path(self, tmp_path):
+        model, path, _mapped = self._mapped(tmp_path)
+        assert open_model(model) is model
+        opened = open_model(path)
+        assert_models_identical(model, opened)
+        # v3 path → zero-copy open.
+        leaf_id = opened.leaf_ids[0]
+        assert opened.leaf_graph(leaf_id).graph.is_readonly
+        # Older formats fall back to an ordinary copied load.
+        v2 = save_model(model, path.parent / "v2", format_version=2)
+        assert_models_identical(model, open_model(str(v2)))
+
+    def test_lazy_string_list_behaves_like_a_list(self, tmp_path):
+        model, _path, mapped = self._mapped(tmp_path)
+        leaf_id = model.leaf_ids[0]
+        lazy = mapped.leaf_graph(leaf_id).label_texts
+        eager = model.leaf_graph(leaf_id).label_texts
+        assert isinstance(lazy, LazyStringList)
+        assert len(lazy) == len(eager)
+        assert list(lazy) == list(eager)
+        assert lazy == eager
+        assert lazy[0] == eager[0] and lazy[-1] == eager[-1]
+        assert lazy[1:] == list(eager[1:])
+        assert eager[0] in lazy
+        assert pickle.loads(pickle.dumps(lazy)) == list(eager)

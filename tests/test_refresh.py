@@ -82,6 +82,52 @@ class TestDailyRefreshOrchestrator:
         assert service.serve(9) == clean.serve(9)
         assert service.processed_windows[-1].model_generation == 1
 
+    def test_refresh_with_artifact_dir_persists_and_maps(
+            self, fig3_model, fig3_variant_model, tmp_path):
+        """ISSUE 6: with ``artifact_dir`` set the orchestrator writes a
+        format-3 artifact per refresh and deploys its *mapped* open —
+        one physical copy behind the pipeline and every target, with
+        the artifact path reported for other hosts to open."""
+        from repro.core.serialization import load_model
+
+        store = KeyValueStore()
+        pipeline = BatchPipeline(fig3_model, store=store)
+        service = NRTService(fig3_model, store, window_size=1)
+        orchestrator = DailyRefreshOrchestrator(
+            pipeline, artifact_dir=tmp_path / "artifacts")
+        orchestrator.register(service)
+
+        report = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                           REQUESTS)
+        assert report.artifact_path == str(
+            tmp_path / "artifacts" / "gen-1")
+        # Pipeline and service share the one mapped instance, whose
+        # arrays are read-only views over the artifact file.
+        assert pipeline.model is service.model
+        leaf_id = pipeline.model.leaf_ids[0]
+        assert pipeline.model.leaf_graph(leaf_id).graph.is_readonly
+        # The artifact on disk reopens bit-identical and the served
+        # table matches a clean in-memory deployment.
+        reopened = load_model(report.artifact_path)
+        clean = BatchPipeline(fig3_variant_model)
+        clean.full_load(REQUESTS)
+        for item_id, _title, _leaf in REQUESTS:
+            assert pipeline.serve(item_id) == clean.serve(item_id)
+        assert reopened.leaf_ids == pipeline.model.leaf_ids
+        # A second refresh lands under the next generation's directory.
+        second = orchestrator.refresh_sync(build_fig3_curated(),
+                                           REQUESTS)
+        assert second.artifact_path == str(
+            tmp_path / "artifacts" / "gen-2")
+
+    def test_refresh_without_artifact_dir_reports_no_path(
+            self, fig3_model):
+        pipeline = BatchPipeline(fig3_model)
+        orchestrator = DailyRefreshOrchestrator(pipeline)
+        report = orchestrator.refresh_sync(build_fig3_curated(),
+                                           REQUESTS)
+        assert report.artifact_path is None
+
     def test_successive_refreshes_increment_generation(self, fig3_model):
         pipeline = BatchPipeline(fig3_model)
         service = NRTService(fig3_model, pipeline.store, window_size=1)

@@ -293,6 +293,25 @@ class TestBatchPipeline:
         # An orchestrator can impose its own numbering.
         assert pipeline.refresh_model(fresh, generation=7) == 7
 
+    def test_refresh_model_from_artifact_path(self, model, tmp_path):
+        """ISSUE 6: the hand-off can be a directory path — a format-3
+        artifact opens zero-copy, and the swapped pipeline serves
+        byte-identically to an in-memory swap."""
+        from repro.core.serialization import save_model
+
+        artifact = save_model(model, tmp_path / "m", format_version=3)
+        pipeline = BatchPipeline(model)
+        baseline = BatchPipeline(model)
+        assert pipeline.refresh_model(str(artifact)) == 1
+        # The path was opened mmap: the serving model's arrays are
+        # read-only views over the artifact file.
+        leaf_id = pipeline.model.leaf_ids[0]
+        assert pipeline.model.leaf_graph(leaf_id).graph.is_readonly
+        pipeline.full_load(REQUESTS)
+        baseline.full_load(REQUESTS)
+        for item_id, _title, _leaf in REQUESTS:
+            assert pipeline.serve(item_id) == baseline.serve(item_id)
+
     def test_refresh_model_validates_before_swapping(self, model):
         """An incompatible model must leave the pipeline serving the
         old one (generation included)."""
@@ -610,6 +629,28 @@ class TestNRTService:
         assert service.model_generation == 0
         assert service.refresh_model(fig3_variant_model) == 1
         assert service.model is fig3_variant_model
+        stats = service.flush()
+        assert stats.model_generation == 1
+        clean = self._service(fig3_variant_model, window_size=10)
+        clean.submit(self._event(1, 0.0))
+        clean.flush()
+        assert service.serve(1) == clean.serve(1)
+
+    def test_refresh_model_from_artifact_path(self, model,
+                                              fig3_variant_model,
+                                              tmp_path):
+        """ISSUE 6: hot-swap by artifact path — the service remaps a
+        format-3 directory zero-copy and serves byte-identically to an
+        in-memory swap of the same model."""
+        from repro.core.serialization import save_model
+
+        artifact = save_model(fig3_variant_model, tmp_path / "m",
+                              format_version=3)
+        service = self._service(model, window_size=10)
+        service.submit(self._event(1, 0.0))
+        assert service.refresh_model(str(artifact)) == 1
+        leaf_id = service.model.leaf_ids[0]
+        assert service.model.leaf_graph(leaf_id).graph.is_readonly
         stats = service.flush()
         assert stats.model_generation == 1
         clean = self._service(fig3_variant_model, window_size=10)

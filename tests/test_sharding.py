@@ -173,6 +173,46 @@ class TestProcessShardExecutor:
         assert graphs == {}
         assert len(cache) == 0
 
+    def test_artifact_return_path_bit_identical_to_thread(self):
+        """ISSUE 6: multi-worker construction ships graphs back as
+        zero-copy leaf bundles, never pickled objects — and the result
+        is bit-identical to the in-process fast builder."""
+        leaf_phrases = {
+            leaf_id: [(f"w{j} w{(j + leaf_id) % 6} extra{leaf_id}",
+                       9 - j, j + 1) for j in range(8)]
+            for leaf_id in (1, 2, 3, 4)}
+        thread = make_model(leaf_phrases, build_pooled=True)
+        leaves = {}
+        for leaf_id, phrases in leaf_phrases.items():
+            leaf = CuratedLeaf(leaf_id=leaf_id)
+            for text, search, recall in phrases:
+                leaf.add(text, search, recall)
+            leaves[leaf_id] = leaf
+        curated = CuratedKeyphrases(
+            leaves=leaves, effective_threshold=1,
+            config=CurationConfig(min_search_count=1))
+        process = GraphExModel.construct(curated, build_pooled=True,
+                                         workers=2, parallel="process")
+        assert process.leaf_ids == thread.leaf_ids
+        import numpy as np
+        for leaf_id in thread.leaf_ids + [None]:
+            a = (thread.pooled_graph if leaf_id is None
+                 else thread.leaf_graph(leaf_id))
+            b = (process.pooled_graph if leaf_id is None
+                 else process.leaf_graph(leaf_id))
+            assert b.word_vocab.tokens == a.word_vocab.tokens
+            assert np.array_equal(b.graph.indptr, a.graph.indptr)
+            assert np.array_equal(b.graph.indices, a.graph.indices)
+            assert list(b.label_texts) == list(a.label_texts)
+            assert np.array_equal(b.label_lengths, a.label_lengths)
+            assert np.array_equal(b.search_counts, a.search_counts)
+            assert np.array_equal(b.recall_counts, a.recall_counts)
+        # The leaves really did come back through the mapped bundles:
+        # worker-built graphs are read-only views over the staged
+        # artifact (the pooled graph is assembled in-parent).
+        for leaf_id in process.leaf_ids:
+            assert process.leaf_graph(leaf_id).graph.is_readonly
+
 
 class TestTokenCacheStateMerge:
     def test_absorb_remaps_onto_local_ids(self):
