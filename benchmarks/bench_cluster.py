@@ -1,0 +1,174 @@
+"""Cluster runner scale-out bench: 1 → N worker "machines", plus a crash.
+
+Spawns real worker *subprocesses* (each its own process = one
+"machine"), runs the same inference batch through the cluster
+coordinator at increasing fleet sizes, and verifies every merged output
+element-wise against the in-process fast path.  The last column arms
+one worker's kill switch (``--die-after-assignments 0`` — it hard-exits
+the moment its first shard arrives) and must *still* verify, through
+dead-host re-planning: the fault-tolerance headline measured, not just
+asserted.
+
+Cluster columns pay serialization + framing + socket hops per shard, so
+on a single box they trail the in-process engine — the honest number;
+the point of the bench is the scale-out *shape* (per-fleet-size
+throughput) and the crash column's identical output, both recorded in
+``BENCH_cluster.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py                # full
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        --items 300 --hosts 2 --kill                        # the CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for _helpers
+from _helpers import RESULTS_DIR, emit, emit_bench_json
+from bench_fast_engine import build_world
+
+from repro.cluster import ClusterCoordinator, RetryPolicy
+from repro.core.fast_inference import LeafBatchRunner
+from repro.core.serialization import save_model
+from repro.eval.reporting import render_table
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+    return env
+
+
+async def run_cluster(artifact: Path, requests, k: int, n_hosts: int,
+                      kill_one: bool, rpc_timeout: float):
+    """One column: spawn ``n_hosts`` machines, run the batch, tear down.
+
+    Returns ``(elapsed_seconds, result, report)``.  With ``kill_one``
+    the first machine hard-exits on its first shard — a real host crash
+    mid-plan.
+    """
+    env = _worker_env()
+    procs = []
+    async with ClusterCoordinator(rpc_timeout=rpc_timeout,
+                                  retry=RetryPolicy(seed=0),
+                                  heartbeat_timeout=4.0) as coordinator:
+        try:
+            for index in range(n_hosts):
+                argv = [sys.executable, "-m", "repro.cli",
+                        "cluster-worker", "--connect",
+                        f"{coordinator.host}:{coordinator.port}",
+                        "--name", f"bench-{index}",
+                        "--heartbeat", "0.5"]
+                if kill_one and index == 0:
+                    argv += ["--die-after-assignments", "0"]
+                procs.append(subprocess.Popen(argv, env=env))
+            await coordinator.wait_for_workers(n_hosts, timeout=30.0)
+            start = time.perf_counter()
+            result = await coordinator.run_inference(
+                str(artifact), requests, k=k)
+            elapsed = time.perf_counter() - start
+        finally:
+            await coordinator.stop()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        return elapsed, result, coordinator.last_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=2000)
+    parser.add_argument("--leaves", type=int, default=12)
+    parser.add_argument("--phrases-per-leaf", type=int, default=300)
+    parser.add_argument("-k", type=int, default=20)
+    parser.add_argument("--hosts", type=int, default=3,
+                        help="fleet size of the largest scale-out "
+                             "column (columns run at 1 and at this)")
+    parser.add_argument("--kill", action="store_true",
+                        help="add the crash column: one of the machines "
+                             "hard-exits mid-plan and the run must "
+                             "still verify")
+    parser.add_argument("--rpc-timeout", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    model, requests = build_world(args.leaves, args.phrases_per_leaf,
+                                  args.items, args.seed)
+    print(f"world: {model.n_leaves} leaves, {model.n_keyphrases} "
+          f"keyphrases, {len(requests)} requests")
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        artifact = Path(tmp) / "model"
+        save_model(model, artifact, format_version=3)
+
+        start = time.perf_counter()
+        expected = LeafBatchRunner(model, k=args.k).run(requests)
+        local_time = time.perf_counter() - start
+
+        fleet_sizes = sorted({1, max(1, args.hosts)})
+        columns = [(f"cluster x{n}", n, False) for n in fleet_sizes]
+        if args.kill:
+            n = max(2, args.hosts)
+            columns.append((f"cluster x{n} +kill", n, True))
+
+        rows = [["local fast engine", f"{local_time:.3f}",
+                 f"{len(requests) / local_time:,.0f}", "-", "-", "yes"]]
+        throughput = {"local": len(requests) / local_time}
+        all_identical = True
+        kill_stats = None
+        for label, n_hosts, kill_one in columns:
+            elapsed, result, report = asyncio.run(run_cluster(
+                artifact, requests, args.k, n_hosts, kill_one,
+                args.rpc_timeout))
+            identical = result == expected
+            all_identical = all_identical and identical
+            throughput[label] = len(requests) / elapsed
+            rows.append([label, f"{elapsed:.3f}",
+                         f"{len(requests) / elapsed:,.0f}",
+                         str(report.n_replans),
+                         str(report.n_retries),
+                         "yes" if identical else "NO"])
+            if kill_one:
+                kill_stats = {
+                    "workers_killed": 1,
+                    "n_replans": report.n_replans,
+                    "n_local_units": report.n_local_units,
+                    "completed": all(count == 1 for count
+                                     in report.merge_counts.values()),
+                }
+
+        table = render_table(
+            ["path", "seconds", "items/s", "replans", "retries",
+             "identical"],
+            rows, title="Cluster runner scale-out "
+                        f"({len(requests)} requests)")
+        emit(RESULTS_DIR, "cluster", table)
+
+        payload = {
+            "verified_identical": all_identical,
+            "workers": max(fleet_sizes),
+            "items": len(requests),
+            "throughput": throughput,
+        }
+        if kill_stats is not None:
+            payload["fault_tolerance"] = kill_stats
+        emit_bench_json(RESULTS_DIR, "cluster", payload)
+    return 0 if all_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

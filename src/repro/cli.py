@@ -8,6 +8,8 @@ Mirrors a production workflow in six subcommands::
     repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process] [--mmap]
     repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N] [--refresh-after N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
+    repro-graphex cluster-worker --connect HOST:PORT [--name W] [--die-after-assignments N]
+    repro-graphex cluster-run --model model_dir/ [--spawn-workers N] [--kill-after K]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
 input) as JSON; ``curate`` persists the curated keyphrases *and* the
@@ -29,6 +31,7 @@ import dataclasses
 import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .core.batch import ENGINES, batch_recommend
@@ -282,6 +285,121 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Run one executor host until its coordinator shuts it down."""
+    import asyncio
+
+    from .cluster import ClusterWorker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    worker = ClusterWorker(
+        host, int(port), name=args.name, spool_dir=args.spool,
+        heartbeat_interval=args.heartbeat,
+        die_after_assignments=args.die_after_assignments,
+        # A CLI worker is a whole "machine": the kill switch must take
+        # the process down, not just raise, so the bench/CI crash
+        # drills exercise a real host death.
+        hard_exit=True)
+    asyncio.run(worker.run())
+    return 0
+
+
+def _synthesize_requests(model: GraphExModel, n: int,
+                         seed: int) -> list:
+    """Seeded inference requests drawn from the model's own labels."""
+    import random
+
+    rng = random.Random(seed)
+    leaf_ids = model.leaf_ids
+    titles = {leaf_id: model.leaf_graph(leaf_id).label_texts
+              for leaf_id in leaf_ids}
+    requests = []
+    for item_id in range(n):
+        leaf_id = rng.choice(leaf_ids)
+        pool = titles[leaf_id]
+        requests.append((item_id,
+                         rng.choice(pool) if len(pool) else "",
+                         leaf_id))
+    return requests
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    """Demo/smoke of the fault-tolerant cluster runner.
+
+    Spawns ``--spawn-workers`` real worker *subprocesses* (each its own
+    "machine"), runs a batch across them, verifies the merged output
+    element-wise against the in-process fast path, and prints the run
+    report.  ``--kill-after K`` arms the first worker's kill switch so
+    it hard-exits mid-plan — the run must still verify, through
+    dead-host re-planning.
+    """
+    import asyncio
+    import os
+    import subprocess
+
+    from .cluster import ClusterCoordinator, RetryPolicy
+    from .core.fast_inference import LeafBatchRunner
+
+    model = load_model(args.model, mmap=True)
+    requests = _synthesize_requests(model, args.requests, args.seed)
+    expected = LeafBatchRunner(model, k=args.k).run(requests)
+
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+
+    async def drive() -> int:
+        procs = []
+        async with ClusterCoordinator(
+                rpc_timeout=args.rpc_timeout,
+                retry=RetryPolicy(seed=args.seed),
+                heartbeat_timeout=4.0) as coordinator:
+            try:
+                for index in range(args.spawn_workers):
+                    argv = [sys.executable, "-m", "repro.cli",
+                            "cluster-worker",
+                            "--connect",
+                            f"{coordinator.host}:{coordinator.port}",
+                            "--name", f"machine-{index}",
+                            "--heartbeat", "0.5"]
+                    if args.kill_after is not None and index == 0:
+                        argv += ["--die-after-assignments",
+                                 str(args.kill_after)]
+                    procs.append(subprocess.Popen(argv, env=env))
+                await coordinator.wait_for_workers(args.spawn_workers,
+                                                   timeout=30.0)
+                start = time.perf_counter()
+                got = await coordinator.run_inference(
+                    str(args.model), requests, k=args.k)
+                elapsed = time.perf_counter() - start
+            finally:
+                await coordinator.stop()
+                for proc in procs:
+                    try:
+                        proc.wait(timeout=10.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+            report = coordinator.last_report
+            identical = got == expected
+            rate = len(requests) / elapsed if elapsed > 0 \
+                else float("inf")
+            print(f"ran {len(requests)} requests across "
+                  f"{args.spawn_workers} worker machines in "
+                  f"{elapsed:.3f}s ({rate:,.0f} req/s)")
+            for field, value in sorted(report.as_dict().items()):
+                print(f"  {field}: {value}")
+            print(f"  verified_identical: {identical}")
+            return 0 if identical else 1
+
+    return asyncio.run(drive())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -390,6 +508,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--profile", choices=_PROFILES, default="tiny")
     p_eval.add_argument("--meta", default=None)
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_cwk = sub.add_parser(
+        "cluster-worker",
+        help="run one cluster executor host (dials the coordinator)")
+    p_cwk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="the coordinator's listening address")
+    p_cwk.add_argument("--name", default=None,
+                       help="registration name (default: worker-<pid>)")
+    p_cwk.add_argument("--spool", default=None,
+                       help="spool dir for streamed artifacts and leaf "
+                            "bundles (default: private temp dir)")
+    p_cwk.add_argument("--heartbeat", type=float, default=1.0,
+                       help="seconds between liveness heartbeats")
+    p_cwk.add_argument("--die-after-assignments", type=int, default=None,
+                       help="fault-injection kill switch: hard-exit the "
+                            "process when a shard arrives after this "
+                            "many completed assignments")
+    p_cwk.set_defaults(func=_cmd_cluster_worker)
+
+    p_crn = sub.add_parser(
+        "cluster-run",
+        help="demo the fault-tolerant cluster runner on subprocess "
+             "worker machines, verifying bit-identical output")
+    p_crn.add_argument("--model", required=True,
+                       help="serialized model directory (format 3 is "
+                            "mmap-shared across the machines)")
+    p_crn.add_argument("--spawn-workers", type=int, default=3,
+                       help="worker subprocesses ('machines') to spawn")
+    p_crn.add_argument("--kill-after", type=int, default=None,
+                       help="arm the first worker's kill switch: it "
+                            "hard-exits when a shard arrives after "
+                            "this many completed assignments (0 = dies "
+                            "on its first shard); the run must still "
+                            "verify via dead-host re-planning")
+    p_crn.add_argument("--requests", type=int, default=64,
+                       help="synthetic requests drawn from the model's "
+                            "own labels")
+    p_crn.add_argument("-k", type=int, default=10)
+    p_crn.add_argument("--rpc-timeout", type=float, default=30.0)
+    p_crn.add_argument("--seed", type=int, default=7)
+    p_crn.set_defaults(func=_cmd_cluster_run)
     return parser
 
 

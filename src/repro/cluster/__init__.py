@@ -1,0 +1,33 @@
+"""Fault-tolerant multi-machine shard runner (see ROADMAP: cluster).
+
+The package splits along the trust boundary:
+
+* :mod:`~repro.cluster.protocol` — framing and wire codecs (the only
+  place wire shapes are defined).
+* :mod:`~repro.cluster.transport` — framed asyncio transports and the
+  deterministic fault injector used by the robustness suite.
+* :mod:`~repro.cluster.retry` — the shared capped-backoff-with-jitter
+  policy (also used by the daily refresh orchestrator).
+* :mod:`~repro.cluster.worker` — one executor host.
+* :mod:`~repro.cluster.coordinator` — plans, dispatches, retries,
+  re-plans around dead hosts, and merges exactly once.
+"""
+
+from .coordinator import (ClusterCoordinator, ClusterError,
+                          ClusterExecutionError, ClusterRunReport)
+from .protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION, FrameError,
+                       decode_frame, encode_frame)
+from .retry import RetriesExhausted, RetryPolicy
+from .transport import (Fault, FaultSchedule, FaultyTransport, Transport,
+                        TransportClosed)
+from .worker import ClusterWorker, WorkerKilled
+
+__all__ = [
+    "ClusterCoordinator", "ClusterError", "ClusterExecutionError",
+    "ClusterRunReport", "ClusterWorker", "WorkerKilled",
+    "RetryPolicy", "RetriesExhausted",
+    "Transport", "TransportClosed", "Fault", "FaultSchedule",
+    "FaultyTransport",
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "FrameError",
+    "encode_frame", "decode_frame",
+]

@@ -1,0 +1,182 @@
+"""Length-prefixed JSON frames and wire codecs for the cluster runner.
+
+Every message between coordinator and worker is one *frame*: a 4-byte
+big-endian payload length followed by a UTF-8 JSON object.  JSON keeps
+the protocol inspectable and version-tolerant; exactness is preserved
+because everything that crosses the wire is either a string, an int, or
+a Python ``float`` — and ``json`` serializes floats via ``repr``, which
+round-trips every finite IEEE-754 double bit-exactly.  That is what
+lets the cluster path promise *bit-identical* outputs: a
+:class:`~repro.core.inference.Recommendation` decoded from a frame
+compares equal, field for field, to one produced in-process.
+
+The codecs below are the only places wire shapes are defined; both
+endpoints import them, so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.batch import InferenceRequest
+from ..core.curation import CuratedLeaf
+from ..core.inference import Recommendation
+from ..core.tokenize import SpaceTokenizer, Tokenizer
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "FrameError",
+    "encode_frame", "decode_frame", "read_frame", "write_frame",
+    "pack_recommendations", "unpack_recommendations",
+    "pack_requests", "unpack_requests",
+    "pack_curated_leaves", "unpack_curated_leaves",
+    "pack_tokenizer", "unpack_tokenizer",
+    "pack_token_state", "unpack_token_state",
+]
+
+#: Bumped on any incompatible wire change; registration carries it and
+#: the coordinator rejects mismatches up front.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's JSON payload.  Large transfers (model
+#: artifacts) are chunked below this; a peer announcing a bigger frame
+#: is malformed or hostile and the connection is dropped.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(RuntimeError):
+    """A malformed frame (bad length, bad JSON, or not an object)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit; chunk large transfers")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse a frame payload back into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict:
+    """Read one frame; raises ``IncompleteReadError`` on a closed peer."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES})")
+    return decode_frame(await reader.readexactly(length))
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and drain the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+
+
+def pack_recommendations(recommendations: Sequence[Recommendation]
+                         ) -> List[list]:
+    """Recommendations as JSON rows (field order = NamedTuple order)."""
+    return [[r.text, float(r.score), int(r.search_count),
+             int(r.recall_count), int(r.common)]
+            for r in recommendations]
+
+
+def unpack_recommendations(rows: Sequence[Sequence]
+                           ) -> List[Recommendation]:
+    """Inverse of :func:`pack_recommendations` (bit-exact floats)."""
+    return [Recommendation(text, score, search, recall, common)
+            for text, score, search, recall, common in rows]
+
+
+def pack_requests(requests: Sequence[InferenceRequest]) -> List[list]:
+    """``(item_id, title, leaf_id)`` triples as JSON rows."""
+    return [[item_id, title, leaf_id]
+            for item_id, title, leaf_id in requests]
+
+
+def unpack_requests(rows: Sequence[Sequence]) -> List[InferenceRequest]:
+    """Inverse of :func:`pack_requests`."""
+    return [(item_id, title, leaf_id)
+            for item_id, title, leaf_id in rows]
+
+
+def pack_curated_leaves(leaves: Sequence[CuratedLeaf]) -> List[dict]:
+    """Curated leaves as JSON objects (the construction-shard input)."""
+    return [{"leaf_id": leaf.leaf_id, "texts": list(leaf.texts),
+             "search_counts": list(leaf.search_counts),
+             "recall_counts": list(leaf.recall_counts)}
+            for leaf in leaves]
+
+
+def unpack_curated_leaves(rows: Sequence[dict]) -> List[CuratedLeaf]:
+    """Inverse of :func:`pack_curated_leaves`."""
+    return [CuratedLeaf(leaf_id=row["leaf_id"],
+                        texts=list(row["texts"]),
+                        search_counts=list(row["search_counts"]),
+                        recall_counts=list(row["recall_counts"]))
+            for row in rows]
+
+
+def pack_tokenizer(tokenizer: Tokenizer) -> dict:
+    """A :class:`SpaceTokenizer`'s full configuration as JSON.
+
+    Only plain ``SpaceTokenizer`` instances are wire-representable —
+    construction semantics must be *identical* on every host, and an
+    arbitrary callable cannot make that guarantee over JSON.  Custom
+    tokenizers run cluster construction via the local fallback instead.
+    """
+    if type(tokenizer) is not SpaceTokenizer:
+        raise ValueError(
+            f"only SpaceTokenizer ships over the wire (its semantics "
+            f"are reproducible from configuration); got "
+            f"{type(tokenizer).__name__}")
+    return {"stem": tokenizer.stems,
+            "stopwords": sorted(tokenizer.stopwords)}
+
+
+def unpack_tokenizer(spec: dict) -> SpaceTokenizer:
+    """Inverse of :func:`pack_tokenizer`."""
+    return SpaceTokenizer(stem=bool(spec["stem"]),
+                          drop_stopwords=tuple(spec["stopwords"]))
+
+
+def pack_token_state(state: Tuple[List[str], Dict[str, Tuple[int, ...]],
+                                  Optional[Dict[str, int]]]) -> list:
+    """A ``TokenCache.export_state`` snapshot as JSON (tuples → lists)."""
+    tokens, text_ids, raw_ids = state
+    return [list(tokens),
+            {text: list(ids) for text, ids in text_ids.items()},
+            raw_ids if raw_ids is None else dict(raw_ids)]
+
+
+def unpack_token_state(payload: Sequence
+                       ) -> Tuple[List[str], Dict[str, Tuple[int, ...]],
+                                  Optional[Dict[str, int]]]:
+    """Inverse of :func:`pack_token_state` (lists → tuples)."""
+    tokens, text_ids, raw_ids = payload
+    return (list(tokens),
+            {text: tuple(ids) for text, ids in text_ids.items()},
+            None if raw_ids is None else dict(raw_ids))

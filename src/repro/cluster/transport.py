@@ -1,0 +1,190 @@
+"""Framed asyncio transports, plus the deterministic fault injector.
+
+:class:`Transport` is the thin production wrapper around an asyncio
+stream pair: framed send/recv with a send lock (the worker's heartbeat
+task and its shard replies share one connection) and idempotent close.
+
+:class:`FaultyTransport` is the test harness's weapon: it wraps any
+transport and applies a :class:`FaultSchedule` — **drop** a frame,
+**delay** it, or **sever** the connection — at exact frame indices,
+optionally counting only frames matching a predicate (e.g. only
+``shard_result`` frames, so a schedule is insensitive to how many
+heartbeats happened to fit in).  Schedules are plain data, so a
+hypothesis strategy can draw arbitrary failure topologies and the run
+is reproducible from the drawn values alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .protocol import read_frame, write_frame
+
+__all__ = ["Transport", "Fault", "FaultSchedule", "FaultyTransport",
+           "TransportClosed"]
+
+
+class TransportClosed(ConnectionError):
+    """The peer is gone (clean close, reset, or injected sever)."""
+
+
+class Transport:
+    """Framed, lock-serialized message transport over asyncio streams."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (locally initiated only)."""
+        return self._closed
+
+    @property
+    def peername(self) -> Optional[Tuple]:
+        """The peer's socket address, for diagnostics."""
+        try:
+            return self._writer.get_extra_info("peername")
+        except Exception:  # pragma: no cover - transport variance
+            return None
+
+    async def send(self, message: dict) -> None:
+        """Send one frame; raises :class:`TransportClosed` when gone."""
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        async with self._send_lock:
+            try:
+                await write_frame(self._writer, message)
+            except (ConnectionError, OSError) as exc:
+                raise TransportClosed(f"send failed: {exc}") from exc
+
+    async def recv(self) -> dict:
+        """Receive one frame; raises :class:`TransportClosed` at EOF."""
+        try:
+            return await read_frame(self._reader)
+        except (asyncio.IncompleteReadError, ConnectionError,
+                OSError) as exc:
+            raise TransportClosed(f"connection closed: {exc}") from exc
+
+    def close(self) -> None:
+        """Close the underlying stream (idempotent, best-effort)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+        except Exception:  # pragma: no cover - already-dead transports
+            pass
+
+    async def wait_closed(self) -> None:
+        """Await the stream teardown after :meth:`close`."""
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - already-dead transports
+            pass
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure.
+
+    Attributes:
+        action: ``"drop"`` (frame silently discarded), ``"delay"``
+            (frame held for :attr:`delay` seconds, then delivered — the
+            late-result scenario), or ``"sever"`` (connection torn down
+            mid-conversation — the dead-host scenario).
+        delay: Seconds to hold a delayed frame.
+    """
+
+    action: str
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("drop", "delay", "sever"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass
+class FaultSchedule:
+    """Frame-indexed faults for one transport, applied deterministically.
+
+    Attributes:
+        send: Fault per 0-based *matching outgoing* frame index.
+        recv: Fault per 0-based *matching incoming* frame index.
+        match: Counts (and faults) only frames this predicate accepts;
+            non-matching frames pass through unfaulted and uncounted.
+            Defaults to matching everything.
+    """
+
+    send: Dict[int, Fault] = field(default_factory=dict)
+    recv: Dict[int, Fault] = field(default_factory=dict)
+    match: Callable[[dict], bool] = field(default=lambda message: True)
+
+
+class FaultyTransport:
+    """A transport wrapper that injects a :class:`FaultSchedule`.
+
+    Duck-types :class:`Transport`.  Severing closes the inner transport
+    and raises :class:`TransportClosed`, exactly what the real failure
+    produces, so neither endpoint can tell an injected fault from a
+    genuine one — which is the point.
+    """
+
+    def __init__(self, inner: Transport, schedule: FaultSchedule) -> None:
+        self._inner = inner
+        self._schedule = schedule
+        self._sent = 0
+        self._received = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    @property
+    def peername(self):
+        return self._inner.peername
+
+    async def send(self, message: dict) -> None:
+        if not self._schedule.match(message):
+            await self._inner.send(message)
+            return
+        fault = self._schedule.send.get(self._sent)
+        self._sent += 1
+        if fault is None:
+            await self._inner.send(message)
+        elif fault.action == "drop":
+            return
+        elif fault.action == "delay":
+            await asyncio.sleep(fault.delay)
+            await self._inner.send(message)
+        else:  # sever
+            self._inner.close()
+            raise TransportClosed("injected sever on send")
+
+    async def recv(self) -> dict:
+        while True:
+            message = await self._inner.recv()
+            if not self._schedule.match(message):
+                return message
+            fault = self._schedule.recv.get(self._received)
+            self._received += 1
+            if fault is None:
+                return message
+            if fault.action == "drop":
+                continue
+            if fault.action == "delay":
+                await asyncio.sleep(fault.delay)
+                return message
+            self._inner.close()
+            raise TransportClosed("injected sever on recv")
+
+    def close(self) -> None:
+        self._inner.close()
+
+    async def wait_closed(self) -> None:
+        await self._inner.wait_closed()

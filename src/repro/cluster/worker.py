@@ -1,0 +1,333 @@
+"""Cluster executor host: registers, receives shards, returns results.
+
+A :class:`ClusterWorker` is one "machine" of the fleet.  It dials the
+coordinator over localhost TCP, registers under a unique name, then
+serves assignments sequentially from its connection:
+
+* **Inference shards** — the worker opens the named model artifact
+  (zero-copy ``mmap`` for format-3 directories, via
+  :func:`repro.core.serialization.open_model`, memoized per path) and
+  runs the shard through a per-configuration
+  :class:`~repro.core.fast_inference.LeafBatchRunner`, returning
+  per-request results in shard order — exactly the
+  ``run_indexed``/scatter contract :class:`ProcessShardExecutor` pins.
+* **Construction shards** — curated leaves arrive on the wire, are
+  built with a private :class:`~repro.core.tokenize.TokenCache`, and
+  land on disk as a format-3 leaf bundle under the worker's spool dir;
+  the reply carries the bundle path (the coordinator mmap-opens it)
+  plus the cache state for the parent-side merge.
+* **Artifact streaming** — a coordinator without a shared filesystem
+  streams the model artifact in chunked frames; the worker spools it
+  locally and serves it by artifact name, mmap-opened.
+
+A worker-side exception never kills the worker: it is caught and
+returned as a ``shard_error`` frame carrying the full traceback (the
+cluster analogue of :class:`repro.core.sharding.ShardWorkerError`).
+Heartbeats flow from a separate task over the same (send-locked)
+connection, so a long shard does not read as a dead host.
+
+Fault injection: ``transport_wrapper`` wraps the connection (tests pass
+a :class:`~repro.cluster.transport.FaultyTransport` factory), and
+``die_after_assignments=N`` is the kill switch — the worker completes
+``N`` assignments, then drops the connection cold (``hard_exit=True``
+additionally kills the process) upon receiving the next one, exactly a
+host crash mid-plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import os
+import tempfile
+import traceback
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.fast_construct import build_leaf_graph_fast
+from ..core.fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
+from ..core.model import GraphExModel
+from ..core.serialization import open_model, save_leaf_graphs
+from ..core.tokenize import TokenCache
+from .protocol import (PROTOCOL_VERSION, pack_recommendations,
+                       pack_token_state, unpack_curated_leaves,
+                       unpack_requests, unpack_tokenizer)
+from .transport import Transport, TransportClosed
+
+__all__ = ["ClusterWorker", "WorkerKilled"]
+
+
+class WorkerKilled(Exception):
+    """The kill switch fired: the worker dropped off mid-plan."""
+
+
+class ClusterWorker:
+    """One executor host of the cluster (see module docstring).
+
+    Args:
+        host, port: The coordinator's listening address.
+        name: Registration name; must be unique among live workers
+            (default: ``worker-<pid>``).
+        spool_dir: Where streamed artifacts and built leaf bundles
+            land; a private temp dir (cleaned on exit) by default.
+        heartbeat_interval: Seconds between heartbeat frames; ``None``
+            disables them (connection-close detection still works).
+        transport_wrapper: Optional wrapper applied to the connection —
+            the fault-injection hook.
+        die_after_assignments: Kill switch — complete this many
+            assignments, then sever on the next one.  ``None`` never
+            dies.
+        hard_exit: With the kill switch, also ``os._exit(1)`` — the
+            subprocess-worker crash used by the bench/CI smoke.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 name: Optional[str] = None,
+                 spool_dir: Optional[str] = None,
+                 heartbeat_interval: Optional[float] = None,
+                 transport_wrapper: Optional[
+                     Callable[[Transport], object]] = None,
+                 die_after_assignments: Optional[int] = None,
+                 hard_exit: bool = False) -> None:
+        self._host = host
+        self._port = port
+        self.name = name or f"worker-{os.getpid()}"
+        self._own_spool = spool_dir is None
+        self._spool = Path(spool_dir) if spool_dir is not None else None
+        self._heartbeat_interval = heartbeat_interval
+        self._transport_wrapper = transport_wrapper
+        self._die_after = die_after_assignments
+        self._hard_exit = hard_exit
+        self._transport = None
+        self._models: Dict[str, GraphExModel] = {}
+        self._artifacts: Dict[str, Path] = {}
+        self._runners: Dict[Tuple, LeafBatchRunner] = {}
+        #: Assignments completed (results sent) — the kill-switch clock
+        #: and the thing tests assert on.
+        self.n_completed = 0
+
+    async def run(self) -> None:
+        """Serve until the coordinator shuts us down or the link dies."""
+        import shutil
+
+        if self._spool is None:
+            self._spool = Path(tempfile.mkdtemp(
+                prefix=f"graphex-{self.name}-"))
+        self._spool.mkdir(parents=True, exist_ok=True)
+        reader, writer = await asyncio.open_connection(self._host,
+                                                       self._port)
+        transport = Transport(reader, writer)
+        if self._transport_wrapper is not None:
+            transport = self._transport_wrapper(transport)
+        self._transport = transport
+        heartbeat_task = None
+        try:
+            await transport.send({"type": "register", "name": self.name,
+                                  "protocol": PROTOCOL_VERSION,
+                                  "pid": os.getpid()})
+            reply = await transport.recv()
+            if reply.get("type") != "registered":
+                raise ConnectionError(
+                    f"registration rejected: "
+                    f"{reply.get('reason', reply)}")
+            if self._heartbeat_interval is not None:
+                heartbeat_task = asyncio.ensure_future(
+                    self._heartbeat_loop())
+            while True:
+                try:
+                    message = await transport.recv()
+                except TransportClosed:
+                    return
+                if not await self._handle(message):
+                    return
+        except WorkerKilled:
+            if self._hard_exit:  # pragma: no cover - subprocess only
+                os._exit(1)
+            raise
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            transport.close()
+            await transport.wait_closed()
+            if self._own_spool:
+                # Bundles already handed over were mmap-opened by the
+                # coordinator; POSIX keeps mapped pages readable after
+                # the unlink.
+                shutil.rmtree(self._spool, ignore_errors=True)
+
+    async def _heartbeat_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._heartbeat_interval)
+                await self._transport.send({"type": "heartbeat",
+                                            "name": self.name})
+        except (TransportClosed, asyncio.CancelledError):
+            pass
+
+    async def _handle(self, message: dict) -> bool:
+        """Dispatch one frame; returns False to stop serving."""
+        kind = message.get("type")
+        if kind == "run_shard":
+            await self._handle_shard(message)
+        elif kind == "deploy_model":
+            await self._handle_deploy(message)
+        elif kind == "artifact_begin":
+            await self._handle_artifact(message)
+        elif kind == "ping":
+            await self._transport.send({
+                "type": "pong", "request_id": message.get("request_id")})
+        elif kind == "shutdown":
+            await self._transport.send({"type": "bye", "name": self.name})
+            return False
+        else:
+            await self._transport.send({
+                "type": "error",
+                "reason": f"unknown message type {kind!r}"})
+        return True
+
+    # -- shard execution ----------------------------------------------------
+
+    async def _handle_shard(self, message: dict) -> None:
+        if self._die_after is not None \
+                and self.n_completed >= self._die_after:
+            # The kill switch: drop off mid-plan without a word, like a
+            # crashed host.  The coordinator finds out from the closed
+            # connection (or a missed heartbeat) and re-plans.
+            self._transport.close()
+            raise WorkerKilled(
+                f"{self.name} killed after {self.n_completed} "
+                f"assignments")
+        assignment = message.get("assignment")
+        try:
+            # Compute off the event loop so heartbeats keep flowing
+            # while a long shard runs — a busy host is not a dead host.
+            loop = asyncio.get_event_loop()
+            if message.get("kind") == "inference":
+                reply = await loop.run_in_executor(
+                    None, self._run_inference_shard, message)
+            elif message.get("kind") == "construction":
+                reply = await loop.run_in_executor(
+                    None, self._run_construction_shard, message)
+            else:
+                raise ValueError(
+                    f"unknown shard kind {message.get('kind')!r}")
+        except Exception:
+            await self._transport.send({
+                "type": "shard_error", "assignment": assignment,
+                "worker": self.name,
+                "traceback": traceback.format_exc()})
+            return
+        reply.update({"type": "shard_result", "assignment": assignment,
+                      "worker": self.name})
+        await self._transport.send(reply)
+        self.n_completed += 1
+
+    def _model_for(self, message: dict) -> GraphExModel:
+        if "model_artifact" in message:
+            name = message["model_artifact"]
+            if name not in self._artifacts:
+                raise FileNotFoundError(
+                    f"artifact {name!r} was never streamed to "
+                    f"{self.name}")
+            path = str(self._artifacts[name])
+        else:
+            path = message["model_path"]
+        model = self._models.get(path)
+        if model is None:
+            model = open_model(path)
+            self._models[path] = model
+        return model
+
+    def _run_inference_shard(self, message: dict) -> dict:
+        model = self._model_for(message)
+        key = (id(model), message.get("k", 10),
+               message.get("hard_limit"),
+               message.get("dense_limit", DEFAULT_DENSE_LIMIT))
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = LeafBatchRunner(
+                model, k=key[1], hard_limit=key[2], dense_limit=key[3])
+            self._runners[key] = runner
+        requests = unpack_requests(message["requests"])
+        results = runner.run_indexed(requests)
+        return {"results": [pack_recommendations(recs)
+                            for recs in results]}
+
+    def _run_construction_shard(self, message: dict) -> dict:
+        tokenizer = unpack_tokenizer(message["tokenizer"])
+        leaves = unpack_curated_leaves(message["leaves"])
+        cache = TokenCache(tokenizer)
+        graphs = [build_leaf_graph_fast(leaf, cache) for leaf in leaves]
+        bundle = self._spool / "bundles" / \
+            f"assignment-{message.get('assignment')}"
+        try:
+            save_leaf_graphs(graphs, bundle)
+        except Exception:
+            import shutil
+            shutil.rmtree(bundle, ignore_errors=True)
+            raise
+        return {"bundle_path": str(bundle),
+                "token_state": pack_token_state(cache.export_state())}
+
+    # -- model distribution -------------------------------------------------
+
+    async def _handle_deploy(self, message: dict) -> None:
+        try:
+            model = self._model_for(message)
+        except Exception:
+            await self._transport.send({
+                "type": "shard_error",
+                "request_id": message.get("request_id"),
+                "worker": self.name, "traceback": traceback.format_exc()})
+            return
+        await self._transport.send({
+            "type": "deployed", "request_id": message.get("request_id"),
+            "worker": self.name,
+            "generation": message.get("generation"),
+            "n_leaves": model.n_leaves})
+
+    async def _handle_artifact(self, message: dict) -> None:
+        """Receive a streamed artifact into the spool dir, frame by frame.
+
+        Protocol: ``artifact_begin {name}`` · per file ``artifact_file
+        {filename}`` + ``artifact_chunk {data}``\\* + ``artifact_file_end``
+        · ``artifact_end`` → ``artifact_received`` ack.
+        """
+        name = message["name"]
+        root = self._spool / "artifacts" / name
+        root.mkdir(parents=True, exist_ok=True)
+        current = None
+        try:
+            while True:
+                frame = await self._transport.recv()
+                kind = frame.get("type")
+                if kind == "artifact_file":
+                    filename = os.path.basename(frame["filename"])
+                    current = open(root / filename, "wb")
+                elif kind == "artifact_chunk":
+                    current.write(base64.b64decode(frame["data"]))
+                elif kind == "artifact_file_end":
+                    current.close()
+                    current = None
+                elif kind == "artifact_end":
+                    break
+                else:
+                    raise ValueError(
+                        f"unexpected frame {kind!r} inside artifact "
+                        f"stream")
+        except (ValueError, OSError, KeyError, binascii.Error):
+            if current is not None:
+                current.close()
+            import shutil
+            shutil.rmtree(root, ignore_errors=True)
+            await self._transport.send({
+                "type": "shard_error",
+                "request_id": message.get("request_id"),
+                "worker": self.name, "traceback": traceback.format_exc()})
+            return
+        self._artifacts[name] = root
+        await self._transport.send({
+            "type": "artifact_received",
+            "request_id": message.get("request_id"),
+            "worker": self.name, "name": name, "path": str(root)})

@@ -26,7 +26,10 @@ from .serialization import load_model, model_size_bytes, save_model
 from .sharding import (
     PARALLEL_MODES,
     ProcessShardExecutor,
+    ShardExecutionError,
     ShardPlan,
+    ShardWorkerError,
+    plan_inference_groups,
     validate_parallel,
 )
 from .tokenize import (
@@ -71,7 +74,10 @@ __all__ = [
     "build_leaf_graph",
     "PARALLEL_MODES",
     "ProcessShardExecutor",
+    "ShardExecutionError",
     "ShardPlan",
+    "ShardWorkerError",
+    "plan_inference_groups",
     "validate_parallel",
     "save_model",
     "load_model",

@@ -45,9 +45,11 @@ import json
 import multiprocessing
 import shutil
 import tempfile
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional,
+from typing import (TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional,
                     Sequence, Tuple)
 
 from .batch import BatchResult, InferenceRequest
@@ -70,6 +72,39 @@ PARALLEL_MODES = ("thread", "process")
 #: (requests whose leaf has no graph of its own).  Mirrors the pooled
 #: pseudo-leaf id convention of ``repro.core.model._pool_leaves``.
 POOLED_GROUP = -1
+
+
+class ShardWorkerError(Exception):
+    """An exception raised *inside* a shard worker process.
+
+    ``concurrent.futures`` pickles worker exceptions back to the parent
+    but loses the worker-side traceback (the re-raise points at the
+    parent's ``future.result()`` call), and an exception that cannot
+    pickle at all surfaces as a bare ``BrokenProcessPool``.  The worker
+    entry points therefore catch everything and raise this instead — a
+    single-string exception that always pickles and carries the full
+    ``traceback.format_exc()`` text of the original failure.
+    """
+
+    def __init__(self, worker_traceback: str) -> None:
+        super().__init__(worker_traceback)
+        self.worker_traceback = worker_traceback
+
+
+class ShardExecutionError(RuntimeError):
+    """A planned shard failed to execute.
+
+    Raised by :class:`ProcessShardExecutor` (and reused by the cluster
+    runner) in place of the raw pool errors: the message names the shard
+    and its work-unit keys, and :attr:`worker_traceback` carries the
+    original worker-side traceback when one could be recovered (it
+    cannot when the worker process was killed outright).
+    """
+
+    def __init__(self, message: str,
+                 worker_traceback: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
 
 
 def validate_parallel(parallel: str, engine: Optional[str] = None) -> None:
@@ -197,12 +232,93 @@ class ShardPlan:
 
     @classmethod
     def from_json(cls, payload: str) -> "ShardPlan":
-        """Reconstruct a plan serialized with :meth:`to_json`."""
-        data = json.loads(payload)
-        costs = {key: cost
-                 for keys, shard_costs in zip(data["shards"], data["costs"])
-                 for key, cost in zip(keys, shard_costs)}
-        return cls(tuple(tuple(shard) for shard in data["shards"]), costs)
+        """Reconstruct a plan serialized with :meth:`to_json`.
+
+        The wire format is validated strictly — a plan is the unit a
+        distributed runner ships to remote hosts, and a malformed
+        payload that slipped through would silently double-execute (or
+        drop) work.  Beyond the constructor's duplicate/cost checks
+        this rejects: a payload that is not a ``{"shards", "costs"}``
+        object of parallel lists, a shard whose member count disagrees
+        with its cost count, non-integer work-unit keys (leaf ids are
+        integers on the wire; booleans and floats are rejected even
+        though Python would hash them equal), keys below
+        :data:`POOLED_GROUP` (the only planned pseudo-id), and
+        non-integer or negative costs.
+
+        Raises:
+            ValueError: On any malformed payload, naming the offender.
+        """
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"shard plan payload is not JSON: {exc}") \
+                from None
+        if not isinstance(data, dict) or not {"shards", "costs"} <= \
+                set(data):
+            raise ValueError(
+                "shard plan payload must be an object with 'shards' and "
+                "'costs' lists")
+        shards, costs = data["shards"], data["costs"]
+        if not isinstance(shards, list) or not isinstance(costs, list) \
+                or len(shards) != len(costs):
+            raise ValueError(
+                f"shard plan 'shards' and 'costs' must be parallel "
+                f"lists; got {len(shards) if isinstance(shards, list) else shards!r} "
+                f"shards and {len(costs) if isinstance(costs, list) else costs!r} "
+                f"cost lists")
+        plan_costs: Dict[Hashable, int] = {}
+        for index, (shard, shard_costs) in enumerate(zip(shards, costs)):
+            if not isinstance(shard, list) or \
+                    not isinstance(shard_costs, list) or \
+                    len(shard) != len(shard_costs):
+                raise ValueError(
+                    f"shard {index} carries {shard!r} members but "
+                    f"{shard_costs!r} costs — counts must match")
+            for key, cost in zip(shard, shard_costs):
+                if type(key) is not int:
+                    raise ValueError(
+                        f"shard {index} member {key!r} is not an integer "
+                        f"work-unit id")
+                if key < POOLED_GROUP:
+                    raise ValueError(
+                        f"shard {index} member {key} is out of range "
+                        f"(ids are leaf ids >= 0, or {POOLED_GROUP} for "
+                        f"the pooled group)")
+                if type(cost) is not int or cost < 0:
+                    raise ValueError(
+                        f"shard {index} cost {cost!r} for key {key} is "
+                        f"not a non-negative integer")
+                if key in plan_costs:
+                    raise ValueError(
+                        f"work-unit key {key} appears in more than one "
+                        f"shard (or twice in one) — the plan would "
+                        f"double-execute it")
+                plan_costs[key] = cost
+        return cls(tuple(tuple(shard) for shard in shards), plan_costs)
+
+    def replan(self, keys: Iterable[Hashable],
+               n_shards: int) -> "ShardPlan":
+        """Re-balance a subset of this plan's keys across ``n_shards``.
+
+        The dead-host orphan re-planning primitive: when a worker dies
+        mid-plan, the coordinator takes the keys it was executing and
+        re-balances them — with their original cost estimates — across
+        the surviving hosts (``n_shards`` clamps to the key count, and
+        down to one shard when the fleet has emptied).  Deterministic
+        for a given key order, like :meth:`balance`.
+
+        Raises:
+            ValueError: If a key was not part of this plan (its cost is
+                unknown) or appears twice.
+        """
+        keys = list(keys)
+        unknown = [key for key in keys if key not in self._costs]
+        if unknown:
+            raise ValueError(
+                f"cannot replan keys {unknown!r}: not part of this plan")
+        return ShardPlan.balance([(key, self._costs[key]) for key in keys],
+                                 n_shards)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ShardPlan):
@@ -234,8 +350,16 @@ def _init_inference_worker(model: "GraphExModel", k: int,
 
 def _run_inference_shard(requests: Sequence[InferenceRequest]
                          ) -> List[List[Recommendation]]:
-    """One inference shard: per-request results in shard order."""
-    return _INFERENCE_RUNNER.run_indexed(requests)
+    """One inference shard: per-request results in shard order.
+
+    Failures come back as :class:`ShardWorkerError` carrying the full
+    worker-side traceback — a raw exception would lose it (or, when
+    unpicklable, collapse into a bare ``BrokenProcessPool``).
+    """
+    try:
+        return _INFERENCE_RUNNER.run_indexed(requests)
+    except Exception:
+        raise ShardWorkerError(traceback.format_exc()) from None
 
 
 def _init_construct_worker(tokenizer: Tokenizer) -> None:
@@ -263,10 +387,78 @@ def _build_construct_shard(leaves: Sequence["CuratedLeaf"],
     """
     from .serialization import save_leaf_graphs
 
-    cache = TokenCache(_CONSTRUCT_TOKENIZER)
-    save_leaf_graphs([build_leaf_graph_fast(leaf, cache)
-                      for leaf in leaves], artifact_dir)
-    return cache.export_state()
+    try:
+        cache = TokenCache(_CONSTRUCT_TOKENIZER)
+        save_leaf_graphs([build_leaf_graph_fast(leaf, cache)
+                          for leaf in leaves], artifact_dir)
+        return cache.export_state()
+    except Exception:
+        # A half-written bundle must not outlive the failure: the parent
+        # only removes the staging root it knows about, and a retrying
+        # caller would otherwise mmap stale arrays from this attempt.
+        shutil.rmtree(artifact_dir, ignore_errors=True)
+        raise ShardWorkerError(traceback.format_exc()) from None
+
+
+def plan_inference_groups(model: "GraphExModel",
+                          requests: Sequence[InferenceRequest],
+                          n_shards: int
+                          ) -> Tuple[ShardPlan, Dict[int, List[int]]]:
+    """Group servable requests by leaf graph and balance the groups.
+
+    Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by its
+    leaf id when that leaf has a graph, by :data:`POOLED_GROUP` when it
+    falls back to the pooled graph, and is excluded (its result is
+    ``[]``) when neither exists.  The cost estimate is the group's
+    request count — per-request work dominates, and keeping groups
+    whole preserves the vectorized amortisation.
+
+    Shared by :class:`ProcessShardExecutor` (process shards) and the
+    cluster coordinator (remote shards), so a plan computed locally is
+    exactly the plan a fleet executes.
+
+    Returns:
+        ``(plan, groups)`` — the balanced plan over group keys, and
+        each group's request indices in batch order.
+    """
+    groups: Dict[int, List[int]] = {}
+    for index, (_item_id, _title, leaf_id) in enumerate(requests):
+        if model.leaf_graph(leaf_id) is not None:
+            key = leaf_id
+        elif model.pooled_graph is not None:
+            key = POOLED_GROUP
+        else:
+            continue
+        groups.setdefault(key, []).append(index)
+    plan = ShardPlan.balance(
+        [(key, len(indices)) for key, indices in groups.items()], n_shards)
+    return plan, groups
+
+
+def _unwrap_shard_future(future, kind: str, index: int,
+                         keys: Sequence[Hashable]):
+    """``future.result()`` with worker failures surfaced legibly.
+
+    A worker-side exception arrives as :class:`ShardWorkerError` (full
+    original traceback); a worker process that *died* (killed, crashed
+    hard) arrives as ``BrokenProcessPool`` with nothing attached.  Both
+    are re-raised as :class:`ShardExecutionError` naming the shard and
+    its work-unit keys.
+    """
+    try:
+        return future.result()
+    except ShardWorkerError as exc:
+        raise ShardExecutionError(
+            f"{kind} shard {index} (keys {list(keys)!r}) raised in its "
+            f"worker process; original worker traceback:\n"
+            f"{exc.worker_traceback}",
+            worker_traceback=exc.worker_traceback) from None
+    except BrokenProcessPool as exc:
+        raise ShardExecutionError(
+            f"worker process died while executing {kind} shard {index} "
+            f"(keys {list(keys)!r}); no worker traceback could be "
+            f"recovered — the process was killed or crashed outside "
+            f"Python") from exc
 
 
 class ProcessShardExecutor:
@@ -313,19 +505,7 @@ class ProcessShardExecutor:
             ``(plan, groups)`` — the balanced plan over group keys, and
             each group's request indices in batch order.
         """
-        groups: Dict[int, List[int]] = {}
-        for index, (_item_id, _title, leaf_id) in enumerate(requests):
-            if model.leaf_graph(leaf_id) is not None:
-                key = leaf_id
-            elif model.pooled_graph is not None:
-                key = POOLED_GROUP
-            else:
-                continue
-            groups.setdefault(key, []).append(index)
-        plan = ShardPlan.balance(
-            [(key, len(indices)) for key, indices in groups.items()],
-            self._workers)
-        return plan, groups
+        return plan_inference_groups(model, requests, self._workers)
 
     def run_inference(self, model: "GraphExModel",
                       requests: Sequence[InferenceRequest],
@@ -355,8 +535,12 @@ class ProcessShardExecutor:
             futures = [pool.submit(_run_inference_shard,
                                    [requests[index] for index in shard])
                        for shard in shards]
-            for shard, future in zip(shards, futures):
-                for index, recs in zip(shard, future.result()):
+            for shard_index, (shard, future) in enumerate(zip(shards,
+                                                              futures)):
+                shard_results = _unwrap_shard_future(
+                    future, "inference", shard_index,
+                    plan.shards[shard_index])
+                for index, recs in zip(shard, shard_results):
                     results[index] = recs
         out: BatchResult = {}
         for index, (item_id, _title, _leaf_id) in enumerate(requests):
@@ -417,7 +601,9 @@ class ProcessShardExecutor:
                                 str(staging / f"shard-{index}"))
                     for index, shard in enumerate(shards)]
                 for index, future in enumerate(futures):
-                    cache.absorb_state(future.result())
+                    cache.absorb_state(_unwrap_shard_future(
+                        future, "construction", index,
+                        plan.shards[index]))
                     for graph in load_leaf_graphs(
                             staging / f"shard-{index}", mmap=True):
                         built[graph.leaf_id] = graph

@@ -33,13 +33,18 @@ import inspect
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
+                    Sequence, Union)
 
+from ..cluster.retry import RetriesExhausted, RetryPolicy
 from ..core.batch import InferenceRequest
 from ..core.curation import CuratedKeyphrases
 from ..core.model import GraphExModel
 from ..core.serialization import load_model, save_model
 from .batch_pipeline import BatchPipeline
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..cluster.coordinator import ClusterCoordinator
 
 __all__ = ["DailyRefreshOrchestrator", "RefreshReport"]
 
@@ -61,6 +66,17 @@ class RefreshReport:
     #: deployed (``None`` when the orchestrator has no ``artifact_dir``
     #: and the model was handed off in memory instead).
     artifact_path: Optional[str] = None
+    #: Transient construct/load failures that were retried away under
+    #: the orchestrator's :class:`~repro.cluster.retry.RetryPolicy`.
+    n_retries: int = 0
+    #: Remote executor hosts the artifact was deployed to via the
+    #: orchestrator's cluster coordinator (0 without one).
+    n_remote_deployed: int = 0
+    #: ``None`` on success; otherwise which step exhausted its retries
+    #: and why.  A failed refresh returns a report instead of raising
+    #: (only when a retry policy is configured), so the daily loop can
+    #: record the miss and proceed to the next cycle.
+    failure: Optional[str] = None
 
 
 class DailyRefreshOrchestrator:
@@ -84,6 +100,20 @@ class DailyRefreshOrchestrator:
             directory so other hosts/processes can open the same
             artifact themselves.  Unset (default) hands the in-memory
             model around as before.
+        retry: When set, the construct and batch-load steps run under
+            this :class:`~repro.cluster.retry.RetryPolicy` (capped
+            backoff with jitter): a transient failure is retried, and a
+            step that exhausts its attempts makes :meth:`refresh`
+            *return* a :class:`RefreshReport` with
+            :attr:`~RefreshReport.failure` set instead of raising — the
+            daily loop records the miss and the next cycle proceeds.
+            Unset (default), failures propagate as before.
+        cluster: A started
+            :class:`~repro.cluster.coordinator.ClusterCoordinator`;
+            each refresh then deploys the day's artifact to every live
+            executor host after the local stack is swapped (requires
+            ``artifact_dir``, and :meth:`refresh` must run on the
+            coordinator's event loop).
 
     Usage::
 
@@ -97,7 +127,13 @@ class DailyRefreshOrchestrator:
                  builder: str = "fast", workers: int = 1,
                  parallel: str = "thread", alignment: str = "lta",
                  build_pooled: bool = False,
-                 artifact_dir: Optional[Union[str, Path]] = None) -> None:
+                 artifact_dir: Optional[Union[str, Path]] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 cluster: Optional["ClusterCoordinator"] = None) -> None:
+        if cluster is not None and artifact_dir is None:
+            raise ValueError(
+                "cluster deployment needs artifact_dir: remote hosts "
+                "open the day's model by artifact, not by pickle")
         self.pipeline = pipeline
         self._builder = builder
         self._workers = workers
@@ -106,6 +142,8 @@ class DailyRefreshOrchestrator:
         self._build_pooled = build_pooled
         self._artifact_dir = (None if artifact_dir is None
                               else Path(artifact_dir))
+        self._retry = retry
+        self._cluster = cluster
         self._targets: List[Any] = []
         self._generation = 0
 
@@ -185,13 +223,38 @@ class DailyRefreshOrchestrator:
         ``WindowStats.model_generation``.
         """
         loop = asyncio.get_running_loop()
+        n_retries = 0
+
+        def note_retry(attempt: int, exc: BaseException,
+                       delay: float) -> None:
+            nonlocal n_retries
+            n_retries += 1
+
+        def attempt(step: Callable[[], Any]) -> Callable[[], Any]:
+            """Wrap a blocking step in the retry policy, if one is set."""
+            if self._retry is None:
+                return step
+            return lambda: self._retry.call(step, on_retry=note_retry)
 
         start = time.perf_counter()
-        model = await loop.run_in_executor(
-            None, lambda: GraphExModel.construct(
-                curated, alignment=self._alignment,
-                build_pooled=self._build_pooled, builder=self._builder,
-                workers=self._workers, parallel=self._parallel))
+        try:
+            model = await loop.run_in_executor(
+                None, attempt(lambda: GraphExModel.construct(
+                    curated, alignment=self._alignment,
+                    build_pooled=self._build_pooled,
+                    builder=self._builder, workers=self._workers,
+                    parallel=self._parallel)))
+        except RetriesExhausted as exc:
+            # The step is dead for today; record the miss instead of
+            # aborting the daily loop.  No generation was burned — the
+            # next cycle's refresh starts clean.
+            return RefreshReport(
+                generation=self._generation, n_leaves=0, n_keyphrases=0,
+                n_inferred=0, n_served=0, n_targets=len(self._targets),
+                construct_seconds=time.perf_counter() - start,
+                load_seconds=0.0, swap_seconds=0.0, n_retries=n_retries,
+                failure=f"construct exhausted {exc.attempts} attempts: "
+                        f"{exc.__cause__!r}")
         construct_seconds = time.perf_counter() - start
         # Issue a number strictly above every deployment's local
         # history — a target may have been hot-swapped directly since
@@ -224,8 +287,24 @@ class DailyRefreshOrchestrator:
         # before the NRT edge starts writing new-model windows on top.
         start = time.perf_counter()
         self.pipeline.refresh_model(model, generation=generation)
-        report = await loop.run_in_executor(
-            None, self.pipeline.full_load, list(requests))
+        request_list = list(requests)
+        try:
+            # full_load re-infers the whole catalog and promotes its
+            # table atomically, so re-running a failed attempt is safe.
+            report = await loop.run_in_executor(
+                None,
+                attempt(lambda: self.pipeline.full_load(request_list)))
+        except RetriesExhausted as exc:
+            return RefreshReport(
+                generation=generation, n_leaves=model.n_leaves,
+                n_keyphrases=model.n_keyphrases, n_inferred=0,
+                n_served=0, n_targets=len(self._targets),
+                construct_seconds=construct_seconds,
+                load_seconds=time.perf_counter() - start,
+                swap_seconds=0.0, artifact_path=artifact_path,
+                n_retries=n_retries,
+                failure=f"batch load exhausted {exc.attempts} "
+                        f"attempts: {exc.__cause__!r}")
         load_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -234,6 +313,15 @@ class DailyRefreshOrchestrator:
             if inspect.isawaitable(result):
                 await result
         swap_seconds = time.perf_counter() - start
+
+        # Remote plane last: every executor host of the cluster opens
+        # (and caches) the day's artifact so the first cluster job of
+        # the new generation starts warm.  A host that fails here is
+        # marked dead and planned around, never a refresh failure.
+        n_remote_deployed = 0
+        if self._cluster is not None and artifact_path is not None:
+            n_remote_deployed = await self._cluster.deploy_artifact(
+                artifact_path, generation=generation)
 
         return RefreshReport(
             generation=generation,
@@ -245,7 +333,9 @@ class DailyRefreshOrchestrator:
             construct_seconds=construct_seconds,
             load_seconds=load_seconds,
             swap_seconds=swap_seconds,
-            artifact_path=artifact_path)
+            artifact_path=artifact_path,
+            n_retries=n_retries,
+            n_remote_deployed=n_remote_deployed)
 
     def refresh_sync(self, curated: CuratedKeyphrases,
                      requests: Sequence[InferenceRequest]

@@ -239,3 +239,35 @@ class TestWorkflow:
         with pytest.raises(ValueError, match="single-process"):
             main(["serve-nrt", "--model", str(workflow_dir / "model"),
                   "--engine", "reference", "--parallel", "process"])
+
+
+class TestClusterCLI:
+    """ISSUE 7: the cluster-worker / cluster-run commands."""
+
+    def test_cluster_worker_rejects_malformed_connect(self, capsys):
+        assert main(["cluster-worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_cluster_worker_rejects_non_numeric_port(self, capsys):
+        assert main(["cluster-worker", "--connect", "localhost:abc"]) == 2
+
+    def test_cluster_run_verifies_identical(self, workflow_dir, capsys):
+        rc = main(["cluster-run", "--model",
+                   str(workflow_dir / "model"), "--spawn-workers", "2",
+                   "--requests", "24", "--rpc-timeout", "20.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified_identical: True" in out
+
+    def test_cluster_run_survives_killed_machine(self, workflow_dir,
+                                                 capsys):
+        """One subprocess machine hard-exits on its first shard; the
+        run must still verify through dead-host re-planning."""
+        rc = main(["cluster-run", "--model",
+                   str(workflow_dir / "model"), "--spawn-workers", "2",
+                   "--kill-after", "0", "--requests", "24",
+                   "--rpc-timeout", "20.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified_identical: True" in out
+        assert "n_replans: 1" in out or "n_local_units" in out

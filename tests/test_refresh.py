@@ -291,3 +291,141 @@ class TestDailyRefreshOrchestrator:
         for item_id, _title, _leaf in REQUESTS:
             assert fast.pipeline.serve(item_id) \
                 == reference.pipeline.serve(item_id)
+
+
+class TestRefreshRetries:
+    """ISSUE 7 satellite: the daily loop survives transient step
+    failures through the shared cluster retry policy, and records an
+    exhausted step on the report instead of aborting the cycle."""
+
+    @staticmethod
+    def make_policy(**overrides):
+        from repro.cluster import RetryPolicy
+        defaults = dict(max_attempts=3, base_delay=0.001,
+                        max_delay=0.002, jitter=0.0, seed=0)
+        defaults.update(overrides)
+        return RetryPolicy(**defaults)
+
+    def test_transient_construct_failure_is_retried_away(
+            self, fig3_model, monkeypatch):
+        from repro.core.model import GraphExModel
+        real = GraphExModel.construct.__func__
+        calls = []
+
+        def flaky(curated, **kwargs):
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient builder outage")
+            return real(GraphExModel, curated, **kwargs)
+
+        monkeypatch.setattr(GraphExModel, "construct", flaky)
+        pipeline = BatchPipeline(fig3_model)
+        orchestrator = DailyRefreshOrchestrator(
+            pipeline, retry=self.make_policy(max_attempts=4))
+        report = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                           REQUESTS)
+        assert report.failure is None
+        assert report.n_retries == 2
+        assert report.generation == 1 == pipeline.model_generation
+        assert len(calls) == 3
+
+    def test_construct_exhaustion_reported_without_burning_generation(
+            self, fig3_model, monkeypatch):
+        from repro.core.model import GraphExModel
+        real = GraphExModel.construct.__func__
+
+        def doomed(curated, **kwargs):
+            raise RuntimeError("builder down all day")
+
+        monkeypatch.setattr(GraphExModel, "construct", doomed)
+        pipeline = BatchPipeline(fig3_model)
+        orchestrator = DailyRefreshOrchestrator(
+            pipeline, retry=self.make_policy())
+        report = orchestrator.refresh_sync(build_fig3_curated(),
+                                           REQUESTS)
+        assert report.failure is not None
+        assert "construct exhausted 3 attempts" in report.failure
+        assert "builder down all day" in report.failure
+        assert report.n_retries == 2
+        # No generation was burned: the next (healthy) cycle starts
+        # clean at 1, and the stack never moved.
+        assert orchestrator.generation == 0
+        assert pipeline.model is fig3_model
+        monkeypatch.setattr(GraphExModel, "construct", classmethod(real))
+        healthy = orchestrator.refresh_sync(build_fig3_variant_curated(),
+                                            REQUESTS)
+        assert healthy.failure is None
+        assert healthy.generation == 1
+
+    def test_batch_load_exhaustion_burns_generation_and_reports(
+            self, fig3_model):
+        class DeadStore(KeyValueStore):
+            def bulk_load(self, version, records):
+                raise RuntimeError("kv outage")
+
+        store = DeadStore()
+        pipeline = BatchPipeline(fig3_model, store=store)
+        service = NRTService(fig3_model, store, window_size=1)
+        orchestrator = DailyRefreshOrchestrator(
+            pipeline, retry=self.make_policy())
+        orchestrator.register(service)
+        report = orchestrator.refresh_sync(build_fig3_curated(),
+                                           REQUESTS)
+        assert report.failure is not None
+        assert "batch load exhausted 3 attempts" in report.failure
+        assert report.n_retries == 2
+        # Construction succeeded, so this generation is burned — but
+        # the target swaps were never reached.
+        assert report.generation == 1 == orchestrator.generation
+        assert service.model_generation == 0
+
+    def test_without_a_policy_failures_propagate_as_before(
+            self, fig3_model, monkeypatch):
+        from repro.core.model import GraphExModel
+
+        def doomed(curated, **kwargs):
+            raise RuntimeError("builder down")
+
+        monkeypatch.setattr(GraphExModel, "construct", doomed)
+        orchestrator = DailyRefreshOrchestrator(BatchPipeline(fig3_model))
+        with pytest.raises(RuntimeError, match="builder down"):
+            orchestrator.refresh_sync(build_fig3_curated(), REQUESTS)
+
+
+class TestRefreshClusterDeploy:
+    """ISSUE 7 satellite: with a cluster attached, each refresh pushes
+    the day's artifact to every executor host."""
+
+    def test_cluster_requires_artifact_dir(self, fig3_model):
+        from repro.cluster import ClusterCoordinator
+        with pytest.raises(ValueError, match="artifact_dir"):
+            DailyRefreshOrchestrator(BatchPipeline(fig3_model),
+                                     cluster=ClusterCoordinator())
+
+    def test_refresh_deploys_artifact_to_every_host(self, fig3_model,
+                                                    tmp_path):
+        from repro.cluster import ClusterCoordinator, ClusterWorker
+
+        async def drive():
+            async with ClusterCoordinator(rpc_timeout=20.0) as coord:
+                workers = [ClusterWorker(coord.host, coord.port,
+                                         name=f"host-{i}")
+                           for i in range(2)]
+                tasks = [asyncio.ensure_future(w.run()) for w in workers]
+                await coord.wait_for_workers(2, timeout=10.0)
+                orchestrator = DailyRefreshOrchestrator(
+                    BatchPipeline(fig3_model),
+                    artifact_dir=tmp_path / "artifacts", cluster=coord)
+                report = await orchestrator.refresh(
+                    build_fig3_variant_curated(), REQUESTS)
+                await coord.stop()
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                return report
+
+        report = asyncio.run(drive())
+        assert report.failure is None
+        assert report.n_remote_deployed == 2
+        assert report.artifact_path == str(
+            tmp_path / "artifacts" / "gen-1")

@@ -348,3 +348,220 @@ class TestDifferentialUpdateProcessShards:
             # shard boundaries too.
             assert merged[7] and merged[7] == expected[7]
             assert 99 not in merged
+
+
+class RaisingTokenizer:
+    """Picklable tokenizer that blows up mid-build (ships via fork)."""
+
+    def __call__(self, text):
+        raise ValueError("boom-tokenizer")
+
+
+class TestFromJsonMalformed:
+    """ISSUE 7 satellite: every malformed-plan shape is rejected loudly.
+
+    A plan is the unit a distributed runner ships to remote hosts; the
+    old decoder's ``zip`` would silently truncate mismatched lists —
+    dropped costs, then dropped or double-executed work downstream.
+    """
+
+    def test_not_json(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            ShardPlan.from_json("{nope")
+
+    def test_not_an_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            ShardPlan.from_json("[1, 2]")
+
+    def test_missing_costs(self):
+        import json
+        with pytest.raises(ValueError, match="must be an object"):
+            ShardPlan.from_json(json.dumps({"shards": [[1]]}))
+
+    def test_non_parallel_lists(self):
+        import json
+        with pytest.raises(ValueError, match="parallel"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1], [2]], "costs": [[1]]}))
+
+    def test_member_cost_count_mismatch(self):
+        """The zip-truncation regression: one shard, two members, one
+        cost used to decode 'successfully' minus a member."""
+        import json
+        with pytest.raises(ValueError, match="counts must match"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1, 2]], "costs": [[3]]}))
+
+    def test_non_integer_member(self):
+        import json
+        with pytest.raises(ValueError, match="not an integer"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [["leaf-1"]], "costs": [[3]]}))
+
+    def test_bool_member_rejected(self):
+        """JSON ``true`` is a Python bool — not a work-unit id, even
+        though bool subclasses int."""
+        import json
+        with pytest.raises(ValueError, match="not an integer"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[True]], "costs": [[3]]}))
+
+    def test_float_member_rejected(self):
+        import json
+        with pytest.raises(ValueError, match="not an integer"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1.5]], "costs": [[3]]}))
+
+    def test_out_of_range_member(self):
+        import json
+        with pytest.raises(ValueError, match="out of range"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[-2]], "costs": [[3]]}))
+
+    def test_negative_cost_rejected(self):
+        import json
+        with pytest.raises(ValueError, match="non-negative integer"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1]], "costs": [[-1]]}))
+
+    def test_non_integer_cost_rejected(self):
+        import json
+        with pytest.raises(ValueError, match="non-negative integer"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1]], "costs": [["3"]]}))
+
+    def test_duplicate_member_across_shards(self):
+        import json
+        with pytest.raises(ValueError, match="double-execute"):
+            ShardPlan.from_json(json.dumps(
+                {"shards": [[1], [1]], "costs": [[2], [2]]}))
+
+    def test_pooled_group_roundtrips(self):
+        plan = ShardPlan.balance([(POOLED_GROUP, 4), (1, 2), (2, 1)], 2)
+        assert ShardPlan.from_json(plan.to_json()) == plan
+
+
+class TestReplan:
+    """The dead-host primitive: orphaned keys re-balance over survivors."""
+
+    def test_rebalances_subset_with_original_costs(self):
+        plan = ShardPlan.balance([(1, 5), (2, 4), (3, 3), (4, 2)], 2)
+        orphaned = plan.shards[0]
+        survivors = plan.replan(orphaned, 2)
+        assert sorted(key for shard in survivors.shards
+                      for key in shard) == sorted(orphaned)
+        for key in orphaned:
+            assert survivors.cost_of(key) == plan.cost_of(key)
+
+    def test_single_survivor_gets_everything(self):
+        plan = ShardPlan.balance([(i, i + 1) for i in range(6)], 3)
+        merged = plan.replan(range(6), 1)
+        assert merged.n_shards == 1
+        assert sorted(merged.shards[0]) == list(range(6))
+
+    def test_unknown_keys_rejected(self):
+        plan = ShardPlan.balance([(1, 1)], 1)
+        with pytest.raises(ValueError, match="not part of this plan"):
+            plan.replan([1, 99], 1)
+
+
+class TestPlanInferenceGroups:
+    def test_executor_delegates_to_shared_planner(self):
+        from repro.core.sharding import plan_inference_groups
+
+        model = make_model({1: [("w0 w1", 5, 1)], 2: [("w2", 4, 1)]},
+                           build_pooled=True)
+        requests = [(0, "w0", 1), (1, "w0", 99), (2, "w2", 2)]
+        assert (plan_inference_groups(model, requests, 2)
+                == ProcessShardExecutor(2).plan_inference(model, requests))
+
+
+class TestWorkerFailureSurfacing:
+    """ISSUE 7 satellite: a failing shard surfaces the worker's original
+    traceback instead of an opaque ``BrokenProcessPool``, and half-
+    written artifacts do not outlive the failure."""
+
+    def _failing_curated(self):
+        leaves = {}
+        for leaf_id in (1, 2, 3):
+            leaf = CuratedLeaf(leaf_id=leaf_id)
+            leaf.add(f"phrase {leaf_id}", 3, 1)
+            leaves[leaf_id] = leaf
+        return CuratedKeyphrases(leaves=leaves, effective_threshold=1,
+                                 config=CurationConfig(min_search_count=1))
+
+    def test_shard_worker_error_survives_pickling(self):
+        import pickle
+
+        from repro.core.sharding import ShardWorkerError
+
+        exc = pickle.loads(pickle.dumps(ShardWorkerError("tb-text")))
+        assert exc.worker_traceback == "tb-text"
+
+    def test_construction_failure_carries_worker_traceback(self):
+        from repro.core.sharding import ShardExecutionError
+
+        with pytest.raises(ShardExecutionError,
+                           match="boom-tokenizer") as excinfo:
+            ProcessShardExecutor(2).run_construction(
+                self._failing_curated(), RaisingTokenizer())
+        assert "ValueError" in excinfo.value.worker_traceback
+        assert "original worker traceback" in str(excinfo.value)
+
+    def test_construction_failure_cleans_temp_dirs(self, monkeypatch):
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.sharding import ShardExecutionError
+
+        created = []
+        real_mkdtemp = tempfile.mkdtemp
+
+        def recording_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", recording_mkdtemp)
+        with pytest.raises(ShardExecutionError):
+            ProcessShardExecutor(2).run_construction(
+                self._failing_curated(), RaisingTokenizer())
+        staged = [path for path in created if "graphex-shard-" in path]
+        assert staged, "the executor never staged a bundle dir"
+        assert all(not Path(path).exists() for path in staged)
+
+    def test_inference_shard_wraps_worker_failures(self, monkeypatch):
+        from repro.core import sharding
+        from repro.core.sharding import ShardWorkerError
+
+        monkeypatch.setattr(sharding, "_INFERENCE_RUNNER", None)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            sharding._run_inference_shard([(0, "title", 1)])
+        assert "AttributeError" in excinfo.value.worker_traceback
+
+    def test_unwrap_names_shard_and_keys(self):
+        from concurrent.futures import Future
+
+        from repro.core.sharding import (ShardExecutionError,
+                                         ShardWorkerError,
+                                         _unwrap_shard_future)
+
+        future = Future()
+        future.set_exception(ShardWorkerError("Traceback: boom"))
+        with pytest.raises(ShardExecutionError,
+                           match=r"keys \[1, 2\]") as excinfo:
+            _unwrap_shard_future(future, "inference", 0, (1, 2))
+        assert excinfo.value.worker_traceback == "Traceback: boom"
+
+    def test_unwrap_broken_pool_stays_legible(self):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core.sharding import (ShardExecutionError,
+                                         _unwrap_shard_future)
+
+        future = Future()
+        future.set_exception(BrokenProcessPool("pool is dead"))
+        with pytest.raises(ShardExecutionError,
+                           match="no worker traceback"):
+            _unwrap_shard_future(future, "construction", 1, (3,))
