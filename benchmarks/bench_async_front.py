@@ -232,6 +232,7 @@ def main(argv=None) -> int:
     emit_bench_json(RESULTS_DIR, "async_front", {
         "verified_identical": True,
         "workers": args.workers,
+        "executor": "thread",
         "streams": args.streams,
         "events_per_stream": args.events,
         "window_size": args.window_size,

@@ -161,6 +161,7 @@ def main(argv=None) -> int:
         payload = {
             "verified_identical": all_identical,
             "workers": max(fleet_sizes),
+            "executor": "cluster",
             "items": len(requests),
             "throughput": throughput,
         }

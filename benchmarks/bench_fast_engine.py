@@ -7,19 +7,21 @@ outputs are element-wise identical, and reports items/s plus the
 speedup.  The acceptance target for the engine is >= 3x on a >= 5k-item
 batch; CI runs a tiny smoke profile of the same script.
 
-With ``--parallel process`` a third column runs the fast engine's
-leaf-group shards in worker processes
-(:class:`repro.core.sharding.ProcessShardExecutor`) and the
-process-vs-thread speedup is reported — the measured (not asserted)
-Section IV-G scaling story.  The process column includes pool start-up
-and model shipping, so it is an honest end-to-end number; it needs
-multiple physical cores to win.
+``--executor`` picks the fast engine's shard substrate (``--parallel``
+is the legacy alias): ``serial``/``thread`` run in-process, while
+``process`` (:class:`repro.core.execution.ProcessShardExecutor`) and
+``cluster`` (a self-contained localhost fleet via
+:meth:`repro.core.execution.ClusterExecutor.local`) each get an extra
+comparison column against the thread baseline — measured, not
+asserted.  Those columns include pool/fleet start-up and model
+shipping, so they are honest end-to-end numbers; they need multiple
+physical cores to win.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fast_engine.py            # full
     PYTHONPATH=src python benchmarks/bench_fast_engine.py \
-        --parallel process --workers 4                # + process column
+        --executor process --workers 4                # + process column
     PYTHONPATH=src python benchmarks/bench_fast_engine.py --items 800 --repeat 1
 
 Unlike the figure/table benches this is a standalone script (no
@@ -88,7 +90,7 @@ def build_world(n_leaves: int, phrases_per_leaf: int, n_items: int,
 
 
 def time_engine(model, requests, engine: str, k: int, hard_limit,
-                workers: int, repeat: int, parallel: str = "thread"):
+                workers: int, repeat: int, executor="thread"):
     """Best-of-``repeat`` wall time and the (last) result dict."""
     best = float("inf")
     result = None
@@ -96,7 +98,7 @@ def time_engine(model, requests, engine: str, k: int, hard_limit,
         start = time.perf_counter()
         result = batch_recommend(model, requests, k=k,
                                  hard_limit=hard_limit, workers=workers,
-                                 engine=engine, parallel=parallel)
+                                 engine=engine, executor=executor)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -109,14 +111,20 @@ def main(argv=None) -> int:
     parser.add_argument("-k", type=int, default=20)
     parser.add_argument("--hard-limit", type=int, default=40)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--executor",
+                        choices=["serial", "thread", "process",
+                                 "cluster"],
+                        default=None,
+                        help="shard substrate for the fast column; "
+                             "'process' and 'cluster' additionally get "
+                             "their own comparison column against the "
+                             "thread baseline (identical output)")
     parser.add_argument("--parallel", choices=["thread", "process"],
                         default="thread",
-                        help="'process' adds a column running the fast "
-                             "engine's leaf-group shards in worker "
-                             "processes (identical output; reports the "
-                             "process-vs-thread speedup)")
+                        help="legacy alias of --executor; ignored when "
+                             "--executor is given")
     parser.add_argument("--process-workers", type=int, default=0,
-                        help="worker processes for the process column "
+                        help="workers for the process/cluster column "
                              "(default: max(2, --workers))")
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
@@ -130,12 +138,16 @@ def main(argv=None) -> int:
     print(f"world: {model.n_leaves} leaves, {model.n_keyphrases} "
           f"keyphrases, {len(requests)} requests")
 
+    executor = args.executor if args.executor is not None \
+        else args.parallel
+
     ref_time, ref_out = time_engine(model, requests, "reference", args.k,
                                     args.hard_limit, args.workers,
                                     args.repeat)
+    baseline = executor if executor in ("serial", "thread") else "thread"
     fast_time, fast_out = time_engine(model, requests, "fast", args.k,
                                       args.hard_limit, args.workers,
-                                      args.repeat)
+                                      args.repeat, executor=baseline)
 
     if ref_out != fast_out:
         diff = [i for i in ref_out if ref_out[i] != fast_out[i]]
@@ -145,23 +157,33 @@ def main(argv=None) -> int:
     speedup = ref_time / fast_time if fast_time else float("inf")
     rows = [
         ["reference", ref_time * 1e3, len(requests) / ref_time, 1.0],
-        ["fast/thread", fast_time * 1e3, len(requests) / fast_time,
+        [f"fast/{baseline}", fast_time * 1e3, len(requests) / fast_time,
          speedup],
     ]
-    if args.parallel == "process":
+    if executor in ("process", "cluster"):
         process_workers = args.process_workers or max(2, args.workers)
-        proc_time, proc_out = time_engine(
-            model, requests, "fast", args.k, args.hard_limit,
-            process_workers, args.repeat, parallel="process")
+        if executor == "cluster":
+            from repro.core.execution import ClusterExecutor
+
+            backend = ClusterExecutor.local(workers=process_workers)
+        else:
+            backend = executor
+        try:
+            proc_time, proc_out = time_engine(
+                model, requests, "fast", args.k, args.hard_limit,
+                process_workers, args.repeat, executor=backend)
+        finally:
+            if not isinstance(backend, str):
+                backend.close()
         if proc_out != ref_out:
             diff = [i for i in ref_out if ref_out[i] != proc_out[i]]
-            print(f"PROCESS-SHARD MISMATCH on {len(diff)} items, "
-                  f"e.g. {diff[:3]}")
+            print(f"{executor.upper()}-SHARD MISMATCH on {len(diff)} "
+                  f"items, e.g. {diff[:3]}")
             return 1
-        rows.append([f"fast/process x{process_workers}", proc_time * 1e3,
-                     len(requests) / proc_time,
+        rows.append([f"fast/{executor} x{process_workers}",
+                     proc_time * 1e3, len(requests) / proc_time,
                      ref_time / proc_time if proc_time else float("inf")])
-        print(f"process-pool speedup over thread path: "
+        print(f"{executor} speedup over thread path: "
               f"{fast_time / proc_time:.2f}x "
               f"({process_workers} workers; >1x needs multiple cores)")
     table = render_table(
@@ -176,6 +198,7 @@ def main(argv=None) -> int:
     emit_bench_json(RESULTS_DIR, "fast_engine", {
         "verified_identical": True,
         "workers": args.workers,
+        "executor": executor,
         "parallel": args.parallel,
         "items": len(requests),
         "k": args.k,

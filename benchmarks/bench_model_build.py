@@ -23,14 +23,24 @@ Two dataset modes, like ``bench_fast_engine.py``'s synthetic world:
   stats from a simulated training window (same path as the CLI and the
   eval harness), sized by ``--profile``/``--events``.
 
-With ``--parallel process`` an extra row builds the model with
+``--executor`` picks the fast row's shard substrate (``--parallel`` is
+the legacy alias).  ``--executor process`` adds a row building
 whole-leaf shards in worker processes
-(:class:`repro.core.sharding.ProcessShardExecutor`, whose workers hand
-their graphs back as zero-copy format-3 leaf bundles, per-shard token
-caches merged afterwards), verifies it bit-identical too, and reports
-the process-vs-thread speedup — measured, not asserted; the column
-includes pool start-up and artifact staging and needs multiple
-physical cores to win.
+(:class:`repro.core.execution.ProcessShardExecutor`, whose workers
+hand their graphs back as zero-copy format-3 leaf bundles, per-shard
+token caches merged afterwards); ``--executor cluster`` instead runs
+them on a self-contained localhost fleet.  Either extra row is
+verified bit-identical too, and its speedup over the thread path is
+reported — measured, not asserted; the row includes pool/fleet
+start-up and artifact staging and needs multiple physical cores to
+win.
+
+Every run also closes the **measurement loop** the execution plane
+exists for: one build records per-leaf wall clock into a
+:class:`repro.core.execution.CostModel`, the plan is recomputed on
+those observed costs, and the JSON artifact carries the makespan ratio
+as ``rebalance_gain`` (the fed-back build is verified bit-identical —
+feedback moves work between shards, never changes its result).
 
 A **model-open latency** section saves the built model as a format-3
 artifact and times ``load_model(dir)`` (copied: every array and string
@@ -44,7 +54,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_model_build.py           # full
     PYTHONPATH=src python benchmarks/bench_model_build.py \
-        --parallel process --workers 4                # + process column
+        --executor process --workers 4                # + process column
     PYTHONPATH=src python benchmarks/bench_model_build.py \
         --dataset simulated --profile tiny --events 6000 --repeat 1  # smoke
 
@@ -163,14 +173,20 @@ def main(argv=None) -> int:
     parser.add_argument("--min-search-count", type=int, default=2)
     parser.add_argument("--min-keyphrases", type=int, default=300)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--executor",
+                        choices=["serial", "thread", "process",
+                                 "cluster"],
+                        default=None,
+                        help="shard substrate for the fast row; "
+                             "'process' and 'cluster' additionally get "
+                             "their own comparison row against the "
+                             "thread baseline (bit-identical model)")
     parser.add_argument("--parallel", choices=["thread", "process"],
                         default="thread",
-                        help="'process' adds a row building whole-leaf "
-                             "shards in worker processes (bit-identical "
-                             "model; reports the process-vs-thread "
-                             "speedup)")
+                        help="legacy alias of --executor; ignored when "
+                             "--executor is given")
     parser.add_argument("--process-workers", type=int, default=0,
-                        help="worker processes for the process row "
+                        help="workers for the process/cluster row "
                              "(default: max(2, --workers))")
     parser.add_argument("--pooled", action="store_true",
                         help="also build the pooled all-leaves graph")
@@ -221,16 +237,65 @@ def main(argv=None) -> int:
         args.repeat)
     assert_identical_models(model_ref, model_fast)
 
+    executor = args.executor if args.executor is not None \
+        else args.parallel
     build_proc_time = None
     process_workers = args.process_workers or max(2, args.workers)
-    if args.parallel == "process":
-        build_proc_time, model_proc = best_of(
-            lambda: GraphExModel.construct(curated_fast, builder="fast",
-                                           build_pooled=args.pooled,
-                                           workers=process_workers,
-                                           parallel="process"),
-            args.repeat)
+    if executor in ("process", "cluster"):
+        if executor == "cluster":
+            from repro.core.execution import ClusterExecutor
+
+            backend = ClusterExecutor.local(workers=process_workers)
+        else:
+            backend = executor
+        try:
+            build_proc_time, model_proc = best_of(
+                lambda: GraphExModel.construct(
+                    curated_fast, builder="fast",
+                    build_pooled=args.pooled,
+                    workers=process_workers, executor=backend),
+                args.repeat)
+        finally:
+            if not isinstance(backend, str):
+                backend.close()
         assert_identical_models(model_ref, model_proc)
+
+    # The measurement loop the execution plane closes: build once on
+    # the char-count proxy while *recording* per-leaf wall clock, then
+    # plan again on the recorded CostModel.  rebalance_gain is the
+    # makespan ratio of the two plans under observed costs (> 1 means
+    # the fed-back plan shrank the critical-path shard), and the
+    # fed-back build must stay bit-identical — feedback moves work
+    # between shards, never changes its result.
+    from repro.core.execution import (ThreadShardExecutor,
+                                      plan_rebalance_gain)
+    from repro.core.sharding import ShardPlan
+
+    rebalance_workers = max(2, args.workers)
+    recorder = ThreadShardExecutor(rebalance_workers)
+    GraphExModel.construct(curated_fast, builder="fast",
+                           build_pooled=args.pooled, executor=recorder)
+    proxy = [(leaf_id, sum(map(len, leaf.texts)) + 1)
+             for leaf_id, leaf in curated_fast.leaves.items()
+             if len(leaf) > 0]
+    rebalance_gain = plan_rebalance_gain(
+        recorder.cost_model, proxy, rebalance_workers)
+    proxy_plan = ShardPlan.for_construction(curated_fast,
+                                            rebalance_workers)
+    fed_plan = ShardPlan.for_construction(
+        curated_fast, rebalance_workers,
+        cost_model=recorder.cost_model)
+    model_fed = GraphExModel.construct(
+        curated_fast, builder="fast", build_pooled=args.pooled,
+        executor=ThreadShardExecutor(rebalance_workers,
+                                     cost_model=recorder.cost_model))
+    assert_identical_models(model_ref, model_fed)
+    gain_text = "n/a (nothing to rebalance)" if rebalance_gain is None \
+        else f"{rebalance_gain:.3f}x"
+    print(f"rebalance gain (observed-cost plan vs char proxy, "
+          f"{rebalance_workers} shards): {gain_text}; "
+          f"partition moved: {fed_plan.shards != proxy_plan.shards}; "
+          f"fed-back model verified bit-identical")
 
     # End-to-end spot check: the built models serve identical output.
     requests = [(i, stat.text, stat.leaf_id)
@@ -289,12 +354,12 @@ def main(argv=None) -> int:
          n_keyphrases / open_mmap_time, open_speedup],
     ]
     if build_proc_time is not None:
-        rows.insert(4, [f"construct/process x{process_workers}",
+        rows.insert(4, [f"construct/{executor} x{process_workers}",
                         build_proc_time * 1e3,
                         n_keyphrases / build_proc_time,
                         build_ref_time / build_proc_time
                         if build_proc_time else float("inf")])
-        print(f"process-pool speedup over thread path: "
+        print(f"{executor} speedup over thread path: "
               f"{build_fast_time / build_proc_time:.2f}x "
               f"({process_workers} workers; >1x needs multiple cores)")
     table = render_table(
@@ -309,7 +374,10 @@ def main(argv=None) -> int:
     emit_bench_json(RESULTS_DIR, "model_build", {
         "verified_identical": True,   # bit-identical models + served spot check
         "workers": args.workers,
+        "executor": executor,
         "parallel": args.parallel,
+        "rebalance_gain": rebalance_gain,
+        "rebalance_shards": rebalance_workers,
         "n_keyphrases": n_keyphrases,
         "n_stats": len(stats),
         "throughput": {row[0]: row[2] for row in rows},

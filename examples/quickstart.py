@@ -41,7 +41,10 @@ def main() -> None:
           f"(effective threshold {curated.effective_threshold})")
 
     print("4) Constructing GraphEx (training-free) ...")
-    model = GraphExModel.construct(curated)
+    # executor= picks where leaf shards build: "serial", "thread"
+    # (default), "process", or an Executor instance — the model is
+    # bit-identical on every substrate.
+    model = GraphExModel.construct(curated, executor="thread")
     print(f"   {model.n_leaves} leaf graphs, "
           f"{model.n_keyphrases} labels, "
           f"~{model.memory_bytes() / 1024:.0f} KiB")

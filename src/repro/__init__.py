@@ -25,15 +25,18 @@ Quickstart::
 
 from .core import (
     ALIGNMENTS,
+    CostModel,
     CSRGraph,
     CuratedKeyphrases,
     CurationConfig,
+    Executor,
     GraphExModel,
     ProcessShardExecutor,
     Recommendation,
     ShardPlan,
     SpaceTokenizer,
     Vocabulary,
+    resolve_executor,
     batch_recommend,
     curate,
     differential_update,
@@ -69,11 +72,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALIGNMENTS",
+    "CostModel",
     "CSRGraph",
     "CuratedKeyphrases",
     "CurationConfig",
+    "Executor",
     "GraphExModel",
     "ProcessShardExecutor",
+    "resolve_executor",
     "Recommendation",
     "ShardPlan",
     "SpaceTokenizer",

@@ -4,8 +4,8 @@ Mirrors a production workflow in six subcommands::
 
     repro-graphex simulate  --out logs.json [--profile tiny|default]
     repro-graphex curate    --log logs.json --out curated.json [--min-search-count N] [--engine reference|fast]
-    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--parallel thread|process] [--format-version 1|2|3]
-    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--parallel thread|process] [--mmap]
+    repro-graphex construct --curated curated.json --out model_dir/ [--builder reference|fast] [--workers N] [--executor serial|thread|process|cluster] [--format-version 1|2|3]
+    repro-graphex recommend --model model_dir/ --title "..." --leaf ID [-k N] [--engine reference|fast] [--workers N] [--executor serial|thread|process|cluster] [--mmap]
     repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N] [--refresh-after N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
     repro-graphex cluster-worker --connect HOST:PORT [--name W] [--die-after-assignments N]
@@ -36,6 +36,7 @@ from typing import List, Optional
 
 from .core.batch import ENGINES, batch_recommend
 from .core.curation import CURATION_ENGINES, CurationConfig, curate
+from .core.execution import EXECUTOR_NAMES
 from .core.model import BUILDERS, GraphExModel
 from .core.sharding import PARALLEL_MODES
 from .core.serialization import load_model, save_model
@@ -125,14 +126,41 @@ def _load_curated(path: str):
         config=CurationConfig(**payload.get("config", {})))
 
 
+def _cli_executor(args: argparse.Namespace):
+    """Resolve ``--executor`` / the legacy ``--parallel`` alias to one
+    executor spec.  ``--executor`` wins when given; ``--parallel``
+    (default ``thread``) otherwise — passing both is fine because the
+    alias is simply ignored once the new flag is set.  ``cluster``
+    boots a self-contained localhost fleet
+    (:meth:`repro.core.execution.ClusterExecutor.local`); the caller
+    owns the returned instance and must ``close()`` it."""
+    spec = args.executor if args.executor is not None else args.parallel
+    if spec == "cluster":
+        from .core.execution import ClusterExecutor
+
+        return ClusterExecutor.local(workers=max(2, args.workers))
+    return spec
+
+
+def _close_executor(spec) -> None:
+    """Tear down an executor ``_cli_executor`` instantiated (a string
+    spec owns nothing and is left alone)."""
+    if not isinstance(spec, str):
+        spec.close()
+
+
 def _cmd_construct(args: argparse.Namespace) -> int:
     curated = _load_curated(args.curated)
-    start = time.perf_counter()
-    model = GraphExModel.construct(curated, alignment=args.alignment,
-                                   builder=args.builder,
-                                   workers=args.workers,
-                                   parallel=args.parallel)
-    elapsed = time.perf_counter() - start
+    executor = _cli_executor(args)
+    try:
+        start = time.perf_counter()
+        model = GraphExModel.construct(curated, alignment=args.alignment,
+                                       builder=args.builder,
+                                       workers=args.workers,
+                                       executor=executor)
+        elapsed = time.perf_counter() - start
+    finally:
+        _close_executor(executor)
     save_model(model, args.out, format_version=args.format_version)
     rate = model.n_keyphrases / elapsed if elapsed > 0 else float("inf")
     print(f"constructed {model.n_leaves} leaf graphs / "
@@ -144,10 +172,14 @@ def _cmd_construct(args: argparse.Namespace) -> int:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     model = load_model(args.model, mmap=args.mmap)
-    results = batch_recommend(model, [(0, args.title, args.leaf)],
-                              k=args.k, engine=args.engine,
-                              workers=args.workers,
-                              parallel=args.parallel)
+    executor = _cli_executor(args)
+    try:
+        results = batch_recommend(model, [(0, args.title, args.leaf)],
+                                  k=args.k, engine=args.engine,
+                                  workers=args.workers,
+                                  executor=executor)
+    finally:
+        _close_executor(executor)
     recs = results[0]
     if not recs:
         print("(no recommendations)")
@@ -189,7 +221,8 @@ def _cmd_serve_nrt(args: argparse.Namespace) -> int:
         model, window_size=args.window_size,
         window_seconds=args.window_seconds,
         engine=args.engine, workers=args.workers,
-        parallel=args.parallel)
+        executor=args.executor if args.executor is not None
+        else args.parallel)
     streams = [f"stream-{i}" for i in range(args.streams)]
     feeds = {}
     for index, name in enumerate(streams):
@@ -439,14 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_con.add_argument("--workers", type=int, default=1,
                        help="fast-builder worker count; whole leaves "
                             "are sharded")
+    p_con.add_argument("--executor", choices=EXECUTOR_NAMES,
+                       default=None,
+                       help="where leaf shards run: 'serial' (the "
+                            "in-order oracle), 'thread' (default) "
+                            "in-process fan-out, 'process' worker "
+                            "processes with per-shard token caches "
+                            "merged afterwards, 'cluster' a "
+                            "self-contained localhost worker fleet — "
+                            "bit-identical model on every substrate "
+                            "(fast builder only for process/cluster)")
     p_con.add_argument("--parallel", choices=PARALLEL_MODES,
                        default="thread",
-                       help="where leaf shards run: 'thread' (default) "
-                            "keeps them in-process, 'process' builds "
-                            "them in worker processes with per-shard "
-                            "token caches merged afterwards "
-                            "(bit-identical model, GIL-free "
-                            "tokenization; fast builder only)")
+                       help="legacy alias of --executor (thread/process "
+                            "only); ignored when --executor is given")
     p_con.add_argument("--format-version", type=int, choices=[1, 2, 3],
                        default=3,
                        help="on-disk format: 3 (default) writes the "
@@ -469,13 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--workers", type=int, default=1,
                        help="fast-engine worker count; whole leaf "
                             "groups are sharded")
+    p_rec.add_argument("--executor", choices=EXECUTOR_NAMES,
+                       default=None,
+                       help="where leaf-group shards run: 'serial' (the "
+                            "in-order oracle), 'thread' (default) "
+                            "in-process fan-out, 'process' worker "
+                            "processes, 'cluster' a self-contained "
+                            "localhost worker fleet — identical output "
+                            "on every substrate (fast engine only for "
+                            "process/cluster)")
     p_rec.add_argument("--parallel", choices=PARALLEL_MODES,
                        default="thread",
-                       help="where leaf-group shards run: 'thread' "
-                            "(default) keeps them in-process, 'process' "
-                            "runs them in worker processes (identical "
-                            "output, GIL-free tokenization; fast engine "
-                            "only)")
+                       help="legacy alias of --executor (thread/process "
+                            "only); ignored when --executor is given")
     p_rec.add_argument("--mmap", action="store_true",
                        help="open the model zero-copy over the "
                             "format-3 artifact file (read-only views, "
@@ -495,8 +540,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--window-seconds", type=float, default=1.0)
     p_srv.add_argument("--engine", choices=ENGINES, default="fast")
     p_srv.add_argument("--workers", type=int, default=1)
+    p_srv.add_argument("--executor",
+                       choices=("serial", "thread", "process"),
+                       default=None,
+                       help="window micro-batch shard substrate "
+                            "(identical output on each; a long-lived "
+                            "service keeps its own cluster, so "
+                            "'cluster' is not offered here)")
     p_srv.add_argument("--parallel", choices=PARALLEL_MODES,
-                       default="thread")
+                       default="thread",
+                       help="legacy alias of --executor; ignored when "
+                            "--executor is given")
     p_srv.add_argument("--refresh-after", type=int, default=0,
                        help="hot-swap a freshly loaded model after this "
                             "many events per stream, mid-run (0 = no "
@@ -530,7 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_crn = sub.add_parser(
         "cluster-run",
         help="demo the fault-tolerant cluster runner on subprocess "
-             "worker machines, verifying bit-identical output")
+             "worker machines, verifying bit-identical output (the "
+             "subprocess-fleet sibling of 'recommend --executor "
+             "cluster', which boots in-process workers instead)")
     p_crn.add_argument("--model", required=True,
                        help="serialized model directory (format 3 is "
                             "mmap-shared across the machines)")

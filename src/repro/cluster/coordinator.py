@@ -57,7 +57,7 @@ from ..core.inference import Recommendation
 from ..core.model import GraphExModel
 from ..core.serialization import (load_leaf_graphs, open_model,
                                   save_model)
-from ..core.sharding import ShardPlan, plan_inference_groups
+from ..core.sharding import ShardPlan
 from ..core.tokenize import DEFAULT_TOKENIZER, TokenCache, Tokenizer
 from .protocol import (PROTOCOL_VERSION, pack_curated_leaves,
                        pack_requests, pack_tokenizer,
@@ -67,6 +67,7 @@ from .transport import Transport, TransportClosed
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from ..core.curation import CuratedKeyphrases
+    from ..core.execution import CostModel
     from ..core.model import LeafGraph
 
 __all__ = ["ClusterCoordinator", "ClusterError", "ClusterExecutionError",
@@ -221,6 +222,7 @@ class ClusterCoordinator:
         self._monitor_task: Optional[asyncio.Task] = None
         self._state_changed: Optional[asyncio.Event] = None
         self._job_lock: Optional[asyncio.Lock] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._active_report: Optional[ClusterRunReport] = None
         self._closing = False
         #: Report of the most recently finished job.
@@ -230,6 +232,7 @@ class ClusterCoordinator:
 
     async def start(self) -> Tuple[str, int]:
         """Bind the server; returns the (host, port) workers dial."""
+        self._loop = asyncio.get_running_loop()
         self._state_changed = asyncio.Event()
         self._job_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
@@ -300,6 +303,15 @@ class ClusterCoordinator:
     @property
     def host(self) -> str:
         return self._host
+
+    @property
+    def loop(self) -> Optional[asyncio.AbstractEventLoop]:
+        """The event loop the coordinator runs on (set by :meth:`start`).
+
+        :class:`~repro.core.execution.ClusterExecutor` submits its
+        synchronous calls here from other threads.
+        """
+        return self._loop
 
     def n_live(self) -> int:
         """Currently registered live hosts."""
@@ -726,7 +738,8 @@ class ClusterCoordinator:
             requests: Sequence[InferenceRequest], *, k: int = 10,
             hard_limit: Optional[int] = None,
             dense_limit: int = DEFAULT_DENSE_LIMIT,
-            distribute: str = "path") -> BatchResult:
+            distribute: str = "path",
+            cost_model: Optional["CostModel"] = None) -> BatchResult:
         """Infer a batch across the fleet.
 
         Args:
@@ -739,6 +752,11 @@ class ClusterCoordinator:
             distribute: ``"path"`` sends the artifact path (localhost /
                 shared filesystem); ``"stream"`` spools the artifact to
                 each worker over the connection first.
+            cost_model: Optional observed-rate
+                :class:`~repro.core.execution.CostModel`: its
+                observations re-cost the plan (same groups, better
+                balance), and each completed unit's wall-clock seconds
+                are recorded back into it.
 
         Returns:
             Item id → ranked recommendations, element-wise identical to
@@ -755,19 +773,36 @@ class ClusterCoordinator:
             # serves the empty-fleet fallback.
             runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
                                      dense_limit=dense_limit)
-            plan, groups = plan_inference_groups(
-                model, requests, max(1, self.n_live()))
+            plan, groups = ShardPlan.for_inference(
+                model, requests, max(1, self.n_live()),
+                cost_model=cost_model)
             report = ClusterRunReport(
                 kind="inference", n_units_planned=plan.n_shards,
                 n_workers_at_start=self.n_live())
             model_ref = await self._model_ref(path, distribute)
             results: List[List[Recommendation]] = [[] for _ in requests]
+            started: Dict[_Unit, float] = {}
 
             def indices_of(unit: _Unit) -> List[int]:
                 return [index for key in unit.keys
                         for index in groups[key]]
 
+            def observe_unit(unit: _Unit, elapsed: float) -> None:
+                # Units are timed whole (assignment to merged result);
+                # the elapsed seconds spread over the unit's groups pro
+                # rata by request count — the attribution the worker's
+                # single reply allows.
+                if cost_model is None:
+                    return
+                sizes = [(key, len(groups[key])) for key in unit.keys]
+                total = sum(size for _key, size in sizes)
+                for key, size in sizes:
+                    cost_model.observe_inference(
+                        key, elapsed * size / total if total else 0.0,
+                        size)
+
             def make_message(unit: _Unit, assignment_id: int) -> dict:
+                started[unit] = time.monotonic()
                 return {"type": "run_shard", "kind": "inference",
                         "assignment": assignment_id, **model_ref,
                         "requests": pack_requests(
@@ -785,12 +820,16 @@ class ClusterCoordinator:
                         f"{len(indices)} requests")
                 for index, packed in zip(indices, rows):
                     results[index] = unpack_recommendations(packed)
+                if unit in started:
+                    observe_unit(unit, time.monotonic() - started[unit])
 
             def run_local_unit(unit: _Unit) -> None:
                 indices = indices_of(unit)
+                start = time.monotonic()
                 for index, recs in zip(indices, runner.run_indexed(
                         [requests[index] for index in indices])):
                     results[index] = recs
+                observe_unit(unit, time.monotonic() - start)
 
             self._active_report = report
             try:
@@ -809,7 +848,8 @@ class ClusterCoordinator:
 
     async def run_construction(
             self, curated: "CuratedKeyphrases",
-            tokenizer: Tokenizer = DEFAULT_TOKENIZER
+            tokenizer: Tokenizer = DEFAULT_TOKENIZER, *,
+            cost_model: Optional["CostModel"] = None
             ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
         """Build every non-empty leaf graph across the fleet.
 
@@ -828,6 +868,10 @@ class ClusterCoordinator:
         plain ``SpaceTokenizer``) cannot promise identical semantics on
         remote hosts, so the whole job runs through the local fast
         builder instead.
+
+        With a ``cost_model``, observed per-leaf build rates re-cost
+        the plan (same leaves, better balance) and each completed
+        unit's wall-clock seconds are recorded back into it.
         """
         from ..core.fast_construct import fast_construct_leaf_graphs
 
@@ -848,15 +892,30 @@ class ClusterCoordinator:
             if not items:
                 self.last_report = report
                 return {}, cache
-            plan = ShardPlan.balance(
-                [(leaf_id, sum(map(len, leaf.texts)) + 1)
-                 for leaf_id, leaf in items], max(1, self.n_live()))
+            plan = ShardPlan.for_construction(
+                curated, max(1, self.n_live()), cost_model=cost_model)
             report.n_units_planned = plan.n_shards
             by_id = dict(items)
             built: Dict[int, "LeafGraph"] = {}
             states: List[Tuple[int, Any]] = []
+            started: Dict[_Unit, float] = {}
+
+            def observe_unit(unit: _Unit, elapsed: float) -> None:
+                # Whole-unit timing spread over its leaves pro rata by
+                # the char-count proxy (the worker reply is per unit,
+                # not per leaf).
+                if cost_model is None:
+                    return
+                sizes = [(key, sum(map(len, by_id[key].texts)) + 1)
+                         for key in unit.keys]
+                total = sum(size for _key, size in sizes)
+                for key, size in sizes:
+                    cost_model.observe_construction(
+                        key, elapsed * size / total if total else 0.0,
+                        size)
 
             def make_message(unit: _Unit, assignment_id: int) -> dict:
+                started[unit] = time.monotonic()
                 return {"type": "run_shard", "kind": "construction",
                         "assignment": assignment_id,
                         "tokenizer": tokenizer_spec,
@@ -869,14 +928,18 @@ class ClusterCoordinator:
                     built[graph.leaf_id] = graph
                 states.append((min(unit.keys), unpack_token_state(
                     reply["token_state"])))
+                if unit in started:
+                    observe_unit(unit, time.monotonic() - started[unit])
 
             def run_local_unit(unit: _Unit) -> None:
                 local_cache = TokenCache(tokenizer)
+                start = time.monotonic()
                 for key in unit.keys:
                     built[key] = build_leaf_graph_fast(by_id[key],
                                                        local_cache)
                 states.append((min(unit.keys),
                                local_cache.export_state()))
+                observe_unit(unit, time.monotonic() - start)
 
             self._active_report = report
             try:

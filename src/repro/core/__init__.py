@@ -25,12 +25,22 @@ from .model import BUILDERS, GraphExModel, LeafGraph, build_leaf_graph
 from .serialization import load_model, model_size_bytes, save_model
 from .sharding import (
     PARALLEL_MODES,
-    ProcessShardExecutor,
     ShardExecutionError,
     ShardPlan,
     ShardWorkerError,
     plan_inference_groups,
     validate_parallel,
+)
+from .execution import (
+    EXECUTOR_NAMES,
+    ClusterExecutor,
+    CostModel,
+    Executor,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ThreadShardExecutor,
+    plan_rebalance_gain,
+    resolve_executor,
 )
 from .tokenize import (
     DEFAULT_TOKENIZER,
@@ -73,12 +83,20 @@ __all__ = [
     "LeafGraph",
     "build_leaf_graph",
     "PARALLEL_MODES",
-    "ProcessShardExecutor",
     "ShardExecutionError",
     "ShardPlan",
     "ShardWorkerError",
     "plan_inference_groups",
     "validate_parallel",
+    "EXECUTOR_NAMES",
+    "ClusterExecutor",
+    "CostModel",
+    "Executor",
+    "ProcessShardExecutor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "plan_rebalance_gain",
+    "resolve_executor",
     "save_model",
     "load_model",
     "model_size_bytes",

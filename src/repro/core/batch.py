@@ -20,20 +20,29 @@ Two engines serve a batch:
 Both produce element-wise identical output (text, score, tie-break
 order); ``tests/test_fast_inference.py`` pins that property.
 
-Orthogonally, ``parallel={"thread","process"}`` picks where the fast
-engine's leaf-group shards run: in-process threads (default) or worker
-processes via :class:`repro.core.sharding.ProcessShardExecutor`, which
-frees tokenization and orchestration from the GIL.  The reference
-engine stays single-process by design — it is the semantics oracle.
+Orthogonally, ``executor=`` picks where the fast engine's leaf-group
+shards run — any :class:`repro.core.execution.Executor` instance or
+spelling (``"serial"``, ``"thread"``, ``"process"``, ``"cluster"``),
+with the legacy ``parallel={"thread","process"}`` strings still
+accepted and resolved through the same
+:func:`repro.core.execution.resolve_executor`.  The reference engine
+stays single-process by design — it is the semantics oracle.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .inference import Recommendation
 from .model import GraphExModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .execution import Executor
+
+#: Anything resolvable to an executor: an instance, a spelling, or None
+#: (fall back to the legacy ``parallel`` string, then ``"thread"``).
+ExecutorSpec = Union["Executor", str, None]
 
 #: One inference request: (item_id, title, leaf_id).
 InferenceRequest = Tuple[int, str, int]
@@ -67,20 +76,26 @@ def validate_hard_limit(hard_limit: Optional[int]) -> None:
 
 
 def validate_model_for_engine(model: GraphExModel, engine: str,
-                              parallel: str = "thread") -> None:
+                              parallel: str = "thread",
+                              executor: ExecutorSpec = None) -> None:
     """Raise ValueError if ``model`` cannot serve through ``engine``.
 
     Beyond the name check, the fast engine probes the model's alignment
     function for element-wise vectorization at runner construction;
     running that probe here lets serving-layer constructors fail early
-    instead of mid-batch.  The ``parallel`` mode is validated alongside
-    (``"process"`` pairs only with the fast engine).
+    instead of mid-batch.  The ``executor`` (or the legacy ``parallel``
+    spelling) is validated alongside — out-of-process executors pair
+    only with the fast engine.
     """
     validate_engine(engine)
-    # Imported lazily: sharding imports the fast engine, which imports
-    # this module's validators — a top-level import would be a cycle.
-    from .sharding import validate_parallel
-    validate_parallel(parallel, engine)
+    # Imported lazily: the execution plane imports the fast engine,
+    # which imports this module's validators — a top-level import
+    # would be a cycle.
+    from .execution import resolve_executor
+    if executor is not None:
+        resolve_executor(executor, engine=engine)
+    else:
+        resolve_executor(parallel=parallel, engine=engine)
     if engine == "fast":
         from .fast_inference import LeafBatchRunner
         LeafBatchRunner(model)
@@ -121,7 +136,8 @@ def batch_recommend(model: GraphExModel,
                     hard_limit: Optional[int] = None,
                     workers: int = 1,
                     engine: str = "fast",
-                    parallel: str = "thread") -> BatchResult:
+                    parallel: Optional[str] = None,
+                    executor: ExecutorSpec = None) -> BatchResult:
     """Run inference over a batch of items.
 
     Args:
@@ -130,40 +146,39 @@ def batch_recommend(model: GraphExModel,
         k: Target predictions per item.
         hard_limit: Optional strict cap per item.
         workers: Worker count; the fast engine shards *leaf groups*,
-            the reference engine contiguous request slices.
+            the reference engine contiguous request slices.  Ignored
+            when ``executor`` is an instance (it has its own).
         engine: ``"fast"`` (vectorized leaf-batched) or ``"reference"``
             (scalar loop).
-        parallel: ``"thread"`` (default) shards within this process;
-            ``"process"`` runs the fast engine's leaf-group shards in
-            worker processes (GIL-free tokenization/orchestration; the
-            model must pickle, as the built-in tokenizers and
-            alignments do).  Output is element-wise identical either
-            way.
+        parallel: Legacy spelling of ``executor`` (``"thread"`` /
+            ``"process"``); pass one or the other, not both.
+        executor: Where the fast engine's leaf-group shards run — an
+            :class:`repro.core.execution.Executor` instance or one of
+            its spellings (``"serial"``, ``"thread"`` (default),
+            ``"process"``, ``"cluster"``).  Output is element-wise
+            identical for every substrate.
 
     Returns:
         Mapping from item id to its ranked recommendations.
 
     Raises:
-        ValueError: On an unknown engine or parallel mode, a negative
-            ``hard_limit`` (Python slice semantics would silently
-            differ between engines), or ``parallel="process"`` paired
-            with the reference engine (the scalar path stays
-            single-process as the semantics oracle).
+        ValueError: On an unknown engine or executor spelling, a
+            negative ``hard_limit`` (Python slice semantics would
+            silently differ between engines), or an out-of-process
+            executor paired with the reference engine (the scalar path
+            stays single-process as the semantics oracle).
     """
     validate_engine(engine)
     validate_hard_limit(hard_limit)
-    # Imported lazily: sharding imports the fast engine, which imports
-    # this module's validators, so a top-level import would be a cycle.
-    from .sharding import validate_parallel
-    validate_parallel(parallel, engine)
-    if parallel == "process":
-        from .sharding import ProcessShardExecutor
-        return ProcessShardExecutor(workers).run_inference(
-            model, requests, k=k, hard_limit=hard_limit)
+    # Imported lazily: the execution plane imports the fast engine,
+    # which imports this module's validators, so a top-level import
+    # would be a cycle.
+    from .execution import resolve_executor
+    exec_ = resolve_executor(executor, parallel=parallel, workers=workers,
+                             engine=engine)
     if engine == "fast":
-        from .fast_inference import LeafBatchRunner
-        return LeafBatchRunner(model, k=k, hard_limit=hard_limit,
-                               workers=workers).run(requests)
+        return exec_.run_inference(model, requests, k=k,
+                                   hard_limit=hard_limit)
     return _reference_batch(model, requests, k, hard_limit, workers)
 
 
@@ -175,7 +190,8 @@ def differential_update(model: GraphExModel,
                         hard_limit: Optional[int] = None,
                         workers: int = 1,
                         engine: str = "fast",
-                        parallel: str = "thread") -> BatchResult:
+                        parallel: Optional[str] = None,
+                        executor: ExecutorSpec = None) -> BatchResult:
     """Daily differential: re-infer changed items, merge with old results.
 
     An item appearing in **both** ``deleted_item_ids`` and ``changed``
@@ -195,7 +211,9 @@ def differential_update(model: GraphExModel,
         hard_limit: Optional strict cap per item.
         workers: Worker count for the re-inference.
         engine: Inference engine, as in :func:`batch_recommend`.
-        parallel: Shard execution mode, as in :func:`batch_recommend`.
+        parallel: Legacy shard mode, as in :func:`batch_recommend`.
+        executor: Shard execution substrate, as in
+            :func:`batch_recommend`.
 
     Returns:
         The merged batch output (new dict; ``previous`` is not mutated).
@@ -205,6 +223,6 @@ def differential_update(model: GraphExModel,
         merged.pop(item_id, None)
     fresh = batch_recommend(model, changed, k=k, hard_limit=hard_limit,
                             workers=workers, engine=engine,
-                            parallel=parallel)
+                            parallel=parallel, executor=executor)
     merged.update(fresh)
     return merged

@@ -1,0 +1,1009 @@
+"""The unified execution plane: one Executor abstraction, four substrates.
+
+GraphEx runs the same shard-shaped work — leaf-group inference batches
+and whole-leaf construction — on several execution substrates that grew
+up independently: in-process thread sharding, the process pool, and the
+multi-machine cluster runner.  This module collapses them behind one
+:class:`Executor` interface so every layer (``batch_recommend``,
+``GraphExModel.construct``, the serving stack, the CLI) routes through
+a single dial instead of branching on ``parallel=`` strings:
+
+===========  ===================  ==========================  ==========
+name         class                where shards run            oracle?
+===========  ===================  ==========================  ==========
+``serial``   SerialExecutor       calling thread, one shard   yes
+``thread``   ThreadShardExecutor  in-process thread pool      no
+``process``  ProcessShardExecutor worker processes            no
+``cluster``  ClusterExecutor      remote hosts over TCP       no
+===========  ===================  ==========================  ==========
+
+Every executor resolves from the legacy spellings via
+:func:`resolve_executor` (``parallel="thread"/"process"`` and
+``cluster=<coordinator>`` keep working), and all four are bound by the
+same non-negotiable contract: **element-wise identical inference output
+and bit-identical constructed models** for any substrate, any worker
+count, and any failure topology — pinned by the cross-executor property
+suite in ``tests/test_execution.py``.
+
+The plane is also where cost telemetry lives.  Every executor records
+per-shard wall-clock timings into its :class:`CostModel` — per-group
+inference seconds and per-leaf construction seconds, folded as decaying
+rates — and :meth:`ShardPlan.for_inference` /
+:meth:`ShardPlan.for_construction` accept that model to LPT-balance on
+*observed* costs instead of the request-count/char-count proxies.
+Because a plan only changes *which shard* runs a work unit (outputs are
+batch-composition independent), feeding any cost model in never changes
+the served bytes — only the balance.  :func:`plan_rebalance_gain`
+quantifies that balance win; the daily refresh orchestrator threads
+yesterday's model into today's plan with it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import shutil
+import tempfile
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional,
+                    Sequence, Tuple, Union)
+
+from .batch import BatchResult, InferenceRequest
+from .fast_construct import build_leaf_graph_fast, fast_construct_leaf_graphs
+from .fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
+from .inference import Recommendation
+from .sharding import (PARALLEL_MODES, ShardExecutionError, ShardPlan,
+                       ShardWorkerError, _unwrap_shard_future)
+from .tokenize import DEFAULT_TOKENIZER, TokenCache, Tokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..cluster.coordinator import ClusterCoordinator
+    from .curation import CuratedKeyphrases, CuratedLeaf
+    from .model import GraphExModel, LeafGraph
+
+__all__ = ["EXECUTOR_NAMES", "CostModel", "Executor", "SerialExecutor",
+           "ThreadShardExecutor", "ProcessShardExecutor",
+           "ClusterExecutor", "plan_rebalance_gain", "resolve_executor"]
+
+#: Executor spellings accepted by :func:`resolve_executor` (and the CLI
+#: ``--executor`` flag).  The legacy :data:`~repro.core.sharding.PARALLEL_MODES`
+#: are a strict subset.
+EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
+
+#: Observed-cost plans quantize rates to integer microseconds so they
+#: stay inside ShardPlan's strict int-cost wire format.
+_COST_SCALE = 1_000_000
+
+
+class CostModel:
+    """Observed per-work-unit execution rates, fed back into planning.
+
+    Every executor records each work unit's wall-clock seconds here —
+    inference units are leaf groups (key = leaf id, units = requests
+    served), construction units are whole leaves (key = leaf id, units
+    = the char-count proxy).  Observations fold into a decaying rate
+    (seconds per unit) per key, so yesterday's hot spots steer today's
+    :class:`~repro.core.sharding.ShardPlan` balance while old readings
+    fade.
+
+    The model is a value object: :meth:`to_json` / :meth:`from_json`
+    round-trip exactly (``RefreshReport`` / bench artifacts persist it
+    across daily runs), :meth:`merge` decay-folds another day's model
+    in, and a model with **no** observations for a kind leaves the
+    proxy costs untouched — planning degrades gracefully to the
+    request-count/char-count heuristics.
+
+    Thread-safe: executors observe from shard worker threads.
+
+    Args:
+        decay: Weight retained by the *old* rate when a new observation
+            (or merged model) folds in; ``0.7`` keeps roughly a week of
+            daily history relevant.
+    """
+
+    KINDS = ("inference", "construction")
+
+    def __init__(self, decay: float = 0.7) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self._decay = decay
+        self._lock = threading.Lock()
+        self._rates: Dict[str, Dict[Hashable, float]] = \
+            {kind: {} for kind in self.KINDS}
+        self._counts: Dict[str, Dict[Hashable, int]] = \
+            {kind: {} for kind in self.KINDS}
+
+    @property
+    def decay(self) -> float:
+        """Old-rate weight per folded observation."""
+        return self._decay
+
+    def observe(self, kind: str, key: Hashable, seconds: float,
+                units: int = 1) -> None:
+        """Fold one wall-clock measurement into the key's rate."""
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown cost kind {kind!r}; expected one "
+                             f"of {self.KINDS}")
+        rate = max(0.0, float(seconds)) / max(1, int(units))
+        with self._lock:
+            old = self._rates[kind].get(key)
+            if old is None:
+                self._rates[kind][key] = rate
+                self._counts[kind][key] = 1
+            else:
+                self._rates[kind][key] = (self._decay * old
+                                          + (1.0 - self._decay) * rate)
+                self._counts[kind][key] += 1
+
+    def observe_inference(self, key: Hashable, seconds: float,
+                          units: int = 1) -> None:
+        """One leaf group served ``units`` requests in ``seconds``."""
+        self.observe("inference", key, seconds, units)
+
+    def observe_construction(self, key: Hashable, seconds: float,
+                             units: int = 1) -> None:
+        """One leaf (char proxy ``units``) built in ``seconds``."""
+        self.observe("construction", key, seconds, units)
+
+    def n_observations(self, kind: Optional[str] = None) -> int:
+        """Observations folded in (for one kind, or in total)."""
+        with self._lock:
+            kinds = self.KINDS if kind is None else (kind,)
+            return sum(sum(self._counts[k].values()) for k in kinds)
+
+    def has_observations(self, kind: str) -> bool:
+        """Whether any rate exists for ``kind`` (else proxies rule)."""
+        with self._lock:
+            return bool(self._rates[kind])
+
+    def merge(self, other: "CostModel") -> None:
+        """Decay-fold another model's rates into this one.
+
+        The daily hand-off primitive: today's freshly recorded model
+        merges into the orchestrator's running one.  A key present only
+        on one side is copied; a key present on both folds as a
+        count-weighted mean with this model's history decayed once —
+        so repeated daily merges geometrically age out stale readings.
+        """
+        with other._lock:
+            snapshot = {
+                kind: (dict(other._rates[kind]), dict(other._counts[kind]))
+                for kind in self.KINDS}
+        with self._lock:
+            for kind, (rates, counts) in snapshot.items():
+                for key, rate in rates.items():
+                    count = counts[key]
+                    mine = self._rates[kind].get(key)
+                    if mine is None:
+                        self._rates[kind][key] = rate
+                        self._counts[kind][key] = count
+                    else:
+                        old_weight = self._counts[kind][key] * self._decay
+                        total = old_weight + count
+                        self._rates[kind][key] = \
+                            (mine * old_weight + rate * count) / total
+                        self._counts[kind][key] += count
+
+    def costs(self, kind: str,
+              proxy: Sequence[Tuple[Hashable, int]]
+              ) -> List[Tuple[Hashable, int]]:
+        """Re-cost a proxy list with observed rates (or pass it through).
+
+        With no observation for ``kind`` the proxy is returned
+        unchanged.  Otherwise every key's cost becomes
+        ``rate * proxy_units`` in integer microseconds (floored at 1,
+        so a planned key never becomes free); an unobserved key uses
+        the mean observed rate, keeping it commensurate with observed
+        neighbours instead of comparing microseconds to raw counts.
+        """
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown cost kind {kind!r}; expected one "
+                             f"of {self.KINDS}")
+        with self._lock:
+            rates = dict(self._rates[kind])
+        if not rates:
+            return list(proxy)
+        default = sum(rates.values()) / len(rates)
+        return [(key,
+                 max(1, round(rates.get(key, default)
+                              * max(1, units) * _COST_SCALE)))
+                for key, units in proxy]
+
+    def inference_costs(self, proxy: Sequence[Tuple[Hashable, int]]
+                        ) -> List[Tuple[Hashable, int]]:
+        """:meth:`costs` for inference plans (ShardPlan hook)."""
+        return self.costs("inference", proxy)
+
+    def construction_costs(self, proxy: Sequence[Tuple[Hashable, int]]
+                           ) -> List[Tuple[Hashable, int]]:
+        """:meth:`costs` for construction plans (ShardPlan hook)."""
+        return self.costs("construction", proxy)
+
+    def to_json(self) -> str:
+        """Serialize for the daily round-trip (exact; see from_json)."""
+        with self._lock:
+            return json.dumps({
+                "decay": self._decay,
+                **{kind: {str(key): [self._rates[kind][key],
+                                      self._counts[kind][key]]
+                          for key in self._rates[kind]}
+                   for kind in self.KINDS}})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CostModel":
+        """Reconstruct a model serialized with :meth:`to_json`.
+
+        Rates round-trip bit-exactly (json float repr), so a restored
+        model plans the same shards the recording run would have.
+        """
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"cost model payload is not JSON: {exc}") \
+                from None
+        if not isinstance(data, dict) or "decay" not in data:
+            raise ValueError(
+                "cost model payload must be an object with 'decay'")
+        model = cls(decay=float(data["decay"]))
+        for kind in cls.KINDS:
+            for raw_key, entry in dict(data.get(kind, {})).items():
+                if not isinstance(entry, list) or len(entry) != 2:
+                    raise ValueError(
+                        f"cost model {kind} entry {raw_key!r} must be a "
+                        f"[rate, count] pair, got {entry!r}")
+                try:
+                    key: Hashable = int(raw_key)
+                except ValueError:
+                    key = raw_key
+                model._rates[kind][key] = float(entry[0])
+                model._counts[kind][key] = int(entry[1])
+        return model
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostModel):
+            return NotImplemented
+        return (self._decay == other._decay
+                and self._rates == other._rates
+                and self._counts == other._counts)
+
+    def __repr__(self) -> str:
+        return (f"CostModel(decay={self._decay}, "
+                f"n_observations={self.n_observations()})")
+
+
+def plan_rebalance_gain(cost_model: Optional[CostModel],
+                        proxy: Sequence[Tuple[Hashable, int]],
+                        n_shards: int,
+                        kind: str = "construction") -> Optional[float]:
+    """Makespan ratio of the proxy plan over the observed-cost plan.
+
+    Both plans are *evaluated* under the observed costs (the best
+    estimate of reality): ``gain > 1`` means balancing on observations
+    shrank the critical-path shard by that factor versus the
+    request-count/char-count proxy.  Returns ``None`` when there is
+    nothing to compare — no cost model, no observations for ``kind``,
+    or fewer than two shards/keys.
+    """
+    if cost_model is None or not cost_model.has_observations(kind):
+        return None
+    if n_shards < 2 or len(proxy) < 2:
+        return None
+    observed = dict(cost_model.costs(kind, proxy))
+    proxy_plan = ShardPlan.balance(proxy, n_shards)
+    observed_plan = ShardPlan.balance(
+        [(key, observed[key]) for key, _units in proxy], n_shards)
+    proxy_makespan = max(sum(observed[key] for key in shard)
+                         for shard in proxy_plan.shards)
+    observed_makespan = max(observed_plan.shard_costs)
+    if observed_makespan <= 0:
+        return None
+    return proxy_makespan / observed_makespan
+
+
+# ---------------------------------------------------------------------------
+# The Executor interface
+
+
+class Executor:
+    """One execution substrate for shard-shaped GraphEx work.
+
+    Subclasses implement :meth:`run_inference` (leaf-group shards of a
+    request batch) and :meth:`run_construction` (whole-leaf shards of a
+    curated corpus) and record per-shard wall-clock timings into
+    :attr:`cost_model`.  All substrates are output-equivalent — the
+    bit-identity contract in the module docstring — so callers choose
+    purely on capacity.
+
+    Attributes:
+        name: The :data:`EXECUTOR_NAMES` spelling this class answers to.
+        supports_reference: Whether the scalar ``reference``
+            engine/builder may pair with this executor.  Only the
+            in-process substrates do — the scalar paths stay
+            single-process as the semantics oracle.
+        cost_model: Where this executor's shard timings accumulate.
+    """
+
+    name: str = "abstract"
+    supports_reference: bool = False
+
+    def __init__(self, *, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel()
+
+    def run_inference(self, model: "GraphExModel",
+                      requests: Sequence[InferenceRequest],
+                      k: int = 10, hard_limit: Optional[int] = None,
+                      dense_limit: int = DEFAULT_DENSE_LIMIT
+                      ) -> BatchResult:
+        """Infer a batch; item id → ranked recommendations with the
+        scalar loop's last-request-wins duplicate semantics."""
+        raise NotImplementedError
+
+    def run_construction(self, curated: "CuratedKeyphrases",
+                         tokenizer: Tokenizer = DEFAULT_TOKENIZER
+                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        """Build every non-empty leaf graph; same ``(graphs, cache)``
+        contract as
+        :func:`~repro.core.fast_construct.fast_construct_leaf_graphs`."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release owned resources (no-op for in-process executors)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _observe_spread(cost_model: CostModel, kind: str,
+                    keyed_units: Sequence[Tuple[Hashable, int]],
+                    elapsed: float) -> None:
+    """Distribute one shard's elapsed seconds over its keys, pro rata
+    by each key's unit count (the best attribution available when the
+    substrate timed the shard as a whole)."""
+    total = sum(units for _key, units in keyed_units)
+    for key, units in keyed_units:
+        share = elapsed * units / total if total else 0.0
+        cost_model.observe(kind, key, share, units)
+
+
+class ThreadShardExecutor(Executor):
+    """In-process thread sharding (the default substrate).
+
+    Absorbs the thread fan-out that used to live inside
+    ``LeafBatchRunner(workers=...)`` / ``fast_construct_leaf_graphs``:
+    leaf groups (inference) and whole leaves (construction) are
+    LPT-planned via :class:`~repro.core.sharding.ShardPlan` — observed
+    costs included — and each planned shard runs on a pool thread.
+    With one worker (or one shard) the work runs inline on the calling
+    thread, timing included.
+
+    Args:
+        workers: Upper bound on threads (and shards planned).
+        cost_model: Shared cost model; a private one by default.
+    """
+
+    name = "thread"
+    supports_reference = True
+
+    def __init__(self, workers: int = 1, *,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(cost_model=cost_model)
+        self.workers = max(1, int(workers))
+
+    def run_inference(self, model: "GraphExModel",
+                      requests: Sequence[InferenceRequest],
+                      k: int = 10, hard_limit: Optional[int] = None,
+                      dense_limit: int = DEFAULT_DENSE_LIMIT
+                      ) -> BatchResult:
+        requests = list(requests)
+        runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                                 dense_limit=dense_limit)
+        plan, groups = ShardPlan.for_inference(
+            model, requests, self.workers, cost_model=self.cost_model)
+        results: List[List[Recommendation]] = [[] for _ in requests]
+
+        def run_shard(shard: Sequence[Hashable]) -> None:
+            for key in shard:
+                indices = groups[key]
+                start = time.perf_counter()
+                for index, recs in zip(indices, runner.run_indexed(
+                        [requests[index] for index in indices])):
+                    results[index] = recs
+                self.cost_model.observe_inference(
+                    key, time.perf_counter() - start, len(indices))
+
+        if self.workers == 1 or plan.n_shards <= 1:
+            for shard in plan.shards:
+                run_shard(shard)
+        else:
+            with ThreadPoolExecutor(max_workers=plan.n_shards) as pool:
+                list(pool.map(run_shard, plan.shards))
+        out: BatchResult = {}
+        for index, (item_id, _title, _leaf_id) in enumerate(requests):
+            out[item_id] = results[index]
+        return out
+
+    def run_construction(self, curated: "CuratedKeyphrases",
+                         tokenizer: Tokenizer = DEFAULT_TOKENIZER
+                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        cache = TokenCache(tokenizer)
+        items = [(leaf_id, leaf) for leaf_id, leaf in
+                 curated.leaves.items() if len(leaf) > 0]
+        plan = ShardPlan.for_construction(curated, self.workers,
+                                          cost_model=self.cost_model)
+        by_id = dict(items)
+        built: Dict[int, "LeafGraph"] = {}
+
+        def run_shard(shard: Sequence[Hashable]) -> None:
+            for leaf_id in shard:
+                leaf = by_id[leaf_id]
+                start = time.perf_counter()
+                built[leaf_id] = build_leaf_graph_fast(leaf, cache)
+                self.cost_model.observe_construction(
+                    leaf_id, time.perf_counter() - start,
+                    sum(map(len, leaf.texts)) + 1)
+
+        if self.workers == 1 or plan.n_shards <= 1:
+            for shard in plan.shards:
+                run_shard(shard)
+        else:
+            # The shared TokenCache is safe across shard threads, and
+            # the built graphs are insensitive to pool id assignment
+            # order — the pinned bit-identity contract.
+            with ThreadPoolExecutor(max_workers=plan.n_shards) as pool:
+                list(pool.map(run_shard, plan.shards))
+        return {leaf_id: built[leaf_id] for leaf_id, _leaf in items}, cache
+
+
+class SerialExecutor(ThreadShardExecutor):
+    """The oracle substrate: one shard, calling thread, no pools.
+
+    Identical code path to :class:`ThreadShardExecutor` with
+    ``workers=1`` — everything runs inline — which is exactly what
+    makes it the reference the cross-executor property suite compares
+    the parallel substrates against.
+    """
+
+    name = "serial"
+
+    def __init__(self, *, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(workers=1, cost_model=cost_model)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process entry points.  Module-level (picklable by reference) and
+# parameterised through per-process globals set by the pool initializer,
+# so the model/tokenizer is shipped once per worker, not once per task.
+
+_INFERENCE_RUNNER: Optional[LeafBatchRunner] = None
+_CONSTRUCT_TOKENIZER: Optional[Tokenizer] = None
+
+
+def _init_inference_worker(model: "GraphExModel", k: int,
+                           hard_limit: Optional[int],
+                           dense_limit: int) -> None:
+    """Build this worker's runner once; its shards reuse it."""
+    global _INFERENCE_RUNNER
+    _INFERENCE_RUNNER = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                                        dense_limit=dense_limit)
+
+
+def _run_inference_shard(requests: Sequence[InferenceRequest]
+                         ) -> Tuple[List[List[Recommendation]], float]:
+    """One inference shard: per-request results in shard order, plus the
+    worker-side wall-clock seconds the shard took (measured here so the
+    cost model never counts pool start-up or queueing).
+
+    Failures come back as :class:`ShardWorkerError` carrying the full
+    worker-side traceback — a raw exception would lose it (or, when
+    unpicklable, collapse into a bare ``BrokenProcessPool``).
+    """
+    try:
+        start = time.perf_counter()
+        rows = _INFERENCE_RUNNER.run_indexed(requests)
+        return rows, time.perf_counter() - start
+    except Exception:
+        raise ShardWorkerError(traceback.format_exc()) from None
+
+
+def _init_construct_worker(tokenizer: Tokenizer) -> None:
+    global _CONSTRUCT_TOKENIZER
+    _CONSTRUCT_TOKENIZER = tokenizer
+
+
+def _build_construct_shard(leaves: Sequence["CuratedLeaf"],
+                           artifact_dir: str):
+    """One construction shard: graphs land on disk, not in a pickle.
+
+    The built leaf graphs are written as a zero-copy format-3 *leaf
+    bundle* (:func:`repro.core.serialization.save_leaf_graphs` — raw
+    page-aligned arrays plus one string blob); only the shard's token
+    pool state and per-leaf build timings cross the process boundary as
+    a pickle.  The parent opens the bundle with ``mmap=True``, so the
+    graphs are never serialized object-by-object — the pickle return
+    path used to *dominate* process construction (0.52x vs the thread
+    path at 2 workers on small worlds).
+
+    The per-shard :class:`TokenCache` keeps the memoized-tokenization
+    win within the shard; its exported state is merged into the parent
+    cache afterwards so the pooled-graph build still skips every text
+    the shards already processed.
+
+    Returns:
+        ``(token_state, timings)`` — the exported cache state and
+        ``(leaf_id, seconds)`` per built leaf for the cost model.
+    """
+    from .serialization import save_leaf_graphs
+
+    try:
+        cache = TokenCache(_CONSTRUCT_TOKENIZER)
+        graphs = []
+        timings: List[Tuple[int, float]] = []
+        for leaf in leaves:
+            start = time.perf_counter()
+            graphs.append(build_leaf_graph_fast(leaf, cache))
+            timings.append((leaf.leaf_id,
+                            time.perf_counter() - start))
+        save_leaf_graphs(graphs, artifact_dir)
+        return cache.export_state(), timings
+    except Exception:
+        # A half-written bundle must not outlive the failure: the parent
+        # only removes the staging root it knows about, and a retrying
+        # caller would otherwise mmap stale arrays from this attempt.
+        shutil.rmtree(artifact_dir, ignore_errors=True)
+        raise ShardWorkerError(traceback.format_exc()) from None
+
+
+class ProcessShardExecutor(Executor):
+    """Runs fast-engine shards in worker processes.
+
+    Args:
+        workers: Upper bound on worker processes (and shards planned).
+            With one worker, or one shard after planning, work runs in
+            the calling process — same output, no pool overhead.
+        start_method: Optional multiprocessing start method ("fork",
+            "spawn", "forkserver"); None uses the platform default.
+        cost_model: Shared cost model; a private one by default.
+
+    Output is element-wise/bit-identical to the single-process fast
+    paths for any worker count (see the module docstring for why).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2,
+                 start_method: Optional[str] = None, *,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(cost_model=cost_model)
+        self._workers = max(1, int(workers))
+        self._start_method = start_method
+
+    @property
+    def workers(self) -> int:
+        """Upper bound on worker processes."""
+        return self._workers
+
+    def _pool(self, n_shards: int, initializer, initargs
+              ) -> ProcessPoolExecutor:
+        context = (multiprocessing.get_context(self._start_method)
+                   if self._start_method is not None else None)
+        return ProcessPoolExecutor(max_workers=n_shards,
+                                   mp_context=context,
+                                   initializer=initializer,
+                                   initargs=initargs)
+
+    def plan_inference(self, model: "GraphExModel",
+                       requests: Sequence[InferenceRequest]
+                       ) -> Tuple[ShardPlan, Dict[int, List[int]]]:
+        """Group servable requests by leaf graph and balance the groups.
+
+        Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by
+        its leaf id when that leaf has a graph, by the pooled
+        pseudo-leaf when it falls back to the pooled graph, and is
+        excluded (its result is ``[]``) when neither exists.  Costs are
+        the executor's observed rates when it has any, else the group
+        request counts.
+
+        Returns:
+            ``(plan, groups)`` — the balanced plan over group keys, and
+            each group's request indices in batch order.
+        """
+        return ShardPlan.for_inference(model, requests, self._workers,
+                                       cost_model=self.cost_model)
+
+    def run_inference(self, model: "GraphExModel",
+                      requests: Sequence[InferenceRequest],
+                      k: int = 10, hard_limit: Optional[int] = None,
+                      dense_limit: int = DEFAULT_DENSE_LIMIT
+                      ) -> BatchResult:
+        """Infer a batch with leaf-group shards in worker processes.
+
+        Returns:
+            Item id → ranked recommendations, with the scalar loop's
+            duplicate-id semantics (the last request for an id wins)
+            even when the duplicates land in different shards.
+        """
+        requests = list(requests)
+        # Constructing the local runner validates hard_limit and the
+        # alignment probe up front, and serves the no-pool fallback.
+        runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
+                                 dense_limit=dense_limit)
+        plan, groups = self.plan_inference(model, requests)
+        results: List[List[Recommendation]] = [[] for _ in requests]
+        if self._workers == 1 or plan.n_shards <= 1:
+            for shard in plan.shards:
+                for key in shard:
+                    indices = groups[key]
+                    start = time.perf_counter()
+                    for index, recs in zip(indices, runner.run_indexed(
+                            [requests[index] for index in indices])):
+                        results[index] = recs
+                    self.cost_model.observe_inference(
+                        key, time.perf_counter() - start, len(indices))
+        else:
+            shards = [[index for key in shard for index in groups[key]]
+                      for shard in plan.shards]
+            with self._pool(len(shards), _init_inference_worker,
+                            (model, k, hard_limit, dense_limit)) as pool:
+                futures = [pool.submit(_run_inference_shard,
+                                       [requests[index]
+                                        for index in shard])
+                           for shard in shards]
+                for shard_index, (shard, future) in enumerate(
+                        zip(shards, futures)):
+                    shard_results, elapsed = _unwrap_shard_future(
+                        future, "inference", shard_index,
+                        plan.shards[shard_index])
+                    for index, recs in zip(shard, shard_results):
+                        results[index] = recs
+                    _observe_spread(
+                        self.cost_model, "inference",
+                        [(key, len(groups[key]))
+                         for key in plan.shards[shard_index]], elapsed)
+        out: BatchResult = {}
+        for index, (item_id, _title, _leaf_id) in enumerate(requests):
+            out[item_id] = results[index]
+        return out
+
+    def run_construction(self, curated: "CuratedKeyphrases",
+                         tokenizer: Tokenizer = DEFAULT_TOKENIZER
+                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        """Build every non-empty leaf graph with whole-leaf process shards.
+
+        The cost estimate is each leaf's observed build rate when the
+        cost model has one, else its summed keyphrase character count —
+        proportional to token occurrences, hence to the edge pairs the
+        build pass walks — without paying a tokenization pass in the
+        parent.  Shard states merge into the returned cache in
+        shard-index order (deterministic pool, reused by the
+        pooled-graph build exactly as in the thread path).
+
+        Return path: each worker persists its built graphs as a
+        format-3 leaf bundle under a temporary directory and the
+        parent opens every bundle *zero-copy*
+        (:func:`~repro.core.serialization.load_leaf_graphs` with
+        ``mmap=True``) instead of unpickling graph objects.  The
+        returned graphs' arrays are read-only views over the bundle
+        mappings; the temporary files are unlinked before returning
+        (live mappings keep them readable — POSIX), so nothing leaks.
+        The graphs are element-wise/string-identical to the thread
+        path's, as the equivalence suites pin.
+
+        Returns:
+            ``(leaf_graphs, cache)`` with the same contract as
+            :func:`~repro.core.fast_construct.fast_construct_leaf_graphs`.
+        """
+        from .serialization import load_leaf_graphs
+
+        items = [(leaf_id, leaf) for leaf_id, leaf in
+                 curated.leaves.items() if len(leaf) > 0]
+        if self._workers == 1 or len(items) <= 1:
+            # Delegate so the in-parent fallback can never drift from
+            # the thread path's contracts (empty-leaf filter, insertion
+            # order); the whole build is timed and spread pro rata.
+            start = time.perf_counter()
+            graphs, cache = fast_construct_leaf_graphs(curated, tokenizer)
+            _observe_spread(
+                self.cost_model, "construction",
+                [(leaf_id, sum(map(len, leaf.texts)) + 1)
+                 for leaf_id, leaf in items],
+                time.perf_counter() - start)
+            return graphs, cache
+
+        cache = TokenCache(tokenizer)
+        plan = ShardPlan.for_construction(curated, self._workers,
+                                          cost_model=self.cost_model)
+        by_id = dict(items)
+        shards = [[by_id[leaf_id] for leaf_id in shard]
+                  for shard in plan.shards]
+        built: Dict[int, "LeafGraph"] = {}
+        staging = Path(tempfile.mkdtemp(prefix="graphex-shard-"))
+        try:
+            with self._pool(len(shards), _init_construct_worker,
+                            (tokenizer,)) as pool:
+                futures = [
+                    pool.submit(_build_construct_shard, shard,
+                                str(staging / f"shard-{index}"))
+                    for index, shard in enumerate(shards)]
+                for index, future in enumerate(futures):
+                    state, timings = _unwrap_shard_future(
+                        future, "construction", index,
+                        plan.shards[index])
+                    cache.absorb_state(state)
+                    for leaf_id, seconds in timings:
+                        self.cost_model.observe_construction(
+                            leaf_id, seconds,
+                            sum(map(len, by_id[leaf_id].texts)) + 1)
+                    for graph in load_leaf_graphs(
+                            staging / f"shard-{index}", mmap=True):
+                        built[graph.leaf_id] = graph
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return {leaf_id: built[leaf_id] for leaf_id, _leaf in items}, cache
+
+
+class ClusterExecutor(Executor):
+    """The multi-machine substrate: shards run on remote hosts.
+
+    Wraps a *started*
+    :class:`~repro.cluster.coordinator.ClusterCoordinator` — fleet
+    management, per-RPC deadlines, retries, dead-host re-planning and
+    exactly-once merging all live there; this class adapts it to the
+    synchronous :class:`Executor` interface and threads the cost model
+    into the coordinator's plans.
+
+    The sync :meth:`run_inference` / :meth:`run_construction` submit to
+    the coordinator's event loop and block the *calling* thread, so
+    they must not be called from that loop — code already running on
+    it awaits :meth:`run_inference_async` /
+    :meth:`run_construction_async` instead.
+
+    Args:
+        coordinator: A started coordinator (its loop must be running).
+        distribute: Model hand-off for inference jobs — ``"path"``
+            (shared filesystem / localhost) or ``"stream"`` (spool the
+            artifact over each worker's connection).
+        cost_model: Shared cost model; a private one by default.
+
+    Use :meth:`local` for a self-contained fleet (own loop thread plus
+    N in-process workers) when no external cluster is running —
+    :meth:`close` tears that fleet down; an adopted coordinator is
+    never stopped by this class.
+    """
+
+    name = "cluster"
+
+    def __init__(self, coordinator: "ClusterCoordinator", *,
+                 distribute: str = "path",
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(cost_model=cost_model)
+        self.coordinator = coordinator
+        self._distribute = distribute
+        self._owned: Optional[tuple] = None
+
+    @classmethod
+    def local(cls, workers: int = 2, *,
+              distribute: str = "path",
+              cost_model: Optional[CostModel] = None,
+              retry=None, rpc_timeout: float = 30.0,
+              start_timeout: float = 60.0) -> "ClusterExecutor":
+        """Boot a self-contained localhost fleet and wrap it.
+
+        Spins a daemon thread running a private event loop, starts a
+        coordinator plus ``workers`` in-process
+        :class:`~repro.cluster.worker.ClusterWorker` hosts on it, and
+        returns the executor once every host has registered.  The CLI's
+        ``--executor cluster`` backend.  :meth:`close` (or the context
+        manager) stops the fleet and joins the loop thread.
+        """
+        from ..cluster.coordinator import ClusterCoordinator
+        from ..cluster.worker import ClusterWorker
+
+        workers = max(1, int(workers))
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever,
+                                  name="graphex-cluster-loop",
+                                  daemon=True)
+        thread.start()
+
+        async def boot():
+            coordinator = ClusterCoordinator(retry=retry,
+                                             rpc_timeout=rpc_timeout)
+            await coordinator.start()
+            tasks = []
+            for index in range(workers):
+                worker = ClusterWorker(coordinator.host,
+                                       coordinator.port,
+                                       name=f"local-{index}")
+                tasks.append(asyncio.ensure_future(worker.run()))
+            await coordinator.wait_for_workers(workers,
+                                               timeout=start_timeout)
+            return coordinator, tasks
+
+        try:
+            coordinator, tasks = asyncio.run_coroutine_threadsafe(
+                boot(), loop).result(timeout=start_timeout)
+        except BaseException:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10.0)
+            loop.close()
+            raise
+        executor = cls(coordinator, distribute=distribute,
+                       cost_model=cost_model)
+        executor._owned = (loop, thread, tasks)
+        return executor
+
+    def _submit(self, coro):
+        """Run a coordinator coroutine from this (non-loop) thread."""
+        loop = self.coordinator.loop
+        if loop is None:
+            coro.close()
+            raise RuntimeError(
+                "ClusterExecutor needs a started coordinator (its "
+                "event loop is not running)")
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            coro.close()
+            raise RuntimeError(
+                "ClusterExecutor cannot block the coordinator's own "
+                "event loop; await run_inference_async / "
+                "run_construction_async instead")
+        return asyncio.run_coroutine_threadsafe(coro, loop).result()
+
+    async def run_inference_async(
+            self, model: "GraphExModel",
+            requests: Sequence[InferenceRequest],
+            k: int = 10, hard_limit: Optional[int] = None,
+            dense_limit: int = DEFAULT_DENSE_LIMIT) -> BatchResult:
+        """:meth:`run_inference` for callers on the coordinator loop."""
+        return await self.coordinator.run_inference(
+            model, list(requests), k=k, hard_limit=hard_limit,
+            dense_limit=dense_limit, distribute=self._distribute,
+            cost_model=self.cost_model)
+
+    async def run_construction_async(
+            self, curated: "CuratedKeyphrases",
+            tokenizer: Tokenizer = DEFAULT_TOKENIZER
+            ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        """:meth:`run_construction` for callers on the coordinator loop."""
+        return await self.coordinator.run_construction(
+            curated, tokenizer, cost_model=self.cost_model)
+
+    def run_inference(self, model: "GraphExModel",
+                      requests: Sequence[InferenceRequest],
+                      k: int = 10, hard_limit: Optional[int] = None,
+                      dense_limit: int = DEFAULT_DENSE_LIMIT
+                      ) -> BatchResult:
+        return self._submit(self.run_inference_async(
+            model, requests, k=k, hard_limit=hard_limit,
+            dense_limit=dense_limit))
+
+    def run_construction(self, curated: "CuratedKeyphrases",
+                         tokenizer: Tokenizer = DEFAULT_TOKENIZER
+                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
+        return self._submit(self.run_construction_async(curated,
+                                                        tokenizer))
+
+    def close(self) -> None:
+        """Tear down a :meth:`local` fleet (no-op for adopted ones)."""
+        owned, self._owned = self._owned, None
+        if owned is None:
+            return
+        loop, thread, tasks = owned
+
+        async def shutdown():
+            await self.coordinator.stop()
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(shutdown(),
+                                         loop).result(timeout=30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        loop.close()
+
+
+# ---------------------------------------------------------------------------
+# The resolver: legacy spellings, new spellings, and instances all land
+# on an Executor — the only place the `parallel` strings are interpreted.
+
+_EXECUTOR_CLASSES = {
+    "serial": SerialExecutor,
+    "thread": ThreadShardExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+def resolve_executor(executor: Union[Executor, str, None] = None, *,
+                     parallel: Optional[str] = None,
+                     workers: int = 1,
+                     cluster: Optional["ClusterCoordinator"] = None,
+                     cost_model: Optional[CostModel] = None,
+                     engine: Optional[str] = None) -> Executor:
+    """Resolve any accepted spelling to an :class:`Executor` instance.
+
+    The single entry point behind every ``executor=`` keyword (and the
+    back-compat shim behind every legacy ``parallel=``/``cluster=``
+    one):
+
+    * an :class:`Executor` instance passes through unchanged (it keeps
+      its own workers and cost model);
+    * ``"serial"`` / ``"thread"`` / ``"process"`` build the matching
+      class with ``workers`` and ``cost_model``;
+    * ``"cluster"`` wraps the supplied ``cluster`` coordinator (one is
+      required — a fleet cannot be conjured from a string);
+    * ``None`` falls back to the legacy ``parallel`` spelling, then to
+      a ``cluster`` coordinator if one was passed, then to
+      ``"thread"`` — exactly the old default.
+
+    ``engine`` (an engine *or* builder name) enforces the oracle
+    pairing rule: the scalar ``reference`` paths stay single-process,
+    so only executors with :attr:`Executor.supports_reference` may
+    serve them.
+
+    Raises:
+        ValueError: On an unknown spelling, ``executor=`` combined
+            with ``parallel=``, ``"cluster"`` without a coordinator,
+            or a reference engine/builder paired with an out-of-process
+            executor.
+    """
+    if executor is not None and parallel is not None:
+        raise ValueError(
+            f"pass either executor={executor!r} or the legacy "
+            f"parallel={parallel!r}, not both")
+    spec: Union[Executor, str, None] = executor
+    if spec is None:
+        spec = parallel
+    if spec is None and cluster is not None:
+        spec = "cluster"
+    if spec is None:
+        spec = "thread"
+
+    if isinstance(spec, Executor):
+        resolved = spec
+    elif isinstance(spec, str):
+        if spec not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown parallel mode {spec!r}; expected an Executor "
+                f"instance or one of {EXECUTOR_NAMES} (legacy spellings "
+                f"{PARALLEL_MODES} included)")
+        if spec == "cluster":
+            if cluster is None:
+                raise ValueError(
+                    "executor='cluster' needs a started "
+                    "ClusterCoordinator: pass cluster=<coordinator>, "
+                    "an existing ClusterExecutor instance, or use "
+                    "ClusterExecutor.local()")
+            resolved = ClusterExecutor(cluster, cost_model=cost_model)
+        else:
+            resolved = _EXECUTOR_CLASSES[spec](
+                workers, cost_model=cost_model) if spec != "serial" \
+                else SerialExecutor(cost_model=cost_model)
+    else:
+        raise ValueError(
+            f"unknown parallel mode {spec!r}; expected an Executor "
+            f"instance or one of {EXECUTOR_NAMES}")
+
+    if engine is not None and engine != "fast" \
+            and not resolved.supports_reference:
+        raise ValueError(
+            f"executor {resolved.name!r} requires the fast "
+            f"engine/builder; the {engine!r} path stays single-process "
+            f"as the semantics reference")
+    return resolved

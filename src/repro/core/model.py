@@ -169,7 +169,8 @@ class GraphExModel:
                   build_pooled: bool = False,
                   builder: str = "fast",
                   workers: int = 1,
-                  parallel: str = "thread") -> "GraphExModel":
+                  parallel: Optional[str] = None,
+                  executor=None) -> "GraphExModel":
         """Build the model from curated keyphrases (the "training" phase).
 
         Args:
@@ -186,39 +187,39 @@ class GraphExModel:
                 keeps the scalar per-token loop; both yield bit-identical
                 models (pinned by ``tests/test_fast_construct.py``).
             workers: Worker count for the fast builder; whole leaves
-                are sharded (largest-first for threads, cost-balanced
-                via :class:`~repro.core.sharding.ShardPlan` for
-                processes).  Ignored by the reference builder.
-            parallel: ``"thread"`` (default) shards leaves across
-                threads; ``"process"`` builds shard leaves in worker
-                processes with per-shard token caches merged afterwards
-                (GIL-free tokenization; the tokenizer must pickle).
-                The built model is bit-identical either way.
+                are sharded, cost-balanced via
+                :class:`~repro.core.sharding.ShardPlan`.  Ignored by
+                the reference builder and by ``executor`` instances
+                (they carry their own).
+            parallel: Legacy spelling of ``executor`` (``"thread"`` /
+                ``"process"``); pass one or the other, not both.
+            executor: Which substrate builds the leaf shards — an
+                :class:`repro.core.execution.Executor` instance or one
+                of its spellings (``"serial"``, ``"thread"`` (default),
+                ``"process"``, ``"cluster"``).  Out-of-process
+                executors need a picklable tokenizer, as the built-in
+                ones are.  The built model is bit-identical for every
+                substrate.
 
         Raises:
-            ValueError: On an unknown builder or parallel mode, or
-                ``parallel="process"`` with the reference builder (the
-                scalar path stays single-process as the semantics
+            ValueError: On an unknown builder or executor spelling, or
+                an out-of-process executor with the reference builder
+                (the scalar path stays single-process as the semantics
                 oracle).
         """
         if builder not in BUILDERS:
             raise ValueError(f"unknown builder {builder!r}; "
                              f"expected one of {BUILDERS}")
-        # Imported lazily: sharding reaches this module through the
-        # engines it wraps, so a top-level import would be a cycle.
-        from .sharding import validate_parallel
-        validate_parallel(parallel, builder)
+        # Imported lazily: the execution plane reaches this module
+        # through the engines it wraps, so a top-level import would be
+        # a cycle.
+        from .execution import resolve_executor
+        exec_ = resolve_executor(executor, parallel=parallel,
+                                 workers=workers, engine=builder)
         if builder == "fast":
-            from .fast_construct import (build_leaf_graph_fast,
-                                         fast_construct_leaf_graphs)
+            from .fast_construct import build_leaf_graph_fast
 
-            if parallel == "process":
-                from .sharding import ProcessShardExecutor
-                leaf_graphs, cache = ProcessShardExecutor(
-                    workers).run_construction(curated, tokenizer)
-            else:
-                leaf_graphs, cache = fast_construct_leaf_graphs(
-                    curated, tokenizer, workers=workers)
+            leaf_graphs, cache = exec_.run_construction(curated, tokenizer)
             pooled = None
             if build_pooled and curated.leaves:
                 pooled = build_leaf_graph_fast(

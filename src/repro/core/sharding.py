@@ -1,71 +1,55 @@
-"""Process-parallel shard execution (Sections IV-G/IV-H at scale).
+"""Shard planning for the unified execution plane (Sections IV-G/IV-H).
 
-The fast engines already shard work across *threads* — leaf groups for
-inference (``LeafBatchRunner(workers=...)``), whole leaves for
-construction (``construct(workers=...)``) — but tokenization and the
-Python orchestration around the vectorized kernels hold the GIL, so
-thread shards cannot exceed one core.  This module lifts the same shard
-units into worker *processes*:
+GraphEx's shard-shaped work — leaf groups for inference, whole leaves
+for construction — runs on several substrates (threads, worker
+processes, cluster hosts; see :mod:`repro.core.execution`).  This
+module owns what they all share:
 
 * :class:`ShardPlan` deterministically partitions cost-weighted work
   units (leaf groups keyed by leaf id) across shards with a
   longest-processing-time greedy pass.  A plan is JSON-serializable —
-  exactly the unit a multi-machine runner would ship to remote workers,
-  per the ROADMAP's partitioning goal.
-* :class:`ProcessShardExecutor` runs planned shards in worker
-  processes: inference shards through a per-worker
-  :class:`~repro.core.fast_inference.LeafBatchRunner` (the model is
-  shipped once per worker via the pool initializer), construction
-  shards through
-  :func:`~repro.core.fast_construct.build_leaf_graph_fast` with a
-  *per-shard* :class:`~repro.core.tokenize.TokenCache` whose pool is
-  merged into the parent cache afterwards with a stable id-remap
-  (:meth:`~repro.core.tokenize.TokenCache.absorb_state`).  Built
-  graphs come back as zero-copy format-3 leaf bundles
-  (:mod:`repro.core.serialization`) opened ``mmap=True`` in the
-  parent — never as pickled graph objects.
+  exactly the unit the multi-machine runner ships to remote workers.
+  :meth:`ShardPlan.for_inference` / :meth:`ShardPlan.for_construction`
+  build the canonical plans for the two work kinds, optionally
+  re-costed from an executor's observed
+  :class:`~repro.core.execution.CostModel` instead of the
+  request-count/char-count proxies.
+* The shard failure vocabulary (:class:`ShardWorkerError`,
+  :class:`ShardExecutionError`, :func:`_unwrap_shard_future`) shared by
+  the process executor and the cluster runner.
 
-Both process paths are element-wise/bit-identical to the single-process
-fast paths: a request's inference output does not depend on batch
-composition, and a leaf's built graph does not depend on shared-pool id
-assignment order — both contracts are pinned by the equivalence suites
-(``tests/test_fast_inference.py``, ``tests/test_fast_construct.py``),
-which extend to the process shards.  ``parallel="thread"`` remains the
-default everywhere; the scalar ``reference`` paths stay single-process
-as the semantics oracle.
+The execution substrates themselves live in
+:mod:`repro.core.execution`; the legacy names
+(``ProcessShardExecutor``, the worker entry points) remain importable
+from here via a lazy module ``__getattr__`` so existing callers and
+pickled pool tasks keep working.  ``parallel={thread,process}`` remains
+accepted everywhere through :func:`validate_parallel`, which now
+delegates to :func:`~repro.core.execution.resolve_executor` — the one
+place the spellings are interpreted.
 
-Everything crossing the process boundary must pickle: the built-in
+Everything crossing a process boundary must pickle: the built-in
 tokenizers and alignment functions do, while ad-hoc lambdas do not —
-use module-level callables with ``parallel="process"``.
+use module-level callables with out-of-process executors.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import shutil
-import tempfile
-import traceback
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from pathlib import Path
 from typing import (TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional,
                     Sequence, Tuple)
 
-from .batch import BatchResult, InferenceRequest
-from .fast_construct import build_leaf_graph_fast, fast_construct_leaf_graphs
-from .fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
-from .inference import Recommendation
-from .tokenize import TokenCache, Tokenizer
-
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from .curation import CuratedKeyphrases, CuratedLeaf
-    from .model import GraphExModel, LeafGraph
+    from .batch import InferenceRequest
+    from .curation import CuratedKeyphrases
+    from .execution import CostModel
+    from .model import GraphExModel
 
-#: Parallel execution modes accepted by the batch/construct entry points
-#: (and the CLI ``--parallel`` flags).  ``thread`` shards within the
-#: calling process; ``process`` runs fast-path shards in worker
-#: processes.
+#: Legacy parallel-mode spellings accepted by the batch/construct entry
+#: points (and the CLI ``--parallel`` flags).  ``thread`` shards within
+#: the calling process; ``process`` runs fast-path shards in worker
+#: processes.  Superset spellings (``serial``, ``cluster``) live in
+#: :data:`repro.core.execution.EXECUTOR_NAMES`.
 PARALLEL_MODES = ("thread", "process")
 
 #: Shard-plan key for the leaf group served by the pooled fallback graph
@@ -94,9 +78,9 @@ class ShardWorkerError(Exception):
 class ShardExecutionError(RuntimeError):
     """A planned shard failed to execute.
 
-    Raised by :class:`ProcessShardExecutor` (and reused by the cluster
-    runner) in place of the raw pool errors: the message names the shard
-    and its work-unit keys, and :attr:`worker_traceback` carries the
+    Raised by the process executor (and reused by the cluster runner)
+    in place of the raw pool errors: the message names the shard and
+    its work-unit keys, and :attr:`worker_traceback` carries the
     original worker-side traceback when one could be recovered (it
     cannot when the worker process was killed outright).
     """
@@ -110,21 +94,19 @@ class ShardExecutionError(RuntimeError):
 def validate_parallel(parallel: str, engine: Optional[str] = None) -> None:
     """Raise ValueError on a bad parallel mode or mode/engine pairing.
 
-    ``parallel="process"`` is only implemented for the fast
-    engine/builder: the scalar ``reference`` paths deliberately stay
-    single-process (their role is the easy-to-audit semantics oracle,
-    and process orchestration would change what they oracle).  Serving
-    constructors call this up front so a bad combination fails at
-    construction rather than mid-batch.
+    Delegates to :func:`~repro.core.execution.resolve_executor` — the
+    single interpreter of executor spellings — so the legacy
+    ``parallel=`` strings and the new ``executor=`` ones accept exactly
+    the same values and raise the same errors.  Out-of-process
+    executors pair only with the fast engine/builder: the scalar
+    ``reference`` paths deliberately stay single-process (their role is
+    the easy-to-audit semantics oracle, and process orchestration would
+    change what they oracle).  Serving constructors call this up front
+    so a bad combination fails at construction rather than mid-batch.
     """
-    if parallel not in PARALLEL_MODES:
-        raise ValueError(f"unknown parallel mode {parallel!r}; "
-                         f"expected one of {PARALLEL_MODES}")
-    if engine is not None and parallel == "process" and engine != "fast":
-        raise ValueError(
-            f"parallel='process' requires the fast engine/builder; the "
-            f"{engine!r} path stays single-process as the semantics "
-            f"reference")
+    from .execution import resolve_executor
+
+    resolve_executor(executor=parallel, engine=engine)
 
 
 class ShardPlan:
@@ -196,6 +178,66 @@ class ShardPlan:
             assignments[shard].append(key)
             loads[shard] += cost
         return cls(assignments, dict(items))
+
+    @classmethod
+    def for_inference(cls, model: "GraphExModel",
+                      requests: Sequence["InferenceRequest"],
+                      n_shards: int,
+                      cost_model: Optional["CostModel"] = None
+                      ) -> Tuple["ShardPlan", Dict[int, List[int]]]:
+        """The canonical inference plan: leaf groups, balanced.
+
+        Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by
+        its leaf id when that leaf has a graph, by :data:`POOLED_GROUP`
+        when it falls back to the pooled graph, and is excluded (its
+        result is ``[]``) when neither exists.  The proxy cost estimate
+        is the group's request count — per-request work dominates, and
+        keeping groups whole preserves the vectorized amortisation.
+        With a ``cost_model`` carrying inference observations, groups
+        are re-costed by observed per-request rates instead
+        (:meth:`~repro.core.execution.CostModel.inference_costs`);
+        either way every substrate executes the same groups, so the
+        choice only moves balance, never output.
+
+        Returns:
+            ``(plan, groups)`` — the balanced plan over group keys, and
+            each group's request indices in batch order.
+        """
+        groups: Dict[int, List[int]] = {}
+        for index, (_item_id, _title, leaf_id) in enumerate(requests):
+            if model.leaf_graph(leaf_id) is not None:
+                key = leaf_id
+            elif model.pooled_graph is not None:
+                key = POOLED_GROUP
+            else:
+                continue
+            groups.setdefault(key, []).append(index)
+        proxy = [(key, len(indices)) for key, indices in groups.items()]
+        costs = proxy if cost_model is None \
+            else cost_model.inference_costs(proxy)
+        return cls.balance(costs, n_shards), groups
+
+    @classmethod
+    def for_construction(cls, curated: "CuratedKeyphrases",
+                         n_shards: int,
+                         cost_model: Optional["CostModel"] = None
+                         ) -> "ShardPlan":
+        """The canonical construction plan: non-empty leaves, balanced.
+
+        The proxy cost estimate is each leaf's summed keyphrase
+        character count — proportional to token occurrences, hence to
+        the edge pairs the build pass walks — without paying a
+        tokenization pass up front.  With a ``cost_model`` carrying
+        construction observations, leaves are re-costed by observed
+        build rates instead
+        (:meth:`~repro.core.execution.CostModel.construction_costs`).
+        """
+        proxy = [(leaf_id, sum(map(len, leaf.texts)) + 1)
+                 for leaf_id, leaf in curated.leaves.items()
+                 if len(leaf) > 0]
+        costs = proxy if cost_model is None \
+            else cost_model.construction_costs(proxy)
+        return cls.balance(costs, n_shards)
 
     @property
     def shards(self) -> Tuple[Tuple[Hashable, ...], ...]:
@@ -297,16 +339,20 @@ class ShardPlan:
                 plan_costs[key] = cost
         return cls(tuple(tuple(shard) for shard in shards), plan_costs)
 
-    def replan(self, keys: Iterable[Hashable],
-               n_shards: int) -> "ShardPlan":
+    def replan(self, keys: Iterable[Hashable], n_shards: int,
+               costs: Optional[Dict[Hashable, int]] = None) -> "ShardPlan":
         """Re-balance a subset of this plan's keys across ``n_shards``.
 
         The dead-host orphan re-planning primitive: when a worker dies
         mid-plan, the coordinator takes the keys it was executing and
-        re-balances them — with their original cost estimates — across
-        the surviving hosts (``n_shards`` clamps to the key count, and
-        down to one shard when the fleet has emptied).  Deterministic
-        for a given key order, like :meth:`balance`.
+        re-balances them across the surviving hosts (``n_shards``
+        clamps to the key count, and down to one shard when the fleet
+        has emptied).  Each key keeps this plan's recorded cost — when
+        the plan was balanced on observed rates, orphans redistribute
+        on those same rates, not on stale proxies — unless ``costs``
+        supplies a fresher per-key estimate (keys it omits fall back
+        to the recorded cost).  Deterministic for a given key order,
+        like :meth:`balance`.
 
         Raises:
             ValueError: If a key was not part of this plan (its cost is
@@ -317,8 +363,10 @@ class ShardPlan:
         if unknown:
             raise ValueError(
                 f"cannot replan keys {unknown!r}: not part of this plan")
-        return ShardPlan.balance([(key, self._costs[key]) for key in keys],
-                                 n_shards)
+        override = dict(costs) if costs else {}
+        return ShardPlan.balance(
+            [(key, override.get(key, self._costs[key])) for key in keys],
+            n_shards)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ShardPlan):
@@ -330,109 +378,17 @@ class ShardPlan:
                 f"shard_costs={self.shard_costs})")
 
 
-# ---------------------------------------------------------------------------
-# Worker-process entry points.  Module-level (picklable by reference) and
-# parameterised through per-process globals set by the pool initializer,
-# so the model/tokenizer is shipped once per worker, not once per task.
-
-_INFERENCE_RUNNER: Optional[LeafBatchRunner] = None
-_CONSTRUCT_TOKENIZER: Optional[Tokenizer] = None
-
-
-def _init_inference_worker(model: "GraphExModel", k: int,
-                           hard_limit: Optional[int],
-                           dense_limit: int) -> None:
-    """Build this worker's runner once; its shards reuse it."""
-    global _INFERENCE_RUNNER
-    _INFERENCE_RUNNER = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
-                                        dense_limit=dense_limit)
-
-
-def _run_inference_shard(requests: Sequence[InferenceRequest]
-                         ) -> List[List[Recommendation]]:
-    """One inference shard: per-request results in shard order.
-
-    Failures come back as :class:`ShardWorkerError` carrying the full
-    worker-side traceback — a raw exception would lose it (or, when
-    unpicklable, collapse into a bare ``BrokenProcessPool``).
-    """
-    try:
-        return _INFERENCE_RUNNER.run_indexed(requests)
-    except Exception:
-        raise ShardWorkerError(traceback.format_exc()) from None
-
-
-def _init_construct_worker(tokenizer: Tokenizer) -> None:
-    global _CONSTRUCT_TOKENIZER
-    _CONSTRUCT_TOKENIZER = tokenizer
-
-
-def _build_construct_shard(leaves: Sequence["CuratedLeaf"],
-                           artifact_dir: str):
-    """One construction shard: graphs land on disk, not in a pickle.
-
-    The built leaf graphs are written as a zero-copy format-3 *leaf
-    bundle* (:func:`repro.core.serialization.save_leaf_graphs` — raw
-    page-aligned arrays plus one string blob); only the shard's token
-    pool state crosses the process boundary as a pickle.  The parent
-    opens the bundle with ``mmap=True``, so the graphs are never
-    serialized object-by-object — the pickle return path used to
-    *dominate* process construction (0.52x vs the thread path at 2
-    workers on small worlds).
-
-    The per-shard :class:`TokenCache` keeps the memoized-tokenization
-    win within the shard; its exported state is merged into the parent
-    cache afterwards so the pooled-graph build still skips every text
-    the shards already processed.
-    """
-    from .serialization import save_leaf_graphs
-
-    try:
-        cache = TokenCache(_CONSTRUCT_TOKENIZER)
-        save_leaf_graphs([build_leaf_graph_fast(leaf, cache)
-                          for leaf in leaves], artifact_dir)
-        return cache.export_state()
-    except Exception:
-        # A half-written bundle must not outlive the failure: the parent
-        # only removes the staging root it knows about, and a retrying
-        # caller would otherwise mmap stale arrays from this attempt.
-        shutil.rmtree(artifact_dir, ignore_errors=True)
-        raise ShardWorkerError(traceback.format_exc()) from None
-
-
 def plan_inference_groups(model: "GraphExModel",
-                          requests: Sequence[InferenceRequest],
+                          requests: Sequence["InferenceRequest"],
                           n_shards: int
                           ) -> Tuple[ShardPlan, Dict[int, List[int]]]:
-    """Group servable requests by leaf graph and balance the groups.
+    """Legacy spelling of :meth:`ShardPlan.for_inference` (proxy costs).
 
-    Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by its
-    leaf id when that leaf has a graph, by :data:`POOLED_GROUP` when it
-    falls back to the pooled graph, and is excluded (its result is
-    ``[]``) when neither exists.  The cost estimate is the group's
-    request count — per-request work dominates, and keeping groups
-    whole preserves the vectorized amortisation.
-
-    Shared by :class:`ProcessShardExecutor` (process shards) and the
-    cluster coordinator (remote shards), so a plan computed locally is
-    exactly the plan a fleet executes.
-
-    Returns:
-        ``(plan, groups)`` — the balanced plan over group keys, and
-        each group's request indices in batch order.
+    Kept because the plan/groups contract is pinned across the process
+    executor and the cluster coordinator; new code should call
+    :meth:`ShardPlan.for_inference` (which also accepts a cost model).
     """
-    groups: Dict[int, List[int]] = {}
-    for index, (_item_id, _title, leaf_id) in enumerate(requests):
-        if model.leaf_graph(leaf_id) is not None:
-            key = leaf_id
-        elif model.pooled_graph is not None:
-            key = POOLED_GROUP
-        else:
-            continue
-        groups.setdefault(key, []).append(index)
-    plan = ShardPlan.balance(
-        [(key, len(indices)) for key, indices in groups.items()], n_shards)
-    return plan, groups
+    return ShardPlan.for_inference(model, requests, n_shards)
 
 
 def _unwrap_shard_future(future, kind: str, index: int,
@@ -461,152 +417,27 @@ def _unwrap_shard_future(future, kind: str, index: int,
             f"Python") from exc
 
 
-class ProcessShardExecutor:
-    """Runs fast-engine shards in worker processes.
+#: Names that physically moved to :mod:`repro.core.execution` but remain
+#: importable from here (legacy imports, pickled pool tasks, and test
+#: monkeypatching all address them through this module).
+_MOVED_TO_EXECUTION = (
+    "ProcessShardExecutor",
+    "_INFERENCE_RUNNER",
+    "_CONSTRUCT_TOKENIZER",
+    "_init_inference_worker",
+    "_run_inference_shard",
+    "_init_construct_worker",
+    "_build_construct_shard",
+)
 
-    Args:
-        workers: Upper bound on worker processes (and shards planned).
-            With one worker, or one shard after planning, work runs in
-            the calling process — same output, no pool overhead.
-        start_method: Optional multiprocessing start method ("fork",
-            "spawn", "forkserver"); None uses the platform default.
 
-    Output is element-wise/bit-identical to the single-process fast
-    paths for any worker count (see the module docstring for why).
-    """
+def __getattr__(name: str):
+    # PEP 562 lazy re-export: sharding must not import execution at
+    # module level (execution imports ShardPlan and the error types
+    # from here), so the moved names resolve on first touch instead.
+    if name in _MOVED_TO_EXECUTION:
+        from . import execution
 
-    def __init__(self, workers: int = 2,
-                 start_method: Optional[str] = None) -> None:
-        self._workers = max(1, int(workers))
-        self._start_method = start_method
-
-    def _pool(self, n_shards: int, initializer, initargs
-              ) -> ProcessPoolExecutor:
-        context = (multiprocessing.get_context(self._start_method)
-                   if self._start_method is not None else None)
-        return ProcessPoolExecutor(max_workers=n_shards,
-                                   mp_context=context,
-                                   initializer=initializer,
-                                   initargs=initargs)
-
-    def plan_inference(self, model: "GraphExModel",
-                       requests: Sequence[InferenceRequest]
-                       ) -> Tuple[ShardPlan, Dict[int, List[int]]]:
-        """Group servable requests by leaf graph and balance the groups.
-
-        Mirrors ``LeafBatchRunner``'s grouping: a request is keyed by
-        its leaf id when that leaf has a graph, by :data:`POOLED_GROUP`
-        when it falls back to the pooled graph, and is excluded (its
-        result is ``[]``) when neither exists.  The cost estimate is the
-        group's request count — per-request work dominates, and keeping
-        groups whole preserves the vectorized amortisation.
-
-        Returns:
-            ``(plan, groups)`` — the balanced plan over group keys, and
-            each group's request indices in batch order.
-        """
-        return plan_inference_groups(model, requests, self._workers)
-
-    def run_inference(self, model: "GraphExModel",
-                      requests: Sequence[InferenceRequest],
-                      k: int = 10, hard_limit: Optional[int] = None,
-                      dense_limit: int = DEFAULT_DENSE_LIMIT
-                      ) -> BatchResult:
-        """Infer a batch with leaf-group shards in worker processes.
-
-        Returns:
-            Item id → ranked recommendations, with the scalar loop's
-            duplicate-id semantics (the last request for an id wins)
-            even when the duplicates land in different shards.
-        """
-        # Constructing the local runner validates hard_limit and the
-        # alignment probe up front, and serves the no-pool fallback.
-        runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
-                                 dense_limit=dense_limit)
-        plan, groups = self.plan_inference(model, requests)
-        shards = [[index for key in shard for index in groups[key]]
-                  for shard in plan.shards]
-        if self._workers == 1 or len(shards) <= 1:
-            return runner.run(requests)
-
-        results: List[List[Recommendation]] = [[] for _ in requests]
-        with self._pool(len(shards), _init_inference_worker,
-                        (model, k, hard_limit, dense_limit)) as pool:
-            futures = [pool.submit(_run_inference_shard,
-                                   [requests[index] for index in shard])
-                       for shard in shards]
-            for shard_index, (shard, future) in enumerate(zip(shards,
-                                                              futures)):
-                shard_results = _unwrap_shard_future(
-                    future, "inference", shard_index,
-                    plan.shards[shard_index])
-                for index, recs in zip(shard, shard_results):
-                    results[index] = recs
-        out: BatchResult = {}
-        for index, (item_id, _title, _leaf_id) in enumerate(requests):
-            out[item_id] = results[index]
-        return out
-
-    def run_construction(self, curated: "CuratedKeyphrases",
-                         tokenizer: Tokenizer
-                         ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
-        """Build every non-empty leaf graph with whole-leaf process shards.
-
-        The cost estimate is each leaf's summed keyphrase character
-        count — proportional to token occurrences, hence to the edge
-        pairs the build pass walks — without paying a tokenization pass
-        in the parent.  Shard states merge into the returned cache in
-        shard-index order (deterministic pool, reused by the
-        pooled-graph build exactly as in the thread path).
-
-        Return path: each worker persists its built graphs as a
-        format-3 leaf bundle under a temporary directory and the
-        parent opens every bundle *zero-copy*
-        (:func:`~repro.core.serialization.load_leaf_graphs` with
-        ``mmap=True``) instead of unpickling graph objects.  The
-        returned graphs' arrays are read-only views over the bundle
-        mappings; the temporary files are unlinked before returning
-        (live mappings keep them readable — POSIX), so nothing leaks.
-        The graphs are element-wise/string-identical to the thread
-        path's, as the equivalence suites pin.
-
-        Returns:
-            ``(leaf_graphs, cache)`` with the same contract as
-            :func:`~repro.core.fast_construct.fast_construct_leaf_graphs`.
-        """
-        from .serialization import load_leaf_graphs
-
-        items = [(leaf_id, leaf) for leaf_id, leaf in curated.leaves.items()
-                 if len(leaf) > 0]
-        if self._workers == 1 or len(items) <= 1:
-            # Delegate so the in-parent fallback can never drift from
-            # the thread path's contracts (empty-leaf filter, insertion
-            # order).
-            return fast_construct_leaf_graphs(curated, tokenizer)
-
-        cache = TokenCache(tokenizer)
-        plan = ShardPlan.balance(
-            [(leaf_id, sum(map(len, leaf.texts)) + 1)
-             for leaf_id, leaf in items], self._workers)
-        by_id = dict(items)
-        shards = [[by_id[leaf_id] for leaf_id in shard]
-                  for shard in plan.shards]
-        built: Dict[int, "LeafGraph"] = {}
-        staging = Path(tempfile.mkdtemp(prefix="graphex-shard-"))
-        try:
-            with self._pool(len(shards), _init_construct_worker,
-                            (tokenizer,)) as pool:
-                futures = [
-                    pool.submit(_build_construct_shard, shard,
-                                str(staging / f"shard-{index}"))
-                    for index, shard in enumerate(shards)]
-                for index, future in enumerate(futures):
-                    cache.absorb_state(_unwrap_shard_future(
-                        future, "construction", index,
-                        plan.shards[index]))
-                    for graph in load_leaf_graphs(
-                            staging / f"shard-{index}", mmap=True):
-                        built[graph.leaf_id] = graph
-        finally:
-            shutil.rmtree(staging, ignore_errors=True)
-        return {leaf_id: built[leaf_id] for leaf_id, _leaf in items}, cache
+        return getattr(execution, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

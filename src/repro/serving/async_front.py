@@ -120,10 +120,18 @@ class AsyncNRTFront:
             :meth:`submit` awaits (backpressure) while a queue is full.
         k, hard_limit, enrich, engine, workers, parallel: Forwarded to
             each stream's :class:`NRTService`.
-        executor: Optional executor for window flushes.  Defaults to a
-            private thread pool sized to the stream count (processes
-            make no sense here — the service mutates its own buffer);
-            pass a wider pool to overlap more concurrent flushes.
+        executor: Where each stream's window micro-batch shards run —
+            an :class:`repro.core.execution.Executor` instance or
+            spelling (``"serial"``, ``"thread"`` (default),
+            ``"process"``, ``"cluster"``), forwarded to every stream's
+            :class:`NRTService`.  For back compatibility a
+            ``concurrent.futures.Executor`` is still accepted here and
+            treated as ``flush_executor``.
+        flush_executor: Optional ``concurrent.futures`` executor for
+            window flush hand-off.  Defaults to a private thread pool
+            sized to the stream count (processes make no sense here —
+            the service mutates its own buffer); pass a wider pool to
+            overlap more concurrent flushes.
 
     Usage::
 
@@ -142,31 +150,45 @@ class AsyncNRTFront:
                  k: int = 20, hard_limit: int = 40,
                  enrich: Optional[Callable[[ItemEvent], str]] = None,
                  engine: str = "fast", workers: int = 1,
-                 parallel: str = "thread",
-                 executor: Optional[Executor] = None) -> None:
+                 parallel: Optional[str] = None,
+                 executor=None,
+                 flush_executor: Optional[Executor] = None) -> None:
         if max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1, got {max_pending}")
         if wall_clock_seconds is not None and wall_clock_seconds <= 0:
             raise ValueError("wall_clock_seconds must be > 0, got "
                              f"{wall_clock_seconds}")
+        if isinstance(executor, Executor):
+            # Legacy call shape: `executor=` used to be the flush pool
+            # (a concurrent.futures.Executor).  Shard executors are
+            # repro.core.execution.Executor instances or strings — the
+            # two hierarchies are disjoint, so the meaning is
+            # unambiguous.
+            if flush_executor is not None:
+                raise ValueError(
+                    "got two flush pools: a concurrent.futures.Executor "
+                    "as executor= (legacy spelling) and flush_executor=; "
+                    "pass only flush_executor=")
+            flush_executor = executor
+            executor = None
         self._model = model
         self._service_kwargs = dict(
             window_size=window_size, window_seconds=window_seconds,
             k=k, hard_limit=hard_limit, enrich=enrich, engine=engine,
-            workers=workers, parallel=parallel)
+            workers=workers, parallel=parallel, executor=executor)
         self._wall_clock_seconds = (
             window_seconds if wall_clock_seconds is None
             else wall_clock_seconds)
         self._max_pending = max_pending
-        self._executor = executor
-        self._owns_executor = executor is None
+        self._executor = flush_executor
+        self._owns_executor = flush_executor is None
         self._streams: Dict[str, _Stream] = {}
         self._store_locks: Dict[int, threading.Lock] = {}
         self._generation = 0
         self._started = False
         self._closing = False
-        # Constructing a probe service now surfaces bad engine/parallel
+        # Constructing a probe service now surfaces bad engine/executor
         # combinations at front construction, not at first add_stream.
         NRTService(model, KeyValueStore(), **self._service_kwargs)
 

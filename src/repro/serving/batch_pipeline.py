@@ -43,23 +43,34 @@ class BatchPipeline:
         store: Destination KV store; predictions are served from it.
         k: Target predictions per item.
         hard_limit: Strict per-item cap written to the store.
-        workers: Inference worker count (threads or processes, per
-            ``parallel``).
+        workers: Inference worker count (ignored when ``executor`` is
+            an instance — it carries its own).
         engine: ``"fast"`` (vectorized leaf-batched runner, the default)
             or ``"reference"`` (scalar per-item loop); both produce
             identical output, so the fast path serves production loads
             and the reference path remains for cross-checking.
-        parallel: ``"thread"`` (default) or ``"process"`` — where the
-            fast engine's leaf-group shards run (identical output; see
-            :func:`repro.core.batch.batch_recommend`).
+        parallel: Legacy spelling of ``executor`` (``"thread"`` /
+            ``"process"``); pass one or the other, not both.
+        executor: Where the fast engine's leaf-group shards run — an
+            :class:`repro.core.execution.Executor` instance or spelling
+            (``"serial"``, ``"thread"`` (default), ``"process"``,
+            ``"cluster"``); identical output for every substrate (see
+            :func:`repro.core.batch.batch_recommend`).  Resolved once
+            here, so shard timings accumulate across loads.
     """
 
     def __init__(self, model: GraphExModel,
                  store: Optional[KeyValueStore] = None,
                  k: int = 20, hard_limit: int = 40,
                  workers: int = 1, engine: str = "fast",
-                 parallel: str = "thread") -> None:
-        validate_model_for_engine(model, engine, parallel)
+                 parallel: Optional[str] = None,
+                 executor=None) -> None:
+        from ..core.execution import resolve_executor
+
+        self._executor = resolve_executor(executor, parallel=parallel,
+                                          workers=workers, engine=engine)
+        validate_model_for_engine(model, engine,
+                                  executor=self._executor)
         validate_hard_limit(hard_limit)
         self.model = model
         self.store: KeyValueStore = store if store is not None \
@@ -68,14 +79,13 @@ class BatchPipeline:
         self._hard_limit = hard_limit
         self._workers = workers
         self._engine = engine
-        self._parallel = parallel
         self._generation = 0
 
     def _infer(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         return batch_recommend(
             self.model, requests, k=self._k,
             hard_limit=self._hard_limit, workers=self._workers,
-            engine=self._engine, parallel=self._parallel)
+            engine=self._engine, executor=self._executor)
 
     def full_load(self, requests: Sequence[InferenceRequest]
                   ) -> BatchRunReport:
@@ -157,7 +167,7 @@ class BatchPipeline:
         :func:`repro.core.serialization.open_model` — zero-copy mmap
         for format-3 artifacts, so co-hosted pipelines handed the same
         path share one physical copy).  The new model is validated
-        against the configured engine/parallel combination first, so an
+        against the configured engine/executor combination first, so an
         incompatible model leaves the pipeline on the old one.
         ``generation`` lets an orchestrator number refreshes
         consistently across the whole serving stack (defaults to the
@@ -165,7 +175,8 @@ class BatchPipeline:
         swap is returned.
         """
         model = open_model(model)
-        validate_model_for_engine(model, self._engine, self._parallel)
+        validate_model_for_engine(model, self._engine,
+                                  executor=self._executor)
         self._generation = next_generation(self._generation, generation)
         self.model = model
         return self._generation

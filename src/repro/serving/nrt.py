@@ -84,11 +84,17 @@ class NRTService:
             before inference (returns a possibly rewritten title).
         engine: Inference engine for the window micro-batch — ``"fast"``
             (vectorized leaf-batched, default) or ``"reference"``.
-        workers: Worker count for the window micro-batch (threads or
-            processes, per ``parallel``).
-        parallel: ``"thread"`` (default) or ``"process"`` — where the
-            fast engine's leaf-group shards run (identical output; see
-            :func:`repro.core.batch.batch_recommend`).
+        workers: Worker count for the window micro-batch (ignored when
+            ``executor`` is an instance — it carries its own).
+        parallel: Legacy spelling of ``executor`` (``"thread"`` /
+            ``"process"``); pass one or the other, not both.
+        executor: Where the fast engine's leaf-group shards run — an
+            :class:`repro.core.execution.Executor` instance or spelling
+            (``"serial"``, ``"thread"`` (default), ``"process"``,
+            ``"cluster"``); identical output for every substrate (see
+            :func:`repro.core.batch.batch_recommend`).  Resolved once
+            here, so shard timings accumulate in one
+            :class:`~repro.core.execution.CostModel` across windows.
     """
 
     def __init__(self, model: GraphExModel, store: KeyValueStore,
@@ -96,10 +102,16 @@ class NRTService:
                  k: int = 20, hard_limit: int = 40,
                  enrich: Optional[Callable[[ItemEvent], str]] = None,
                  engine: str = "fast", workers: int = 1,
-                 parallel: str = "thread") -> None:
+                 parallel: Optional[str] = None,
+                 executor=None) -> None:
+        from ..core.execution import resolve_executor
+
         # Fail here, not mid-flush where the window's events would
         # already be drained and lost.
-        validate_model_for_engine(model, engine, parallel)
+        self._executor = resolve_executor(executor, parallel=parallel,
+                                          workers=workers, engine=engine)
+        validate_model_for_engine(model, engine,
+                                  executor=self._executor)
         validate_hard_limit(hard_limit)
         self.model = model
         self._store = store
@@ -110,7 +122,6 @@ class NRTService:
         self._enrich = enrich
         self._engine = engine
         self._workers = workers
-        self._parallel = parallel
         self._generation = 0
         self._buffer: List[ItemEvent] = []
         self._window_opened_at: Optional[float] = None
@@ -146,7 +157,7 @@ class NRTService:
         the new model.
 
         The new model is validated against the configured
-        engine/parallel combination *before* the swap, so an
+        engine/executor combination *before* the swap, so an
         incompatible model leaves the service serving the old one.
 
         Args:
@@ -161,7 +172,8 @@ class NRTService:
             The service's model generation after the swap.
         """
         model = open_model(model)
-        validate_model_for_engine(model, self._engine, self._parallel)
+        validate_model_for_engine(model, self._engine,
+                                  executor=self._executor)
         self._generation = next_generation(self._generation, generation)
         self.model = model
         return self._generation
@@ -290,7 +302,7 @@ class NRTService:
                 results = batch_recommend(
                     model, requests, k=self._k,
                     hard_limit=self._hard_limit, engine=self._engine,
-                    workers=self._workers, parallel=self._parallel)
+                    workers=self._workers, executor=self._executor)
                 n_inferred = len(requests)
                 for item_id, _title, _leaf_id in requests:
                     self._store.put(version, item_id,

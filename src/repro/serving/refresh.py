@@ -77,6 +77,17 @@ class RefreshReport:
     #: (only when a retry policy is configured), so the daily loop can
     #: record the miss and proceed to the next cycle.
     failure: Optional[str] = None
+    #: Total shard-timing observations held by the orchestrator's
+    #: executor :class:`~repro.core.execution.CostModel` after this
+    #: refresh — the feedback loop's fuel gauge (0 when the executor
+    #: records none, e.g. the first-ever refresh started cold).
+    n_cost_observations: int = 0
+    #: How much better yesterday's observed build rates balanced
+    #: today's construction plan versus the char-count proxy (makespan
+    #: ratio, >1 = observed plan wins; see
+    #: :func:`~repro.core.execution.plan_rebalance_gain`).  ``None``
+    #: when there were no prior observations or fewer than two shards.
+    rebalance_gain: Optional[float] = None
 
 
 class DailyRefreshOrchestrator:
@@ -89,6 +100,15 @@ class DailyRefreshOrchestrator:
         builder, workers, parallel: Forwarded to
             :meth:`GraphExModel.construct` (fast builder by default —
             the whole point of the daily loop).
+        executor: Which execution substrate builds each day's model —
+            an :class:`repro.core.execution.Executor` instance or
+            spelling (``"serial"``, ``"thread"`` (default),
+            ``"process"``, ``"cluster"``).  Resolved **once** and kept
+            for the orchestrator's lifetime, so the per-leaf build
+            timings each refresh records feed the *next* refresh's
+            :class:`~repro.core.sharding.ShardPlan` — yesterday's
+            observed hot spots re-balance today's shards, with the win
+            stamped on :attr:`RefreshReport.rebalance_gain`.
         alignment: Ranking alignment for the constructed models.
         build_pooled: Also build the pooled fallback graph each day.
         artifact_dir: When set, every refresh persists its freshly
@@ -125,11 +145,14 @@ class DailyRefreshOrchestrator:
 
     def __init__(self, pipeline: BatchPipeline, *,
                  builder: str = "fast", workers: int = 1,
-                 parallel: str = "thread", alignment: str = "lta",
+                 parallel: Optional[str] = None,
+                 executor=None, alignment: str = "lta",
                  build_pooled: bool = False,
                  artifact_dir: Optional[Union[str, Path]] = None,
                  retry: Optional[RetryPolicy] = None,
                  cluster: Optional["ClusterCoordinator"] = None) -> None:
+        from ..core.execution import resolve_executor
+
         if cluster is not None and artifact_dir is None:
             raise ValueError(
                 "cluster deployment needs artifact_dir: remote hosts "
@@ -137,7 +160,10 @@ class DailyRefreshOrchestrator:
         self.pipeline = pipeline
         self._builder = builder
         self._workers = workers
-        self._parallel = parallel
+        # One executor for the orchestrator's lifetime: its CostModel
+        # carries yesterday's observed build rates into today's plan.
+        self._executor = resolve_executor(executor, parallel=parallel,
+                                          workers=workers, engine=builder)
         self._alignment = alignment
         self._build_pooled = build_pooled
         self._artifact_dir = (None if artifact_dir is None
@@ -159,6 +185,20 @@ class DailyRefreshOrchestrator:
     def model(self) -> GraphExModel:
         """The model currently deployed everywhere (the pipeline's)."""
         return self.pipeline.model
+
+    @property
+    def executor(self):
+        """The construction executor (same instance every refresh)."""
+        return self._executor
+
+    @property
+    def cost_model(self):
+        """The executor's accumulated shard-timing
+        :class:`~repro.core.execution.CostModel`.  Persist it with
+        ``to_json`` and seed a future orchestrator's executor with
+        ``CostModel.from_json`` to carry observations across
+        processes/days."""
+        return self._executor.cost_model
 
     @property
     def targets(self) -> List[Any]:
@@ -236,6 +276,19 @@ class DailyRefreshOrchestrator:
                 return step
             return lambda: self._retry.call(step, on_retry=note_retry)
 
+        from ..core.execution import plan_rebalance_gain
+
+        # Yesterday's feedback, today's plan: quantify (before building)
+        # how much better the executor's accumulated observed build
+        # rates balance today's leaves than the char-count proxy would.
+        # None on a cold start — the first refresh has no observations.
+        proxy = [(leaf_id, sum(map(len, leaf.texts)) + 1)
+                 for leaf_id, leaf in curated.leaves.items()
+                 if len(leaf) > 0]
+        rebalance_gain = plan_rebalance_gain(
+            self._executor.cost_model, proxy,
+            getattr(self._executor, "workers", 0), kind="construction")
+
         start = time.perf_counter()
         try:
             model = await loop.run_in_executor(
@@ -243,7 +296,7 @@ class DailyRefreshOrchestrator:
                     curated, alignment=self._alignment,
                     build_pooled=self._build_pooled,
                     builder=self._builder, workers=self._workers,
-                    parallel=self._parallel)))
+                    executor=self._executor)))
         except RetriesExhausted as exc:
             # The step is dead for today; record the miss instead of
             # aborting the daily loop.  No generation was burned — the
@@ -254,7 +307,10 @@ class DailyRefreshOrchestrator:
                 construct_seconds=time.perf_counter() - start,
                 load_seconds=0.0, swap_seconds=0.0, n_retries=n_retries,
                 failure=f"construct exhausted {exc.attempts} attempts: "
-                        f"{exc.__cause__!r}")
+                        f"{exc.__cause__!r}",
+                n_cost_observations=
+                self._executor.cost_model.n_observations(),
+                rebalance_gain=rebalance_gain)
         construct_seconds = time.perf_counter() - start
         # Issue a number strictly above every deployment's local
         # history — a target may have been hot-swapped directly since
@@ -304,7 +360,10 @@ class DailyRefreshOrchestrator:
                 swap_seconds=0.0, artifact_path=artifact_path,
                 n_retries=n_retries,
                 failure=f"batch load exhausted {exc.attempts} "
-                        f"attempts: {exc.__cause__!r}")
+                        f"attempts: {exc.__cause__!r}",
+                n_cost_observations=
+                self._executor.cost_model.n_observations(),
+                rebalance_gain=rebalance_gain)
         load_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -335,7 +394,10 @@ class DailyRefreshOrchestrator:
             swap_seconds=swap_seconds,
             artifact_path=artifact_path,
             n_retries=n_retries,
-            n_remote_deployed=n_remote_deployed)
+            n_remote_deployed=n_remote_deployed,
+            n_cost_observations=
+            self._executor.cost_model.n_observations(),
+            rebalance_gain=rebalance_gain)
 
     def refresh_sync(self, curated: CuratedKeyphrases,
                      requests: Sequence[InferenceRequest]

@@ -241,6 +241,91 @@ class TestWorkflow:
                   "--engine", "reference", "--parallel", "process"])
 
 
+class TestExecutorFlag:
+    """ISSUE 8: the unified --executor flag (with --parallel aliased)."""
+
+    def test_executor_defaults_to_none(self):
+        args = build_parser().parse_args(
+            ["construct", "--curated", "c", "--out", "m"])
+        assert args.executor is None and args.parallel == "thread"
+        args = build_parser().parse_args(
+            ["recommend", "--model", "m", "--title", "t", "--leaf", "1"])
+        assert args.executor is None and args.parallel == "thread"
+
+    def test_executor_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["construct", "--curated", "c", "--out", "m",
+                 "--executor", "warp"])
+        # A long-lived service keeps its own cluster; serve-nrt offers
+        # only the in-process substrates.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-nrt", "--model", "m", "--executor", "cluster"])
+        args = build_parser().parse_args(
+            ["recommend", "--model", "m", "--title", "t", "--leaf", "1",
+             "--executor", "cluster"])
+        assert args.executor == "cluster"
+
+    def _recommend_output(self, workflow_dir, capsys, *extra):
+        payload = json.loads((workflow_dir / "curated.json").read_text())
+        leaf_id = int(next(iter(payload["leaves"])))
+        text = payload["leaves"][str(leaf_id)]["texts"][0]
+        assert main(["recommend", "--model", str(workflow_dir / "model"),
+                     "--title", text, "--leaf", str(leaf_id),
+                     *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_recommend_executors_print_identical_output(
+            self, workflow_dir, capsys):
+        outputs = {
+            name: self._recommend_output(
+                workflow_dir, capsys, "--executor", name,
+                "--workers", "2")
+            for name in ("serial", "thread", "process")}
+        assert outputs["thread"] == outputs["serial"]
+        assert outputs["process"] == outputs["serial"]
+
+    def test_recommend_executor_cluster_identical(self, workflow_dir,
+                                                  capsys):
+        """--executor cluster boots a localhost fleet, serves the same
+        bytes, and tears the fleet down before exiting."""
+        baseline = self._recommend_output(workflow_dir, capsys)
+        clustered = self._recommend_output(workflow_dir, capsys,
+                                           "--executor", "cluster")
+        assert clustered == baseline
+
+    def test_recommend_executor_wins_over_parallel_alias(
+            self, workflow_dir, capsys):
+        aliased = self._recommend_output(workflow_dir, capsys,
+                                         "--parallel", "thread")
+        explicit = self._recommend_output(workflow_dir, capsys,
+                                          "--executor", "serial",
+                                          "--parallel", "thread")
+        assert explicit == aliased
+
+    def test_construct_executor_serial_builds_identical_model(
+            self, workflow_dir, tmp_path):
+        from repro.core.serialization import load_model
+        out_dir = tmp_path / "model_serial"
+        assert main(["construct", "--curated",
+                     str(workflow_dir / "curated.json"),
+                     "--out", str(out_dir),
+                     "--executor", "serial"]) == 0
+        serial = load_model(workflow_dir / "model")
+        rebuilt = load_model(out_dir)
+        assert rebuilt.leaf_ids == serial.leaf_ids
+        for leaf_id in serial.leaf_ids:
+            assert (rebuilt.leaf_graph(leaf_id).label_texts
+                    == serial.leaf_graph(leaf_id).label_texts)
+
+    def test_recommend_rejects_bad_executor_pairing(self, workflow_dir):
+        with pytest.raises(ValueError, match="single-process"):
+            main(["recommend", "--model", str(workflow_dir / "model"),
+                  "--title", "t", "--leaf", "1",
+                  "--engine", "reference", "--executor", "process"])
+
+
 class TestClusterCLI:
     """ISSUE 7: the cluster-worker / cluster-run commands."""
 
