@@ -1,0 +1,225 @@
+"""The lint engine: files -> contexts -> rules -> waivers -> report.
+
+The pipeline is deliberately dumb: parse every file once into a
+:class:`FileContext`, run each per-file rule over each context it
+applies to, hand project-wide rules the whole context set, then apply
+waiver comments.  Two meta-rules run after waiver application so
+waivers themselves stay honest:
+
+* ``waiver-syntax`` — a ``# lint:`` comment that did not parse or
+  omitted its mandatory reason.
+* ``waiver-unused`` — a well-formed waiver that suppressed nothing
+  this run (stale waivers are how suppression rot starts).
+
+Meta-violations cannot themselves be waived.
+
+Fixture support: :func:`lint_sources` lints in-memory sources keyed by
+virtual module name, and :func:`split_fixture` explodes one fixture
+file containing several ``# lint-fixture-module: <dotted>`` sections
+into that mapping — so multi-module rules (the import contract) get
+fixture coverage from a single file on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .report import LintReport, Violation, Waiver
+from .rules import FileContext, Rule, default_rules
+from .rules import rule_ids as registered_rule_ids
+from .waivers import parse_waivers
+
+__all__ = ["lint_contexts", "lint_files", "lint_sources", "run",
+           "split_fixture", "default_root", "iter_source_files",
+           "module_name_for", "META_RULE_IDS"]
+
+#: Rule ids the engine itself emits (not waivable, not in the registry).
+META_RULE_IDS = ("waiver-syntax", "waiver-unused")
+
+FIXTURE_DIRECTIVE = "# lint-fixture-module:"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what a bare
+    ``python -m repro.analysis`` lints, independent of cwd."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Path) -> List[Path]:
+    return sorted(path for path in root.rglob("*.py"))
+
+
+def module_name_for(path: Path, package_root: Path) -> str:
+    """Dotted module name of ``path`` relative to the directory that
+    *contains* the package root (src/repro/serving/nrt.py ->
+    repro.serving.nrt; __init__.py names the package itself)."""
+    rel = path.resolve().relative_to(package_root.resolve().parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return os.path.relpath(path)
+    except ValueError:  # different drive (windows)
+        return str(path)
+
+
+def lint_contexts(ctxs: Sequence[FileContext],
+                  rules: Optional[Sequence[Rule]] = None,
+                  root: str = "<memory>") -> LintReport:
+    """Run ``rules`` (default: the full registry) over parsed contexts
+    and fold in waivers."""
+    rules = list(default_rules() if rules is None else rules)
+    raw: List[Violation] = []
+    for rule in rules:
+        if rule.project_wide:
+            raw.extend(rule.check_project(
+                [ctx for ctx in ctxs if rule.applies_to(ctx)]))
+        else:
+            for ctx in ctxs:
+                if rule.applies_to(ctx):
+                    raw.extend(rule.check(ctx))
+
+    waivers: List[Waiver] = [waiver for ctx in ctxs
+               for waiver in parse_waivers(ctx.source, ctx.path,
+                                           ctx.module)]
+
+    surviving, waived = _apply_waivers(raw, waivers)
+    surviving.extend(_meta_violations(
+        waivers, run_ids={rule.id for rule in rules}))
+    surviving.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    waived.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    return LintReport(
+        root=root, n_files=len(ctxs),
+        rule_ids=[rule.id for rule in rules] + list(META_RULE_IDS),
+        violations=surviving, waived=waived, waivers=waivers)
+
+
+def _apply_waivers(raw: Sequence[Violation],
+                   waivers: Sequence[Waiver]
+                   ) -> Tuple[List[Violation], List[Violation]]:
+    surviving: List[Violation] = []
+    waived: List[Violation] = []
+    for violation in raw:
+        match = None
+        for waiver in waivers:
+            if (waiver.rules and waiver.reason
+                    and waiver.path == violation.path
+                    and violation.rule in waiver.rules
+                    and violation.line in (waiver.line,
+                                           waiver.line + 1)):
+                match = waiver
+                break
+        if match is None:
+            surviving.append(violation)
+        else:
+            match.used = True
+            waived.append(violation)
+    return surviving, waived
+
+
+def _meta_violations(waivers: Sequence[Waiver],
+                     run_ids: set) -> List[Violation]:
+    registered = set(registered_rule_ids())
+    meta: List[Violation] = []
+    for waiver in waivers:
+        unknown = [rule for rule in waiver.rules
+                   if rule not in registered]
+        if not waiver.rules:
+            meta.append(Violation(
+                rule="waiver-syntax", path=waiver.path,
+                module=waiver.module, line=waiver.line, col=0,
+                message=("unparseable '# lint:' comment; expected "
+                         "'# lint: waive <rule>[, <rule>]: <reason>' "
+                         "or '# lint: caller-locked: <reason>'")))
+        elif unknown:
+            # Also catches attempts to waive the meta-rules: they are
+            # not registered, hence not waivable.
+            meta.append(Violation(
+                rule="waiver-syntax", path=waiver.path,
+                module=waiver.module, line=waiver.line, col=0,
+                message=(f"waiver names unknown rule(s) "
+                         f"{', '.join(unknown)}; known: "
+                         f"{', '.join(sorted(registered))}")))
+        elif not waiver.reason:
+            meta.append(Violation(
+                rule="waiver-syntax", path=waiver.path,
+                module=waiver.module, line=waiver.line, col=0,
+                message=(f"waiver for {', '.join(waiver.rules)} has "
+                         f"no reason; a waiver must say why the "
+                         f"finding is safe")))
+        elif not waiver.used and \
+                any(rule in run_ids for rule in waiver.rules):
+            # Staleness is only judged when at least one waived rule
+            # actually ran — a --rule subset must not flag waivers it
+            # never exercised.
+            meta.append(Violation(
+                rule="waiver-unused", path=waiver.path,
+                module=waiver.module, line=waiver.line, col=0,
+                message=(f"waiver for {', '.join(waiver.rules)} "
+                         f"suppressed nothing; delete the stale "
+                         f"comment")))
+    return meta
+
+
+def lint_files(paths: Sequence[Path],
+               package_root: Optional[Path] = None,
+               rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    package_root = package_root or default_root()
+    ctxs = [FileContext.from_source(
+        path.read_text(encoding="utf-8"),
+        path=_display_path(path),
+        module=module_name_for(path, package_root))
+        for path in paths]
+    return lint_contexts(ctxs, rules=rules, root=str(package_root))
+
+
+def lint_sources(sources: Dict[str, str],
+                 rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint in-memory sources keyed by virtual dotted module name."""
+    ctxs = [FileContext.from_source(source, path=f"<{module}>",
+                                    module=module)
+            for module, source in sources.items()]
+    return lint_contexts(ctxs, rules=rules)
+
+
+def split_fixture(text: str) -> Dict[str, str]:
+    """Explode a fixture file into ``{module: source}`` sections.
+
+    Sections start at ``# lint-fixture-module: <dotted>`` lines; text
+    before the first directive (fixture commentary) is dropped.  Each
+    section is padded with blank lines so violation line numbers match
+    the fixture file on disk — failures point at real lines.
+    """
+    sections: Dict[str, str] = {}
+    current: Optional[str] = None
+    pad = 0
+    buf: List[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith(FIXTURE_DIRECTIVE):
+            if current is not None:
+                sections[current] = "\n".join([""] * pad + buf) + "\n"
+            current = stripped[len(FIXTURE_DIRECTIVE):].strip()
+            pad = lineno  # blank padding up to and incl. directive
+            buf = []
+        elif current is not None:
+            buf.append(line)
+    if current is not None:
+        sections[current] = "\n".join([""] * pad + buf) + "\n"
+    return sections
+
+
+def run(root: Optional[Path] = None,
+        rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint every ``*.py`` under ``root`` (default: the repro
+    package)."""
+    root = Path(root) if root is not None else default_root()
+    return lint_files(iter_source_files(root), package_root=root,
+                      rules=rules)

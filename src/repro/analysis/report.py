@@ -1,0 +1,142 @@
+"""Lint findings and the machine-readable report they roll up into.
+
+A :class:`Violation` is one broken invariant at one source location; a
+:class:`Waiver` is one explicit, reasoned exemption a human wrote into
+the source (see :mod:`repro.analysis.waivers`).  :class:`LintReport`
+pairs the surviving violations with the waivers that were exercised and
+serializes to the JSON schema CI archives (``schema_version`` guards
+consumers against silent shape drift).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["LintReport", "Violation", "Waiver", "SCHEMA_VERSION"]
+
+#: Bump when the JSON report shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant at one source location.
+
+    ``path`` is whatever the caller linted under (a repo-relative file
+    for the CLI, a virtual ``<module>`` marker for in-memory sources);
+    ``module`` is the dotted module the engine resolved the file to —
+    rules scope on it, so it is part of the finding.
+    """
+
+    rule: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The one-line human spelling: ``path:line:col: rule: msg``."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}")
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path,
+                "module": self.module, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass
+class Waiver:
+    """One ``# lint:`` waiver comment parsed out of a source file.
+
+    Attributes:
+        rules: Rule ids the comment waives.
+        reason: The mandatory human reason (empty string when the
+            author omitted it — the engine turns that into a
+            ``waiver-syntax`` violation rather than honouring it).
+        path, module, line: Where the comment sits.
+        used: Set by the engine when the waiver suppressed at least one
+            violation; an unused waiver is reported as stale.
+    """
+
+    rules: List[str]
+    reason: str
+    path: str
+    module: str
+    line: int
+    used: bool = False
+
+    def as_dict(self) -> dict:
+        return {"rules": list(self.rules), "reason": self.reason,
+                "path": self.path, "module": self.module,
+                "line": self.line}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found, JSON-serializable for CI.
+
+    ``violations`` are the findings that gate (exit code 1 when any
+    survive); ``waived`` are findings a reasoned waiver suppressed —
+    reported for audit, never gating.
+    """
+
+    root: str
+    n_files: int
+    rule_ids: List[str]
+    violations: List[Violation] = field(default_factory=list)
+    waived: List[Violation] = field(default_factory=list)
+    waivers: List[Waiver] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> Dict[str, int]:
+        """Surviving violation count per rule id (zero-count rules
+        included, so the JSON proves every rule actually ran)."""
+        counts = {rule_id: 0 for rule_id in self.rule_ids}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "tool": "repro-lint",
+            "schema_version": SCHEMA_VERSION,
+            "root": self.root,
+            "ok": self.ok,
+            "n_files": self.n_files,
+            "n_violations": len(self.violations),
+            "n_waived": len(self.waived),
+            "violations_by_rule": self.by_rule(),
+            "violations": [v.as_dict() for v in self.violations],
+            "waived": [v.as_dict() for v in self.waived],
+            "waivers": [w.as_dict() for w in self.waivers],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable summary: one line per finding, then totals."""
+        lines = [violation.render() for violation in self.violations]
+        for violation in self.waived:
+            lines.append(f"{violation.render()} [waived]")
+        lines.append(
+            f"repro-lint: {len(self.violations)} violation(s), "
+            f"{len(self.waived)} waived, {self.n_files} file(s), "
+            f"{len(self.rule_ids)} rule(s)")
+        return "\n".join(lines)
+
+
+def merge_rule_ids(rules: Sequence) -> List[str]:
+    """Stable unique rule-id list for a report header."""
+    seen: List[str] = []
+    for rule in rules:
+        if rule.id not in seen:
+            seen.append(rule.id)
+    return seen

@@ -1,0 +1,66 @@
+"""no-pickle-boundary: process and wire boundaries carry no pickles.
+
+Cluster frames cross machine boundaries (JSON frames + base64 chunks
+via ``protocol.py``) and shard results cross process boundaries (plain
+JSON-able tuples, with models re-opened from v3 leaf bundles on the
+far side).  Pickle at either boundary would silently couple the wire
+format to interpreter internals, break cross-version clusters, and —
+on the receiving coordinator — execute attacker-controlled bytecode.
+The rule bans importing or calling ``pickle`` (and its drop-ins) in
+``repro.cluster.*`` and the process-shard execution module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..report import Violation
+from .base import FileContext, Rule, dotted
+
+__all__ = ["NoPickleBoundaryRule"]
+
+#: pickle and its drop-in replacements.
+PICKLE_MODULES = frozenset({"pickle", "cPickle", "dill", "cloudpickle",
+                            "marshal"})
+
+
+class NoPickleBoundaryRule(Rule):
+    id = "no-pickle-boundary"
+    description = ("no pickle in cluster/ or process-shard return "
+                   "paths; payloads go through protocol.py codecs or "
+                   "v3 leaf bundles")
+
+    SCOPES = ("repro.cluster.",)
+    SCOPE_MODULES = ("repro.core.execution",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.module.startswith(self.SCOPES)
+                or ctx.module in self.SCOPE_MODULES)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in PICKLE_MODULES:
+                        violations.append(self.violation(
+                            ctx, node, self._message(root)))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in PICKLE_MODULES:
+                    violations.append(self.violation(
+                        ctx, node, self._message(root)))
+            elif isinstance(node, ast.Call):
+                name = dotted(node.func)
+                if name and name.split(".")[0] in PICKLE_MODULES:
+                    violations.append(self.violation(
+                        ctx, node, self._message(name)))
+        return violations
+
+    @staticmethod
+    def _message(what: str) -> str:
+        return (f"pickle-family usage ({what}) at a process/wire "
+                f"boundary; serialize through repro.cluster.protocol "
+                f"codecs or v3 leaf bundles instead")

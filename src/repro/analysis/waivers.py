@@ -1,0 +1,87 @@
+"""Waiver-comment parsing: explicit, reasoned exemptions in the source.
+
+A waiver is the only sanctioned way to silence a rule, and it must name
+the rule *and* carry a reason::
+
+    # lint: waive monotonic-clock: report timestamps are operator-facing
+    # lint: waive async-no-blocking, monotonic-clock: teardown path
+
+plus one domain shorthand for the store-lock rule (a function whose
+caller owns the transaction)::
+
+    # lint: caller-locked: NRTService.flush holds the store lock
+
+A waiver applies to violations on its own line (trailing comment) or on
+the line immediately below (comment-above style, which is how function
+level findings — reported at the ``def`` line — are waived).
+
+Two degenerate shapes are themselves reported as violations by the
+engine rather than honoured silently: a waiver with no reason
+(``waiver-syntax``) and a waiver that suppresses nothing
+(``waiver-unused``) — so waivers can never rot into invisible mute
+buttons.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterator, List, Tuple
+
+from .report import Waiver
+
+__all__ = ["parse_waivers", "CALLER_LOCKED_RULE"]
+
+#: The rule id the ``caller-locked`` shorthand expands to.
+CALLER_LOCKED_RULE = "store-lock-discipline"
+
+_WAIVER_RE = re.compile(
+    r"#\s*lint:\s*"
+    r"(?:(?P<shorthand>caller-locked)|waive\s+(?P<rules>[a-z0-9-]+"
+    r"(?:\s*,\s*[a-z0-9-]+)*))"
+    r"\s*(?::\s*(?P<reason>.*?))?\s*$")
+
+#: A comment that *starts* like a waiver.  Anchored at the comment
+#: start so prose that merely quotes a waiver (docs, this module) is
+#: not mistaken for one; an anchored match that then fails the full
+#: grammar is reported instead of ignored.
+_WAIVERISH_RE = re.compile(r"#\s*lint:")
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, text)`` of every real comment token — string
+    literals quoting ``# lint:`` in documentation never count."""
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.string
+
+
+def parse_waivers(source: str, path: str,
+                  module: str) -> List[Waiver]:
+    """Extract every waiver comment from ``source``.
+
+    A malformed waiver-looking comment is returned as a
+    :class:`Waiver` with an empty rule list, which the engine reports
+    as ``waiver-syntax`` — silently ignoring a typo'd waiver would
+    leave its author believing the finding is suppressed.
+    """
+    waivers: List[Waiver] = []
+    for lineno, comment in _comments(source):
+        if not _WAIVERISH_RE.match(comment):
+            continue
+        match = _WAIVER_RE.match(comment)
+        if match is None:
+            waivers.append(Waiver(rules=[], reason="", path=path,
+                                  module=module, line=lineno))
+            continue
+        if match.group("shorthand"):
+            rules = [CALLER_LOCKED_RULE]
+        else:
+            rules = [rule.strip()
+                     for rule in match.group("rules").split(",")]
+        reason = (match.group("reason") or "").strip()
+        waivers.append(Waiver(rules=rules, reason=reason, path=path,
+                              module=module, line=lineno))
+    return waivers

@@ -433,6 +433,25 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
     return asyncio.run(drive())
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run repro-lint (:mod:`repro.analysis`) — same engine and exit
+    codes as ``python -m repro.analysis``."""
+    from .analysis.__main__ import main as lint_main
+
+    argv: List[str] = []
+    if args.root is not None:
+        argv += ["--root", args.root]
+    if args.json is not None:
+        argv += ["--json", args.json]
+    for rule in args.rule or ():
+        argv += ["--rule", rule]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.quiet:
+        argv.append("--quiet")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -605,6 +624,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_crn.add_argument("--rpc-timeout", type=float, default=30.0)
     p_crn.add_argument("--seed", type=int, default=7)
     p_crn.set_defaults(func=_cmd_cluster_run)
+
+    p_lnt = sub.add_parser(
+        "lint",
+        help="run repro-lint, the AST invariant checker, over the "
+             "package (exit 1 on any unwaived violation)")
+    p_lnt.add_argument("--root", default=None,
+                       help="package directory to lint (default: the "
+                            "installed repro package)")
+    p_lnt.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the machine-readable JSON "
+                            "report here (the CI artifact)")
+    p_lnt.add_argument("--rule", action="append", default=None,
+                       metavar="RULE-ID",
+                       help="run only this rule (repeatable; see "
+                            "--list-rules)")
+    p_lnt.add_argument("--list-rules", action="store_true",
+                       help="list registered rules and exit")
+    p_lnt.add_argument("--quiet", action="store_true",
+                       help="suppress the report on success")
+    p_lnt.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -286,7 +286,12 @@ class ClusterCoordinator:
             if pending:
                 await asyncio.wait(pending, timeout=1.0)
         if self._model_spool is not None:
-            shutil.rmtree(self._model_spool, ignore_errors=True)
+            # Spool teardown is filesystem work; off-loop so stop()
+            # cannot stall a loop shared with other servers
+            # (async-no-blocking).
+            spool = self._model_spool
+            await asyncio.get_event_loop().run_in_executor(
+                None, lambda: shutil.rmtree(spool, ignore_errors=True))
 
     async def __aenter__(self) -> "ClusterCoordinator":
         await self.start()
@@ -507,15 +512,23 @@ class ClusterCoordinator:
                     continue
                 await worker.transport.send({"type": "artifact_file",
                                              "filename": file.name})
-                with open(file, "rb") as fh:
+                # Chunk reads run off-loop: one cold page on a slow
+                # disk would otherwise freeze every other worker's
+                # stream and heartbeat (async-no-blocking).
+                loop = asyncio.get_event_loop()
+                fh = await loop.run_in_executor(None, open, file, "rb")
+                try:
                     while True:
-                        chunk = fh.read(_STREAM_CHUNK)
+                        chunk = await loop.run_in_executor(
+                            None, fh.read, _STREAM_CHUNK)
                         if not chunk:
                             break
                         await worker.transport.send({
                             "type": "artifact_chunk",
                             "data": base64.b64encode(chunk).decode(
                                 "ascii")})
+                finally:
+                    fh.close()
                 await worker.transport.send({"type": "artifact_file_end"})
             await worker.transport.send({"type": "artifact_end",
                                          "name": name})
@@ -541,13 +554,23 @@ class ClusterCoordinator:
         and coordinator then share one physical model, the PR 6
         zero-copy plane doing the distribution.
         """
+        loop = asyncio.get_event_loop()
         if isinstance(source, GraphExModel):
             if self._model_spool is None:
-                self._model_spool = Path(tempfile.mkdtemp(
-                    prefix="graphex-coordinator-"))
+                # mkdtemp off-loop (async-no-blocking); re-check after
+                # the await — a concurrent submit may have won the race
+                # while we were in the executor.
+                spool = Path(await loop.run_in_executor(
+                    None, lambda: tempfile.mkdtemp(
+                        prefix="graphex-coordinator-")))
+                if self._model_spool is None:
+                    self._model_spool = spool
+                else:
+                    await loop.run_in_executor(
+                        None, lambda: shutil.rmtree(
+                            spool, ignore_errors=True))
             path = self._model_spool / \
                 f"model-{next(self._artifact_counter)}"
-            loop = asyncio.get_event_loop()
             await loop.run_in_executor(
                 None, lambda: save_model(source, path, format_version=3))
         else:
@@ -555,8 +578,11 @@ class ClusterCoordinator:
         key = str(path)
         model = self._model_cache.get(key)
         if model is None:
-            model = open_model(key)
-            self._model_cache[key] = model
+            # The mmap open touches disk; off-loop like save_model
+            # above.  setdefault so a concurrent open of the same key
+            # keeps one canonical mapping.
+            opened = await loop.run_in_executor(None, open_model, key)
+            model = self._model_cache.setdefault(key, opened)
         return path, model
 
     async def _model_ref(self, path: Path, distribute: str) -> dict:

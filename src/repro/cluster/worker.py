@@ -111,10 +111,17 @@ class ClusterWorker:
         """Serve until the coordinator shuts us down or the link dies."""
         import shutil
 
+        loop = asyncio.get_event_loop()
+        # Spool setup is filesystem work; keep it off the loop so a
+        # worker embedded in a busy host process (tests run many on
+        # one loop) never stalls its peers (async-no-blocking).
         if self._spool is None:
-            self._spool = Path(tempfile.mkdtemp(
-                prefix=f"graphex-{self.name}-"))
-        self._spool.mkdir(parents=True, exist_ok=True)
+            self._spool = Path(await loop.run_in_executor(
+                None, lambda: tempfile.mkdtemp(
+                    prefix=f"graphex-{self.name}-")))
+        spool = self._spool
+        await loop.run_in_executor(
+            None, lambda: spool.mkdir(parents=True, exist_ok=True))
         reader, writer = await asyncio.open_connection(self._host,
                                                        self._port)
         transport = Transport(reader, writer)
@@ -154,6 +161,7 @@ class ClusterWorker:
                 # Bundles already handed over were mmap-opened by the
                 # coordinator; POSIX keeps mapped pages readable after
                 # the unlink.
+                # lint: waive async-no-blocking: teardown after the transport is closed; an await in this finally would be skipped under task cancellation and leak the spool
                 shutil.rmtree(self._spool, ignore_errors=True)
 
     async def _heartbeat_loop(self) -> None:
@@ -274,7 +282,12 @@ class ClusterWorker:
 
     async def _handle_deploy(self, message: dict) -> None:
         try:
-            model = self._model_for(message)
+            # Opening a model mmaps files; off-loop so heartbeats keep
+            # flowing while a large deploy materializes
+            # (async-no-blocking).  Safe off-thread: the recv loop
+            # handles one frame at a time, so _models is not raced.
+            model = await asyncio.get_event_loop().run_in_executor(
+                None, self._model_for, message)
         except Exception:
             await self._transport.send({
                 "type": "shard_error",
@@ -296,7 +309,12 @@ class ClusterWorker:
         """
         name = message["name"]
         root = self._spool / "artifacts" / name
-        root.mkdir(parents=True, exist_ok=True)
+        # Every filesystem touch in this stream handler runs off-loop:
+        # artifact streaming happens while shards execute, and a slow
+        # disk here would freeze heartbeats too (async-no-blocking).
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(
+            None, lambda: root.mkdir(parents=True, exist_ok=True))
         current = None
         try:
             while True:
@@ -304,9 +322,12 @@ class ClusterWorker:
                 kind = frame.get("type")
                 if kind == "artifact_file":
                     filename = os.path.basename(frame["filename"])
-                    current = open(root / filename, "wb")
+                    current = await loop.run_in_executor(
+                        None, open, root / filename, "wb")
                 elif kind == "artifact_chunk":
-                    current.write(base64.b64decode(frame["data"]))
+                    data = base64.b64decode(frame["data"])
+                    await loop.run_in_executor(None, current.write,
+                                               data)
                 elif kind == "artifact_file_end":
                     current.close()
                     current = None
@@ -320,7 +341,8 @@ class ClusterWorker:
             if current is not None:
                 current.close()
             import shutil
-            shutil.rmtree(root, ignore_errors=True)
+            await loop.run_in_executor(
+                None, lambda: shutil.rmtree(root, ignore_errors=True))
             await self._transport.send({
                 "type": "shard_error",
                 "request_id": message.get("request_id"),

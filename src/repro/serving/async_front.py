@@ -351,14 +351,18 @@ class AsyncNRTFront:
         """
         if self._closing:
             raise RuntimeError("front is stopping")
-        model = open_model(model)
+        loop = asyncio.get_running_loop()
+        # open_model on an artifact path is filesystem work (the v3
+        # mmap open); off-loop so a slow disk cannot stall every
+        # stream's windows mid-swap (async-no-blocking).  For an
+        # already-opened model it is a passthrough.
+        model = await loop.run_in_executor(None, open_model, model)
         # Probe once up front, exactly like __init__: a bad
         # model/engine pairing must fail before ANY stream is swapped.
         NRTService(model, KeyValueStore(), **self._service_kwargs)
         self._model = model
         self._generation = next_generation(self._generation, generation)
         if self._started:
-            loop = asyncio.get_running_loop()
             for stream in list(self._streams.values()):
                 executor = self._executor
                 if executor is not None and not self._closing:

@@ -1,0 +1,13 @@
+# Failing fixture for monotonic-clock: wall-clock reads in timer
+# arithmetic inside the cluster plane.
+# lint-fixture-module: repro.cluster.fixture_clocks_bad
+import time
+from datetime import datetime
+
+
+def deadline_expired(started_at, timeout):
+    return time.time() - started_at > timeout
+
+
+def heartbeat_stamp():
+    return datetime.now()

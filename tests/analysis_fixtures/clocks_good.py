@@ -1,0 +1,18 @@
+# Passing fixture for monotonic-clock: interval arithmetic on
+# monotonic sources only (plus an explicitly waived operator-facing
+# timestamp).
+# lint-fixture-module: repro.cluster.fixture_clocks_good
+import time
+
+
+def deadline_expired(started_at, timeout):
+    return time.monotonic() - started_at > timeout
+
+
+async def window_deadline(loop, window_seconds):
+    return loop.time() + window_seconds
+
+
+def report_stamp():
+    # lint: waive monotonic-clock: operator-facing report timestamp, not a timer
+    return time.time()

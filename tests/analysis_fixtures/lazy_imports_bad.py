@@ -1,0 +1,28 @@
+# Failing fixture for lazy-import-contract, three ways to break it:
+# a module-level cycle, a declared-lazy edge imported eagerly, and a
+# stale declaration (fix.stale lazily imports nothing).  The self-test
+# instantiates the rule with declared lazy edges
+# (fix.eager -> fix.util) and (fix.stale -> fix.util).
+# lint-fixture-module: fix.a
+from . import b
+
+
+def use():
+    return b
+# lint-fixture-module: fix.b
+from . import a
+
+
+def use():
+    return a
+# lint-fixture-module: fix.util
+VALUE = 1
+# lint-fixture-module: fix.eager
+from .util import VALUE
+
+
+def use():
+    return VALUE
+# lint-fixture-module: fix.stale
+def use():
+    return 1

@@ -1,0 +1,25 @@
+# Passing fixture for lazy-import-contract: an acyclic module-level
+# graph whose declared lazy edge (fix.c -> fix.util) lives at function
+# scope, with a TYPE_CHECKING import that must not count as an edge.
+# lint-fixture-module: fix.util
+VALUE = 1
+
+
+def helper():
+    return VALUE
+# lint-fixture-module: fix.c
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .d import Thing
+
+
+def use():
+    from .util import helper
+    return helper()
+# lint-fixture-module: fix.d
+from . import util
+
+
+class Thing:
+    value = util.VALUE

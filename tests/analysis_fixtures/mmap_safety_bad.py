@@ -1,0 +1,17 @@
+# Failing fixture for mmap-write-safety: serving code writing into
+# the shared read-only model mapping.
+# lint-fixture-module: repro.serving.fixture_mmap_bad
+
+
+def patch_scores(model, idx, value):
+    model.weights[idx] = value          # element store into the mmap
+
+
+def rescale(graph, factor):
+    graph.weights *= factor             # in-place augmented store
+
+
+def unprotect(model):
+    arr = model.pooled_graph.indptr
+    arr.setflags(write=True)            # defeats the write protection
+    return arr

@@ -1,0 +1,19 @@
+# Passing fixture for mmap-write-safety: copy-before-write and
+# non-model stores.
+# lint-fixture-module: repro.serving.fixture_mmap_good
+import numpy as np
+
+
+def patched_scores(model, idx, value):
+    local = np.array(model.weights)     # copy first
+    local[idx] = value                  # then mutate the copy
+    return local
+
+
+def overlay(pending, item_id, phrases):
+    pending[item_id] = phrases          # store-side delta, not the map
+
+
+def reprotect(arr):
+    arr.setflags(write=False)           # tightening is fine
+    return arr

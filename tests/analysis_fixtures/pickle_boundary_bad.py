@@ -1,0 +1,12 @@
+# Failing fixture for no-pickle-boundary: pickle at the wire boundary.
+# lint-fixture-module: repro.cluster.fixture_pickle_bad
+import pickle
+from pickle import loads
+
+
+def encode_shard(payload):
+    return pickle.dumps(payload)
+
+
+def decode_shard(data):
+    return loads(data)

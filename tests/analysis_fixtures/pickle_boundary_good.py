@@ -1,0 +1,13 @@
+# Passing fixture for no-pickle-boundary: JSON frames at the
+# boundary, exactly like repro.cluster.protocol.
+# lint-fixture-module: repro.cluster.fixture_pickle_good
+import base64
+import json
+
+
+def encode_shard(payload):
+    return json.dumps(payload).encode("utf-8")
+
+
+def encode_chunk(chunk):
+    return base64.b64encode(chunk).decode("ascii")

@@ -1,0 +1,30 @@
+# Passing fixture for store-lock-discipline: the transaction pattern,
+# the caller-locked waiver, and shapes that must not count.
+# lint-fixture-module: repro.serving.fixture_store_good
+
+
+def swap_locked(store, version, items):
+    with transaction_lock(store):
+        store.create_version(version)
+        for item_id, phrases in items:
+            store.put(version, item_id, phrases)
+        store.promote(version)
+
+
+# lint: caller-locked: flush() enters transaction_lock before delegating here
+def _fill(store, version, items):
+    for item_id, phrases in items:
+        store.put(version, item_id, phrases)
+    store.prune(version)
+
+
+def single_mutation(store, version):
+    store.promote(version)  # one call needs no transaction
+
+
+async def queue_user(queue, item):
+    # dict/queue homonyms on non-store receivers must not count
+    await queue.put(item)
+    cache = {}
+    cache.update(item=1)
+    return queue

@@ -356,3 +356,54 @@ class TestClusterCLI:
         assert rc == 0
         assert "verified_identical: True" in out
         assert "n_replans: 1" in out or "n_local_units" in out
+
+
+class TestLintCLI:
+    """ISSUE 9: the `lint` subcommand fronts repro.analysis."""
+
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "repro-lint: 0 violation(s)" in capsys.readouterr().out
+
+    def test_lint_quiet_suppresses_output_on_success(self, capsys):
+        assert main(["lint", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("async-no-blocking", "store-lock-discipline",
+                        "monotonic-clock", "no-pickle-boundary",
+                        "lazy-import-contract", "mmap-write-safety"):
+            assert rule_id in out
+
+    def test_lint_writes_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "reports" / "lint.json"
+        assert main(["lint", "--json", str(report_path),
+                     "--quiet"]) == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["tool"] == "repro-lint"
+        assert payload["ok"] is True
+        assert payload["n_violations"] == 0
+
+    def test_lint_single_rule_filter(self, capsys):
+        assert main(["lint", "--rule", "monotonic-clock",
+                     "--quiet"]) == 0
+
+    def test_lint_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_finds_violations_in_bad_tree(self, tmp_path, capsys):
+        """A synthetic package with a wall-clock timer read exits 1
+        and renders the finding."""
+        package = tmp_path / "repro"
+        (package / "cluster").mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "cluster" / "__init__.py").write_text("")
+        (package / "cluster" / "timers.py").write_text(
+            "import time\n\n\ndef deadline(t0, budget):\n"
+            "    return time.time() - t0 > budget\n",
+            encoding="utf-8")
+        assert main(["lint", "--root", str(package)]) == 1
+        assert "monotonic-clock" in capsys.readouterr().out

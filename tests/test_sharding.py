@@ -259,7 +259,12 @@ class TestLazyImportCycleContract:
     import would close the cycle batch -> sharding -> fast_inference ->
     batch.  Pinned in fresh interpreters so a refactor that hoists the
     imports fails here, not as a bootstrap-order-dependent ImportError
-    in production."""
+    in production.
+
+    The *static* half of this contract (no module-level cycle imports,
+    declared lazy edges stay function-scoped) moved to the repo-wide
+    ``lazy-import-contract`` rule in :mod:`repro.analysis` — only the
+    runtime fresh-interpreter probes remain here."""
 
     def _fresh_python(self, code: str) -> None:
         import os
@@ -272,25 +277,6 @@ class TestLazyImportCycleContract:
                                   os.path.abspath(__file__))),
                               capture_output=True, text=True)
         assert proc.returncode == 0, proc.stderr
-
-    def test_batch_has_no_module_level_cycle_imports(self):
-        """Static pin: batch.py must not import sharding/fast_inference
-        at module level (the package __init__ masks the cycle when the
-        whole package imports, so this is checked on the source)."""
-        import ast
-        import repro.core.batch as batch_module
-
-        with open(batch_module.__file__, encoding="utf-8") as fh:
-            tree = ast.parse(fh.read())
-        offenders = [
-            node.module for node in ast.walk(tree)
-            if isinstance(node, ast.ImportFrom)
-            and node.col_offset == 0
-            and node.module in ("sharding", "fast_inference")]
-        assert offenders == [], (
-            f"batch.py imports {offenders} at module level — that "
-            f"closes the batch -> sharding -> fast_inference -> batch "
-            f"cycle the lazy imports exist to break")
 
     def test_import_order_is_irrelevant(self):
         # Either module may bootstrap first; the validator still works.
