@@ -241,6 +241,9 @@ def main(argv=None) -> int:
         "hot_swap_verified": swap_front is not None,
         "throughput": {row[0]: row[2] for row in rows},
         "speedup": {row[0]: row[3] for row in rows},
+        # Best async run's registry: per-stream submit/flush counters,
+        # queue-depth/staleness gauges, window-latency histograms.
+        "metrics": front.metrics.snapshot(),
     })
     return 0
 

@@ -130,6 +130,7 @@ def main(argv=None) -> int:
         throughput = {"local": len(requests) / local_time}
         all_identical = True
         kill_stats = None
+        fleet_metrics = None
         for label, n_hosts, kill_one in columns:
             elapsed, result, report = asyncio.run(run_cluster(
                 artifact, requests, args.k, n_hosts, kill_one,
@@ -150,6 +151,11 @@ def main(argv=None) -> int:
                     "completed": all(count == 1 for count
                                      in report.merge_counts.values()),
                 }
+            else:
+                # Largest clean fleet wins: its merged snapshot is the
+                # artifact's metrics block (exactly-once contract —
+                # merged requests must equal the batch size).
+                fleet_metrics = report.fleet_metrics
 
         table = render_table(
             ["path", "seconds", "items/s", "replans", "retries",
@@ -164,6 +170,7 @@ def main(argv=None) -> int:
             "executor": "cluster",
             "items": len(requests),
             "throughput": throughput,
+            "metrics": fleet_metrics,
         }
         if kill_stats is not None:
             payload["fault_tolerance"] = kill_stats

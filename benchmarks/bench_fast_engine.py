@@ -154,11 +154,51 @@ def main(argv=None) -> int:
         print(f"ENGINE MISMATCH on {len(diff)} items, e.g. {diff[:3]}")
         return 1
 
+    # Telemetry overhead column: same engine, same substrate, but the
+    # executor records into a live MetricsRegistry instead of the
+    # default NullRegistry.  Instrumentation must be cheap (the ISSUE
+    # budget is 3%) and semantics-neutral — the output is verified
+    # identical too.  Timing at this granularity flakes, so on an
+    # apparent overspend both columns are re-measured (best-of) a few
+    # times before the number is trusted.
+    from repro.core.execution import resolve_executor
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    telemetry_executor = resolve_executor(baseline, workers=args.workers,
+                                          metrics=registry)
+    telem_time, telem_out = time_engine(model, requests, "fast", args.k,
+                                        args.hard_limit, args.workers,
+                                        args.repeat,
+                                        executor=telemetry_executor)
+    if telem_out != ref_out:
+        diff = [i for i in ref_out if ref_out[i] != telem_out[i]]
+        print(f"TELEMETRY MISMATCH on {len(diff)} items, "
+              f"e.g. {diff[:3]}")
+        return 1
+    for _ in range(3):
+        if telem_time <= fast_time * 1.03:
+            break
+        retry_off, _ = time_engine(model, requests, "fast", args.k,
+                                   args.hard_limit, args.workers,
+                                   args.repeat, executor=baseline)
+        retry_on, _ = time_engine(model, requests, "fast", args.k,
+                                  args.hard_limit, args.workers,
+                                  args.repeat,
+                                  executor=telemetry_executor)
+        fast_time = min(fast_time, retry_off)
+        telem_time = min(telem_time, retry_on)
+    telemetry_overhead = telem_time / fast_time if fast_time \
+        else float("inf")
+
     speedup = ref_time / fast_time if fast_time else float("inf")
     rows = [
         ["reference", ref_time * 1e3, len(requests) / ref_time, 1.0],
         [f"fast/{baseline}", fast_time * 1e3, len(requests) / fast_time,
          speedup],
+        [f"fast/{baseline}+telemetry", telem_time * 1e3,
+         len(requests) / telem_time,
+         ref_time / telem_time if telem_time else float("inf")],
     ]
     if executor in ("process", "cluster"):
         process_workers = args.process_workers or max(2, args.workers)
@@ -193,8 +233,13 @@ def main(argv=None) -> int:
               f"(outputs verified identical)")
     RESULTS_DIR.mkdir(exist_ok=True)
     emit(RESULTS_DIR, "fast_engine", table)
+    print(f"telemetry overhead: {telemetry_overhead:.4f}x "
+          f"(budget 1.03x; registry recorded "
+          f"{registry.counter_value('executor.inference.requests', executor=baseline)}"
+          f" requests)")
     # Machine-readable artifact so the perf trajectory is tracked
-    # across PRs (CI asserts it parses and the outputs were verified).
+    # across PRs (CI asserts it parses, the outputs were verified, and
+    # telemetry stayed inside its overhead budget).
     emit_bench_json(RESULTS_DIR, "fast_engine", {
         "verified_identical": True,
         "workers": args.workers,
@@ -204,6 +249,9 @@ def main(argv=None) -> int:
         "k": args.k,
         "throughput": {row[0]: row[2] for row in rows},
         "speedup": {row[0]: row[3] for row in rows},
+        "telemetry_overhead": telemetry_overhead,
+        "telemetry_within_budget": telemetry_overhead <= 1.03,
+        "metrics": registry.snapshot(),
     })
 
     if speedup < args.min_speedup:

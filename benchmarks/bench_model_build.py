@@ -271,8 +271,11 @@ def main(argv=None) -> int:
                                       plan_rebalance_gain)
     from repro.core.sharding import ShardPlan
 
+    from repro.obs import MetricsRegistry
+
     rebalance_workers = max(2, args.workers)
-    recorder = ThreadShardExecutor(rebalance_workers)
+    recorder = ThreadShardExecutor(rebalance_workers,
+                                   metrics=MetricsRegistry())
     GraphExModel.construct(curated_fast, builder="fast",
                            build_pooled=args.pooled, executor=recorder)
     proxy = [(leaf_id, sum(map(len, leaf.texts)) + 1)
@@ -387,6 +390,9 @@ def main(argv=None) -> int:
             "mmap_ms": open_mmap_time * 1e3,
             "speedup": open_speedup,
         },
+        # The recording build's registry snapshot: per-shard construct
+        # timings and plan-shape gauges for the rebalance experiment.
+        "metrics": recorder.metrics.snapshot(),
     })
 
     if build_speedup < args.min_speedup:

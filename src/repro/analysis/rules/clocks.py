@@ -7,10 +7,13 @@ once became a 59-minute stall in the inspiration systems.  Interval
 code must use ``time.monotonic()`` (or the loop's ``loop.time()``).
 
 Scope is the timer-bearing modules named by the contract: everything
-under ``repro.cluster`` (heartbeats, retry backoff, replan deadlines)
-and the async serving front (window timers).  Operator-facing
-*timestamps* (report fields, log lines) legitimately want wall-clock
-time — those live outside this scope, or carry a reasoned waiver.
+under ``repro.cluster`` (heartbeats, retry backoff, replan deadlines),
+the async serving front (window timers), and everything under
+``repro.obs`` (span durations, histogram timers, staleness gauges —
+an observability plane that read the wall clock would *measure* the
+very anomalies it exists to detect).  Operator-facing *timestamps*
+(report fields, log lines) legitimately want wall-clock time — those
+live outside this scope, or carry a reasoned waiver.
 """
 
 from __future__ import annotations
@@ -31,10 +34,11 @@ WALL_CLOCK_CALLS = frozenset({"time.time", "datetime.now",
 class MonotonicClockRule(Rule):
     id = "monotonic-clock"
     description = ("time.time() banned in deadline/heartbeat/backoff/"
-                   "window-timer paths (cluster/, retry, async_front)")
+                   "window-timer paths (cluster/, retry, async_front, "
+                   "obs/)")
 
-    SCOPES = ("repro.cluster.",)
-    SCOPE_MODULES = ("repro.serving.async_front",)
+    SCOPES = ("repro.cluster.", "repro.obs.")
+    SCOPE_MODULES = ("repro.serving.async_front", "repro.obs")
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (ctx.module.startswith(self.SCOPES)

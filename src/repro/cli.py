@@ -9,7 +9,8 @@ Mirrors a production workflow in six subcommands::
     repro-graphex serve-nrt --model model_dir/ [--streams N] [--events N] [--refresh-after N]
     repro-graphex evaluate  [--profile tiny|default] [--meta CAT_1]
     repro-graphex cluster-worker --connect HOST:PORT [--name W] [--die-after-assignments N]
-    repro-graphex cluster-run --model model_dir/ [--spawn-workers N] [--kill-after K]
+    repro-graphex cluster-run --model model_dir/ [--spawn-workers N] [--kill-after K] [--metrics-out PATH]
+    repro-graphex metrics SNAPSHOT.json [SNAPSHOT.json ...] [--merge-out PATH]
 
 ``simulate`` writes aggregated keyphrase stats (the only GraphEx training
 input) as JSON; ``curate`` persists the curated keyphrases *and* the
@@ -22,6 +23,13 @@ the asyncio multi-stream NRT front (``--refresh-after`` adds a mid-run
 zero-downtime model hot-swap, handed off by artifact *path* so a
 format-3 model remaps instead of reloading).
 ``evaluate`` runs the miniature Table III comparison.
+
+Observability rides along everywhere: ``serve-nrt`` and
+``cluster-run`` accept ``--metrics-out PATH`` to dump the run's
+(fleet-merged, for the cluster) metrics snapshot as schema-versioned
+JSON, and the ``metrics`` subcommand reads any number of such
+snapshots back, merges them exactly (see :mod:`repro.obs`), and
+renders the result.
 """
 
 from __future__ import annotations
@@ -285,6 +293,11 @@ def _cmd_serve_nrt(args: argparse.Namespace) -> int:
     rate = total / elapsed if elapsed > 0 else float("inf")
     print(f"served {total} events across {args.streams} streams "
           f"in {elapsed:.3f}s ({rate:,.0f} events/s)")
+    if args.metrics_out:
+        from .obs import dump_snapshot
+
+        dump_snapshot(front.metrics.snapshot(), args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 
@@ -426,8 +439,19 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
                   f"{args.spawn_workers} worker machines in "
                   f"{elapsed:.3f}s ({rate:,.0f} req/s)")
             for field, value in sorted(report.as_dict().items()):
+                if field == "fleet_metrics":
+                    continue      # full snapshot goes to --metrics-out
                 print(f"  {field}: {value}")
             print(f"  verified_identical: {identical}")
+            if args.metrics_out:
+                from .obs import dump_snapshot, empty_snapshot
+
+                snapshot = report.fleet_metrics \
+                    if report.fleet_metrics is not None \
+                    else empty_snapshot()
+                dump_snapshot(snapshot, args.metrics_out)
+                print(f"wrote fleet metrics snapshot to "
+                      f"{args.metrics_out}")
             return 0 if identical else 1
 
     return asyncio.run(drive())
@@ -450,6 +474,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.quiet:
         argv.append("--quiet")
     return lint_main(argv)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Read metrics snapshots, merge them exactly, render the result.
+
+    One snapshot just renders; several merge first (merging is exact
+    and associative, so any grouping of worker snapshots yields the
+    same fleet view — :mod:`repro.obs` property-tests this).
+    """
+    from .obs import (TICKS_PER_SECOND, dump_snapshot, load_snapshot,
+                      merge_snapshots)
+
+    try:
+        snapshots = [load_snapshot(path) for path in args.snapshots]
+        merged = merge_snapshots(snapshots)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read/merge snapshots: {exc}", file=sys.stderr)
+        return 2
+    if args.merge_out:
+        dump_snapshot(merged, args.merge_out)
+        print(f"wrote merged snapshot of {len(snapshots)} "
+              f"input(s) to {args.merge_out}")
+    print(f"counters ({len(merged['counters'])}):")
+    for key, value in sorted(merged["counters"].items()):
+        print(f"  {key} = {value}")
+    print(f"gauges ({len(merged['gauges'])}):")
+    for key, (value, vmax, vmin) in sorted(merged["gauges"].items()):
+        print(f"  {key} = {value:g} (min {vmin:g}, max {vmax:g})")
+    print(f"histograms ({len(merged['histograms'])}):")
+    for key, hist in sorted(merged["histograms"].items()):
+        count = hist["count"]
+        total = hist["sum_ticks"] / TICKS_PER_SECOND
+        mean = total / count if count else 0.0
+        print(f"  {key}: n={count} total={total:.6f}s "
+              f"mean={mean * 1e3:.3f}ms")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -575,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "many events per stream, mid-run (0 = no "
                             "refresh demo)")
     p_srv.add_argument("--seed", type=int, default=7)
+    p_srv.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump the front's metrics registry snapshot "
+                            "(per-stream counters, window latency "
+                            "histograms, staleness gauges) as JSON")
     p_srv.set_defaults(func=_cmd_serve_nrt)
 
     p_eval = sub.add_parser("evaluate", help="run the model bake-off")
@@ -623,7 +687,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_crn.add_argument("-k", type=int, default=10)
     p_crn.add_argument("--rpc-timeout", type=float, default=30.0)
     p_crn.add_argument("--seed", type=int, default=7)
+    p_crn.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump the merged fleet metrics snapshot "
+                            "(coordinator + latest per-worker "
+                            "registries) as JSON")
     p_crn.set_defaults(func=_cmd_cluster_run)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="read metrics snapshots, merge exactly, render")
+    p_met.add_argument("snapshots", nargs="+", metavar="SNAPSHOT.json",
+                       help="snapshot files written by --metrics-out "
+                            "(or any repro.obs dump_snapshot output)")
+    p_met.add_argument("--merge-out", default=None, metavar="PATH",
+                       help="also write the merged snapshot as JSON")
+    p_met.set_defaults(func=_cmd_metrics)
 
     p_lnt = sub.add_parser(
         "lint",

@@ -59,6 +59,7 @@ from ..core.serialization import (load_leaf_graphs, open_model,
                                   save_model)
 from ..core.sharding import ShardPlan
 from ..core.tokenize import DEFAULT_TOKENIZER, TokenCache, Tokenizer
+from ..obs import MetricsRegistry, merge_snapshots, validate_snapshot
 from .protocol import (PROTOCOL_VERSION, pack_curated_leaves,
                        pack_requests, pack_tokenizer,
                        unpack_recommendations, unpack_token_state)
@@ -112,6 +113,10 @@ class ClusterRunReport:
             exactly-once invariant is ``all(v == 1)``.
         orphaned_keys: Key groups that were orphaned by a dead host and
             re-planned.
+        fleet_metrics: The merged fleet metrics snapshot at job end —
+            the job's registry folded with the latest heartbeat
+            snapshot of every worker seen (see
+            :meth:`ClusterCoordinator.fleet_snapshot`).
     """
 
     kind: str
@@ -124,6 +129,7 @@ class ClusterRunReport:
     workers_used: List[str] = field(default_factory=list)
     merge_counts: Dict[Hashable, int] = field(default_factory=dict)
     orphaned_keys: List[List[Hashable]] = field(default_factory=list)
+    fleet_metrics: Optional[dict] = None
 
     def as_dict(self) -> dict:
         """JSON-ready summary (bench artifacts embed this)."""
@@ -138,6 +144,7 @@ class ClusterRunReport:
             "workers_used": list(self.workers_used),
             "exactly_once": all(count == 1
                                 for count in self.merge_counts.values()),
+            "fleet_metrics": self.fleet_metrics,
         }
 
 
@@ -190,6 +197,13 @@ class ClusterCoordinator:
             connection-close detection alone.
         local_fallback: When the fleet is empty, run remaining units in
             the coordinator process instead of failing the job.
+        metrics: The coordinator's own
+            :class:`~repro.obs.MetricsRegistry` (a fresh one by
+            default).  Worker heartbeats carry registry snapshots that
+            are stashed latest-per-worker and folded together with this
+            registry by :meth:`fleet_snapshot` — replace-then-merge, so
+            a worker's cumulative counters are never double-counted no
+            matter how many heartbeats it sent.
 
     One job (:meth:`run_inference` / :meth:`run_construction`) runs at
     a time; concurrent calls queue on an internal lock.  Use as an
@@ -200,7 +214,8 @@ class ClusterCoordinator:
                  retry: Optional[RetryPolicy] = None,
                  rpc_timeout: float = 30.0,
                  heartbeat_timeout: Optional[float] = None,
-                 local_fallback: bool = True) -> None:
+                 local_fallback: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._host = host
         self._port = port
         self._retry = retry if retry is not None else RetryPolicy()
@@ -227,6 +242,22 @@ class ClusterCoordinator:
         self._closing = False
         #: Report of the most recently finished job.
         self.last_report: Optional[ClusterRunReport] = None
+        #: The coordinator's own registry (scheduler-side counters).
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        #: Latest validated heartbeat snapshot per worker name.  A
+        #: worker's registry is cumulative, so only its newest snapshot
+        #: counts — replacement here is what makes the fleet view
+        #: exactly-once.
+        self._worker_metrics: Dict[str, dict] = {}
+        self._active_metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def _job_metrics(self) -> MetricsRegistry:
+        """The running job's registry (a ClusterExecutor passes its
+        own), else the coordinator's."""
+        return self._active_metrics if self._active_metrics is not None \
+            else self.metrics
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -327,6 +358,21 @@ class ClusterCoordinator:
         return [worker.name for worker in self._workers.values()
                 if worker.alive]
 
+    def fleet_snapshot(self) -> dict:
+        """One merged metrics view of the whole fleet.
+
+        Folds the coordinator's own registry with the **latest**
+        heartbeat snapshot of every worker seen so far (dead workers
+        included — their last reading still happened).  Because worker
+        registries are cumulative and only the newest snapshot per
+        worker is kept, merging here is exactly-once: the result's
+        counters equal what one shared registry would have recorded.
+        """
+        return merge_snapshots(
+            [self.metrics.snapshot()]
+            + [snapshot for _name, snapshot in
+               sorted(self._worker_metrics.items())])
+
     async def wait_for_workers(self, n: int,
                                timeout: float = 30.0) -> None:
         """Block until ``n`` hosts are registered (or raise)."""
@@ -399,9 +445,32 @@ class ClusterCoordinator:
         transport.close()
         await transport.wait_closed()
 
+    def _stash_worker_metrics(self, worker: _WorkerHandle,
+                              frame: dict) -> None:
+        """Keep the newest registry snapshot a worker frame carried.
+
+        Heartbeats and shard results both ride one; a worker registry
+        is cumulative, so replacing (never folding) the stashed
+        snapshot is what keeps :meth:`fleet_snapshot` exactly-once.
+        Late/stale results still count — their snapshot is still the
+        newest reading from that host.
+        """
+        snapshot = frame.get("metrics")
+        if snapshot is None:
+            return
+        try:
+            validate_snapshot(snapshot)
+        except ValueError:
+            # A malformed snapshot must not kill the link (the worker
+            # is otherwise healthy) — count and drop it.
+            self.metrics.inc("coordinator.metrics.rejected_snapshots")
+        else:
+            self._worker_metrics[worker.name] = snapshot
+
     def _route_frame(self, worker: _WorkerHandle, frame: dict) -> bool:
         """Route one incoming frame; returns False to drop the link."""
         kind = frame.get("type")
+        self._stash_worker_metrics(worker, frame)
         if kind == "heartbeat":
             return True
         if kind == "bye":
@@ -421,6 +490,7 @@ class ClusterCoordinator:
                 # its keys, so it is discarded, not double-merged.
                 if self._active_report is not None:
                     self._active_report.n_late_discarded += 1
+                    self._job_metrics.inc("cluster.units.late_discarded")
                 return True
             entry.future.set_result(frame)
         return True
@@ -643,6 +713,10 @@ class ClusterCoordinator:
                         report.merge_counts[key] = \
                             report.merge_counts.get(key, 0) + 1
                     report.n_local_units += 1
+                    self._job_metrics.inc("cluster.units.local",
+                                          kind=kind)
+                    self._job_metrics.inc("cluster.units.merged",
+                                          kind=kind)
                 continue
             waiter = asyncio.ensure_future(self._state_changed.wait())
             await asyncio.wait({waiter, *running},
@@ -699,6 +773,7 @@ class ClusterCoordinator:
                     entry.stale = True
                     unit.attempts += 1
                     report.n_retries += 1
+                    self._job_metrics.inc("cluster.retries", kind=kind)
                     worker.current_assignment = None
                     self._release_worker(worker)
                     if unit.attempts >= self._retry.max_attempts:
@@ -737,6 +812,7 @@ class ClusterCoordinator:
             for key in unit.keys:
                 report.merge_counts[key] = \
                     report.merge_counts.get(key, 0) + 1
+            self._job_metrics.inc("cluster.units.merged", kind=kind)
             self._release_worker(worker)
         except Exception as exc:  # never lose the scheduler to a bug
             fail(exc)
@@ -749,6 +825,7 @@ class ClusterCoordinator:
         """Dead-host path: re-balance the orphaned keys over survivors."""
         report.n_replans += 1
         report.orphaned_keys.append(list(unit.keys))
+        self._job_metrics.inc("cluster.replans", kind=report.kind)
         n_live = self.n_live()
         if len(unit.keys) > 1 and n_live > 1:
             replanned = plan.replan(unit.keys, n_live)
@@ -765,7 +842,8 @@ class ClusterCoordinator:
             hard_limit: Optional[int] = None,
             dense_limit: int = DEFAULT_DENSE_LIMIT,
             distribute: str = "path",
-            cost_model: Optional["CostModel"] = None) -> BatchResult:
+            cost_model: Optional["CostModel"] = None,
+            metrics: Optional[MetricsRegistry] = None) -> BatchResult:
         """Infer a batch across the fleet.
 
         Args:
@@ -783,6 +861,9 @@ class ClusterCoordinator:
                 observations re-cost the plan (same groups, better
                 balance), and each completed unit's wall-clock seconds
                 are recorded back into it.
+            metrics: Registry for this job's counters and unit timings
+                (a :class:`~repro.core.execution.ClusterExecutor`
+                passes its own); the coordinator's registry by default.
 
         Returns:
             Item id → ranked recommendations, element-wise identical to
@@ -808,6 +889,7 @@ class ClusterCoordinator:
             model_ref = await self._model_ref(path, distribute)
             results: List[List[Recommendation]] = [[] for _ in requests]
             started: Dict[_Unit, float] = {}
+            job_metrics = metrics if metrics is not None else self.metrics
 
             def indices_of(unit: _Unit) -> List[int]:
                 return [index for key in unit.keys
@@ -817,7 +899,10 @@ class ClusterCoordinator:
                 # Units are timed whole (assignment to merged result);
                 # the elapsed seconds spread over the unit's groups pro
                 # rata by request count — the attribution the worker's
-                # single reply allows.
+                # single reply allows.  The same reading feeds the
+                # registry and the cost model.
+                job_metrics.observe("cluster.unit.seconds", elapsed,
+                                    kind="inference")
                 if cost_model is None:
                     return
                 sizes = [(key, len(groups[key])) for key in unit.keys]
@@ -846,6 +931,10 @@ class ClusterCoordinator:
                         f"{len(indices)} requests")
                 for index, packed in zip(indices, rows):
                     results[index] = unpack_recommendations(packed)
+                # Fenced merge path: exactly once per request, so this
+                # counter equals the single-process request total (the
+                # CI fleet-equality assertion).
+                job_metrics.inc("cluster.requests.merged", len(indices))
                 if unit in started:
                     observe_unit(unit, time.monotonic() - started[unit])
 
@@ -855,9 +944,11 @@ class ClusterCoordinator:
                 for index, recs in zip(indices, runner.run_indexed(
                         [requests[index] for index in indices])):
                     results[index] = recs
+                job_metrics.inc("cluster.requests.merged", len(indices))
                 observe_unit(unit, time.monotonic() - start)
 
             self._active_report = report
+            self._active_metrics = job_metrics
             try:
                 await self._execute_units(
                     "inference", plan,
@@ -865,6 +956,17 @@ class ClusterCoordinator:
                     make_message, handle_result, run_local_unit, report)
             finally:
                 self._active_report = None
+                self._active_metrics = None
+                try:
+                    report.fleet_metrics = merge_snapshots(
+                        [job_metrics.snapshot()]
+                        + [snapshot for _name, snapshot in
+                           sorted(self._worker_metrics.items())])
+                except ValueError:
+                    # A job registry with custom buckets cannot fold
+                    # with the workers' default-bucket snapshots; the
+                    # job view alone is still a valid snapshot.
+                    report.fleet_metrics = job_metrics.snapshot()
                 self.last_report = report
             out: BatchResult = {}
             for index, (item_id, _title, _leaf_id) in \
@@ -875,7 +977,8 @@ class ClusterCoordinator:
     async def run_construction(
             self, curated: "CuratedKeyphrases",
             tokenizer: Tokenizer = DEFAULT_TOKENIZER, *,
-            cost_model: Optional["CostModel"] = None
+            cost_model: Optional["CostModel"] = None,
+            metrics: Optional[MetricsRegistry] = None
             ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
         """Build every non-empty leaf graph across the fleet.
 
@@ -925,11 +1028,14 @@ class ClusterCoordinator:
             built: Dict[int, "LeafGraph"] = {}
             states: List[Tuple[int, Any]] = []
             started: Dict[_Unit, float] = {}
+            job_metrics = metrics if metrics is not None else self.metrics
 
             def observe_unit(unit: _Unit, elapsed: float) -> None:
                 # Whole-unit timing spread over its leaves pro rata by
                 # the char-count proxy (the worker reply is per unit,
                 # not per leaf).
+                job_metrics.observe("cluster.unit.seconds", elapsed,
+                                    kind="construction")
                 if cost_model is None:
                     return
                 sizes = [(key, sum(map(len, by_id[key].texts)) + 1)
@@ -954,6 +1060,7 @@ class ClusterCoordinator:
                     built[graph.leaf_id] = graph
                 states.append((min(unit.keys), unpack_token_state(
                     reply["token_state"])))
+                job_metrics.inc("cluster.leaves.merged", len(unit.keys))
                 if unit in started:
                     observe_unit(unit, time.monotonic() - started[unit])
 
@@ -965,9 +1072,11 @@ class ClusterCoordinator:
                                                        local_cache)
                 states.append((min(unit.keys),
                                local_cache.export_state()))
+                job_metrics.inc("cluster.leaves.merged", len(unit.keys))
                 observe_unit(unit, time.monotonic() - start)
 
             self._active_report = report
+            self._active_metrics = job_metrics
             try:
                 await self._execute_units(
                     "construction", plan,
@@ -975,6 +1084,17 @@ class ClusterCoordinator:
                     make_message, handle_result, run_local_unit, report)
             finally:
                 self._active_report = None
+                self._active_metrics = None
+                try:
+                    report.fleet_metrics = merge_snapshots(
+                        [job_metrics.snapshot()]
+                        + [snapshot for _name, snapshot in
+                           sorted(self._worker_metrics.items())])
+                except ValueError:
+                    # A job registry with custom buckets cannot fold
+                    # with the workers' default-bucket snapshots; the
+                    # job view alone is still a valid snapshot.
+                    report.fleet_metrics = job_metrics.snapshot()
                 self.last_report = report
             for _first_key, state in sorted(states,
                                             key=lambda entry: entry[0]):

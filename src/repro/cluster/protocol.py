@@ -34,6 +34,7 @@ __all__ = [
     "pack_curated_leaves", "unpack_curated_leaves",
     "pack_tokenizer", "unpack_tokenizer",
     "pack_token_state", "unpack_token_state",
+    "pack_metrics_snapshot", "unpack_metrics_snapshot",
 ]
 
 #: Bumped on any incompatible wire change; registration carries it and
@@ -180,3 +181,25 @@ def unpack_token_state(payload: Sequence
     return (list(tokens),
             {text: tuple(ids) for text, ids in text_ids.items()},
             None if raw_ids is None else dict(raw_ids))
+
+
+def pack_metrics_snapshot(snapshot: dict) -> dict:
+    """A :meth:`repro.obs.MetricsRegistry.snapshot` for the wire.
+
+    Snapshots are already JSON-safe (that is their contract: integer
+    counters/ticks, float gauges — never pickle), so packing is just
+    the schema check; an invalid registry state must fail on the
+    sender, not poison the coordinator's fleet view.
+    """
+    from ..obs import validate_snapshot
+
+    return dict(validate_snapshot(snapshot))
+
+
+def unpack_metrics_snapshot(payload: dict) -> dict:
+    """Inverse of :func:`pack_metrics_snapshot` — the same schema
+    check on the receiving side (the coordinator also re-validates
+    before stashing, counting rejects instead of raising)."""
+    from ..obs import validate_snapshot
+
+    return dict(validate_snapshot(payload))

@@ -50,9 +50,11 @@ from ..core.fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
 from ..core.model import GraphExModel
 from ..core.serialization import open_model, save_leaf_graphs
 from ..core.tokenize import TokenCache
-from .protocol import (PROTOCOL_VERSION, pack_recommendations,
-                       pack_token_state, unpack_curated_leaves,
-                       unpack_requests, unpack_tokenizer)
+from ..obs import MetricsRegistry
+from .protocol import (PROTOCOL_VERSION, pack_metrics_snapshot,
+                       pack_recommendations, pack_token_state,
+                       unpack_curated_leaves, unpack_requests,
+                       unpack_tokenizer)
 from .transport import Transport, TransportClosed
 
 __all__ = ["ClusterWorker", "WorkerKilled"]
@@ -80,6 +82,11 @@ class ClusterWorker:
             dies.
         hard_exit: With the kill switch, also ``os._exit(1)`` — the
             subprocess-worker crash used by the bench/CI smoke.
+        metrics: This host's :class:`~repro.obs.MetricsRegistry` (a
+            fresh one by default).  Its snapshot rides every heartbeat
+            *and* every shard result frame, so the coordinator's fleet
+            view is current the moment the last shard merges — never
+            pickle, always the versioned snapshot JSON.
     """
 
     def __init__(self, host: str, port: int, *,
@@ -89,7 +96,8 @@ class ClusterWorker:
                  transport_wrapper: Optional[
                      Callable[[Transport], object]] = None,
                  die_after_assignments: Optional[int] = None,
-                 hard_exit: bool = False) -> None:
+                 hard_exit: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._host = host
         self._port = port
         self.name = name or f"worker-{os.getpid()}"
@@ -106,6 +114,11 @@ class ClusterWorker:
         #: Assignments completed (results sent) — the kill-switch clock
         #: and the thing tests assert on.
         self.n_completed = 0
+        #: Executed-work telemetry (counts *executions*, which can
+        #: exceed the coordinator's exactly-once merged counters under
+        #: retries — that asymmetry is itself the retry signal).
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
 
     async def run(self) -> None:
         """Serve until the coordinator shuts us down or the link dies."""
@@ -168,8 +181,10 @@ class ClusterWorker:
         try:
             while True:
                 await asyncio.sleep(self._heartbeat_interval)
-                await self._transport.send({"type": "heartbeat",
-                                            "name": self.name})
+                await self._transport.send({
+                    "type": "heartbeat", "name": self.name,
+                    "metrics": pack_metrics_snapshot(
+                        self.metrics.snapshot())})
         except (TransportClosed, asyncio.CancelledError):
             pass
 
@@ -226,8 +241,14 @@ class ClusterWorker:
                 "worker": self.name,
                 "traceback": traceback.format_exc()})
             return
+        # The registry snapshot rides the result frame itself: the
+        # coordinator stashes it while routing, so the fleet view
+        # already covers this shard when the job's last unit merges —
+        # no waiting on the next heartbeat tick.
         reply.update({"type": "shard_result", "assignment": assignment,
-                      "worker": self.name})
+                      "worker": self.name,
+                      "metrics": pack_metrics_snapshot(
+                          self.metrics.snapshot())})
         await self._transport.send(reply)
         self.n_completed += 1
 
@@ -258,7 +279,11 @@ class ClusterWorker:
                 model, k=key[1], hard_limit=key[2], dense_limit=key[3])
             self._runners[key] = runner
         requests = unpack_requests(message["requests"])
-        results = runner.run_indexed(requests)
+        with self.metrics.timer("worker.shard.seconds",
+                                kind="inference"):
+            results = runner.run_indexed(requests)
+        self.metrics.inc("worker.shards", kind="inference")
+        self.metrics.inc("worker.requests", len(requests))
         return {"results": [pack_recommendations(recs)
                             for recs in results]}
 
@@ -266,7 +291,12 @@ class ClusterWorker:
         tokenizer = unpack_tokenizer(message["tokenizer"])
         leaves = unpack_curated_leaves(message["leaves"])
         cache = TokenCache(tokenizer)
-        graphs = [build_leaf_graph_fast(leaf, cache) for leaf in leaves]
+        with self.metrics.timer("worker.shard.seconds",
+                                kind="construction"):
+            graphs = [build_leaf_graph_fast(leaf, cache)
+                      for leaf in leaves]
+        self.metrics.inc("worker.shards", kind="construction")
+        self.metrics.inc("worker.leaves", len(leaves))
         bundle = self._spool / "bundles" / \
             f"assignment-{message.get('assignment')}"
         try:

@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional,
                     Sequence, Tuple, Union)
 
+from ..obs import MetricsRegistry, NullRegistry
 from .batch import BatchResult, InferenceRequest
 from .fast_construct import build_leaf_graph_fast, fast_construct_leaf_graphs
 from .fast_inference import DEFAULT_DENSE_LIMIT, LeafBatchRunner
@@ -326,14 +327,56 @@ class Executor:
             in-process substrates do — the scalar paths stay
             single-process as the semantics oracle.
         cost_model: Where this executor's shard timings accumulate.
+        metrics: The :class:`~repro.obs.MetricsRegistry` this executor
+            records into; a :class:`~repro.obs.NullRegistry` (telemetry
+            off) by default.  Every timed shard feeds the registry and
+            the cost model from the *same* clock reading via
+            :meth:`record_timing`.
     """
 
     name: str = "abstract"
     supports_reference: bool = False
 
-    def __init__(self, *, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(self, *, cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.cost_model = cost_model if cost_model is not None \
             else CostModel()
+        self.metrics = metrics if metrics is not None else NullRegistry()
+
+    def record_timing(self, kind: str,
+                      keyed_units: Sequence[Tuple[Hashable, int]],
+                      elapsed: float) -> None:
+        """Feed one timed span of shard work into both telemetry sinks.
+
+        The single chokepoint for executor timings: ``elapsed`` is
+        spread pro rata over the keys into :attr:`cost_model` (the
+        planner's decaying rates) and recorded whole into
+        :attr:`metrics` — one ``perf_counter`` interval, two views,
+        so the cost model and the operator dashboards can never
+        disagree about what was measured.
+        """
+        _observe_spread(self.cost_model, kind, keyed_units, elapsed)
+        metrics = self.metrics
+        metrics.inc(f"executor.{kind}.tasks", executor=self.name)
+        if kind == "inference":
+            metrics.inc("executor.inference.requests",
+                        sum(units for _key, units in keyed_units),
+                        executor=self.name)
+        else:
+            metrics.inc("executor.construction.leaves",
+                        len(keyed_units), executor=self.name)
+        metrics.observe(f"executor.{kind}.seconds", elapsed,
+                        executor=self.name)
+
+    def record_plan(self, kind: str, plan: ShardPlan) -> None:
+        """Gauge a plan's balance (see ShardPlan.balance_stats)."""
+        stats = plan.balance_stats()
+        self.metrics.gauge("executor.plan.n_shards",
+                           stats["n_shards"], kind=kind,
+                           executor=self.name)
+        self.metrics.gauge("executor.plan.imbalance",
+                           stats["imbalance"], kind=kind,
+                           executor=self.name)
 
     def run_inference(self, model: "GraphExModel",
                       requests: Sequence[InferenceRequest],
@@ -397,8 +440,9 @@ class ThreadShardExecutor(Executor):
     supports_reference = True
 
     def __init__(self, workers: int = 1, *,
-                 cost_model: Optional[CostModel] = None) -> None:
-        super().__init__(cost_model=cost_model)
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(cost_model=cost_model, metrics=metrics)
         self.workers = max(1, int(workers))
 
     def run_inference(self, model: "GraphExModel",
@@ -411,6 +455,7 @@ class ThreadShardExecutor(Executor):
                                  dense_limit=dense_limit)
         plan, groups = ShardPlan.for_inference(
             model, requests, self.workers, cost_model=self.cost_model)
+        self.record_plan("inference", plan)
         results: List[List[Recommendation]] = [[] for _ in requests]
 
         def run_shard(shard: Sequence[Hashable]) -> None:
@@ -420,8 +465,8 @@ class ThreadShardExecutor(Executor):
                 for index, recs in zip(indices, runner.run_indexed(
                         [requests[index] for index in indices])):
                     results[index] = recs
-                self.cost_model.observe_inference(
-                    key, time.perf_counter() - start, len(indices))
+                self.record_timing("inference", [(key, len(indices))],
+                                   time.perf_counter() - start)
 
         if self.workers == 1 or plan.n_shards <= 1:
             for shard in plan.shards:
@@ -442,6 +487,7 @@ class ThreadShardExecutor(Executor):
                  curated.leaves.items() if len(leaf) > 0]
         plan = ShardPlan.for_construction(curated, self.workers,
                                           cost_model=self.cost_model)
+        self.record_plan("construction", plan)
         by_id = dict(items)
         built: Dict[int, "LeafGraph"] = {}
 
@@ -450,9 +496,10 @@ class ThreadShardExecutor(Executor):
                 leaf = by_id[leaf_id]
                 start = time.perf_counter()
                 built[leaf_id] = build_leaf_graph_fast(leaf, cache)
-                self.cost_model.observe_construction(
-                    leaf_id, time.perf_counter() - start,
-                    sum(map(len, leaf.texts)) + 1)
+                self.record_timing(
+                    "construction",
+                    [(leaf_id, sum(map(len, leaf.texts)) + 1)],
+                    time.perf_counter() - start)
 
         if self.workers == 1 or plan.n_shards <= 1:
             for shard in plan.shards:
@@ -477,8 +524,10 @@ class SerialExecutor(ThreadShardExecutor):
 
     name = "serial"
 
-    def __init__(self, *, cost_model: Optional[CostModel] = None) -> None:
-        super().__init__(workers=1, cost_model=cost_model)
+    def __init__(self, *, cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(workers=1, cost_model=cost_model,
+                         metrics=metrics)
 
 
 # ---------------------------------------------------------------------------
@@ -584,8 +633,9 @@ class ProcessShardExecutor(Executor):
 
     def __init__(self, workers: int = 2,
                  start_method: Optional[str] = None, *,
-                 cost_model: Optional[CostModel] = None) -> None:
-        super().__init__(cost_model=cost_model)
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(cost_model=cost_model, metrics=metrics)
         self._workers = max(1, int(workers))
         self._start_method = start_method
 
@@ -640,6 +690,7 @@ class ProcessShardExecutor(Executor):
         runner = LeafBatchRunner(model, k=k, hard_limit=hard_limit,
                                  dense_limit=dense_limit)
         plan, groups = self.plan_inference(model, requests)
+        self.record_plan("inference", plan)
         results: List[List[Recommendation]] = [[] for _ in requests]
         if self._workers == 1 or plan.n_shards <= 1:
             for shard in plan.shards:
@@ -649,8 +700,9 @@ class ProcessShardExecutor(Executor):
                     for index, recs in zip(indices, runner.run_indexed(
                             [requests[index] for index in indices])):
                         results[index] = recs
-                    self.cost_model.observe_inference(
-                        key, time.perf_counter() - start, len(indices))
+                    self.record_timing(
+                        "inference", [(key, len(indices))],
+                        time.perf_counter() - start)
         else:
             shards = [[index for key in shard for index in groups[key]]
                       for shard in plan.shards]
@@ -667,8 +719,8 @@ class ProcessShardExecutor(Executor):
                         plan.shards[shard_index])
                     for index, recs in zip(shard, shard_results):
                         results[index] = recs
-                    _observe_spread(
-                        self.cost_model, "inference",
+                    self.record_timing(
+                        "inference",
                         [(key, len(groups[key]))
                          for key in plan.shards[shard_index]], elapsed)
         out: BatchResult = {}
@@ -714,8 +766,8 @@ class ProcessShardExecutor(Executor):
             # order); the whole build is timed and spread pro rata.
             start = time.perf_counter()
             graphs, cache = fast_construct_leaf_graphs(curated, tokenizer)
-            _observe_spread(
-                self.cost_model, "construction",
+            self.record_timing(
+                "construction",
                 [(leaf_id, sum(map(len, leaf.texts)) + 1)
                  for leaf_id, leaf in items],
                 time.perf_counter() - start)
@@ -724,6 +776,7 @@ class ProcessShardExecutor(Executor):
         cache = TokenCache(tokenizer)
         plan = ShardPlan.for_construction(curated, self._workers,
                                           cost_model=self.cost_model)
+        self.record_plan("construction", plan)
         by_id = dict(items)
         shards = [[by_id[leaf_id] for leaf_id in shard]
                   for shard in plan.shards]
@@ -742,9 +795,11 @@ class ProcessShardExecutor(Executor):
                         plan.shards[index])
                     cache.absorb_state(state)
                     for leaf_id, seconds in timings:
-                        self.cost_model.observe_construction(
-                            leaf_id, seconds,
-                            sum(map(len, by_id[leaf_id].texts)) + 1)
+                        self.record_timing(
+                            "construction",
+                            [(leaf_id,
+                              sum(map(len, by_id[leaf_id].texts)) + 1)],
+                            seconds)
                     for graph in load_leaf_graphs(
                             staging / f"shard-{index}", mmap=True):
                         built[graph.leaf_id] = graph
@@ -786,8 +841,9 @@ class ClusterExecutor(Executor):
 
     def __init__(self, coordinator: "ClusterCoordinator", *,
                  distribute: str = "path",
-                 cost_model: Optional[CostModel] = None) -> None:
-        super().__init__(cost_model=cost_model)
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(cost_model=cost_model, metrics=metrics)
         self.coordinator = coordinator
         self._distribute = distribute
         self._owned: Optional[tuple] = None
@@ -796,6 +852,7 @@ class ClusterExecutor(Executor):
     def local(cls, workers: int = 2, *,
               distribute: str = "path",
               cost_model: Optional[CostModel] = None,
+              metrics: Optional[MetricsRegistry] = None,
               retry=None, rpc_timeout: float = 30.0,
               start_timeout: float = 60.0) -> "ClusterExecutor":
         """Boot a self-contained localhost fleet and wrap it.
@@ -840,7 +897,7 @@ class ClusterExecutor(Executor):
             loop.close()
             raise
         executor = cls(coordinator, distribute=distribute,
-                       cost_model=cost_model)
+                       cost_model=cost_model, metrics=metrics)
         executor._owned = (loop, thread, tasks)
         return executor
 
@@ -873,7 +930,7 @@ class ClusterExecutor(Executor):
         return await self.coordinator.run_inference(
             model, list(requests), k=k, hard_limit=hard_limit,
             dense_limit=dense_limit, distribute=self._distribute,
-            cost_model=self.cost_model)
+            cost_model=self.cost_model, metrics=self.metrics)
 
     async def run_construction_async(
             self, curated: "CuratedKeyphrases",
@@ -881,7 +938,8 @@ class ClusterExecutor(Executor):
             ) -> Tuple[Dict[int, "LeafGraph"], TokenCache]:
         """:meth:`run_construction` for callers on the coordinator loop."""
         return await self.coordinator.run_construction(
-            curated, tokenizer, cost_model=self.cost_model)
+            curated, tokenizer, cost_model=self.cost_model,
+            metrics=self.metrics)
 
     def run_inference(self, model: "GraphExModel",
                       requests: Sequence[InferenceRequest],
@@ -935,6 +993,7 @@ def resolve_executor(executor: Union[Executor, str, None] = None, *,
                      workers: int = 1,
                      cluster: Optional["ClusterCoordinator"] = None,
                      cost_model: Optional[CostModel] = None,
+                     metrics: Optional[MetricsRegistry] = None,
                      engine: Optional[str] = None) -> Executor:
     """Resolve any accepted spelling to an :class:`Executor` instance.
 
@@ -943,9 +1002,9 @@ def resolve_executor(executor: Union[Executor, str, None] = None, *,
     one):
 
     * an :class:`Executor` instance passes through unchanged (it keeps
-      its own workers and cost model);
+      its own workers, cost model, and metrics registry);
     * ``"serial"`` / ``"thread"`` / ``"process"`` build the matching
-      class with ``workers`` and ``cost_model``;
+      class with ``workers``, ``cost_model``, and ``metrics``;
     * ``"cluster"`` wraps the supplied ``cluster`` coordinator (one is
       required — a fleet cannot be conjured from a string);
     * ``None`` falls back to the legacy ``parallel`` spelling, then to
@@ -990,11 +1049,14 @@ def resolve_executor(executor: Union[Executor, str, None] = None, *,
                     "ClusterCoordinator: pass cluster=<coordinator>, "
                     "an existing ClusterExecutor instance, or use "
                     "ClusterExecutor.local()")
-            resolved = ClusterExecutor(cluster, cost_model=cost_model)
+            resolved = ClusterExecutor(cluster, cost_model=cost_model,
+                                       metrics=metrics)
         else:
             resolved = _EXECUTOR_CLASSES[spec](
-                workers, cost_model=cost_model) if spec != "serial" \
-                else SerialExecutor(cost_model=cost_model)
+                workers, cost_model=cost_model, metrics=metrics) \
+                if spec != "serial" \
+                else SerialExecutor(cost_model=cost_model,
+                                    metrics=metrics)
     else:
         raise ValueError(
             f"unknown parallel mode {spec!r}; expected an Executor "

@@ -264,6 +264,21 @@ class ShardPlan:
         """Summed cost estimate across all shards."""
         return sum(self.shard_costs)
 
+    def balance_stats(self) -> Dict[str, float]:
+        """Planned-balance telemetry: ``n_shards``/``makespan``/``imbalance``.
+
+        ``imbalance`` is the makespan over the mean shard cost (1.0 is
+        perfectly level).  The executors gauge these into the metrics
+        registry per plan, so how well observed-cost planning levels
+        real batches is visible without re-deriving it from timings.
+        """
+        costs = self.shard_costs
+        makespan = max(costs) if costs else 0
+        mean = sum(costs) / len(costs) if costs else 0.0
+        return {"n_shards": float(self.n_shards),
+                "makespan": float(makespan),
+                "imbalance": makespan / mean if mean else 1.0}
+
     def to_json(self) -> str:
         """Serialize the plan (the unit a distributed runner ships)."""
         return json.dumps({

@@ -1,0 +1,23 @@
+"""repro.obs — the unified telemetry plane.
+
+One mergeable :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+histograms, monotonic timers) and one :class:`Tracer` (perf_counter
+spans with parent ids), recorded into by every layer — engines,
+executors, the serving fronts, the cluster fleet — and folded across
+processes and hosts as versioned JSON snapshots, never pickle.
+
+See docs/OBSERVABILITY.md for the metric catalog, the snapshot schema,
+and the merge semantics this package guarantees.
+"""
+
+from .metrics import (DEFAULT_BUCKETS, SCHEMA_VERSION, TICKS_PER_SECOND,
+                      MetricsRegistry, NullRegistry, dump_snapshot,
+                      empty_snapshot, load_snapshot, merge_snapshots,
+                      metric_key, validate_snapshot)
+from .trace import TRACE_SCHEMA_VERSION, Span, Tracer
+
+__all__ = ["SCHEMA_VERSION", "TRACE_SCHEMA_VERSION", "TICKS_PER_SECOND",
+           "DEFAULT_BUCKETS", "MetricsRegistry", "NullRegistry",
+           "Tracer", "Span", "metric_key", "validate_snapshot",
+           "merge_snapshots", "empty_snapshot", "load_snapshot",
+           "dump_snapshot"]

@@ -1,0 +1,130 @@
+"""Lightweight tracing: perf_counter spans with parent ids.
+
+A :class:`Tracer` records nested spans — ``construct`` containing
+``persist``, a cluster run containing per-unit RPCs — as intervals on
+the monotonic ``time.perf_counter()`` clock, relative to the tracer's
+own epoch.  There are deliberately no wall-clock timestamps in a span:
+spans measure *durations and structure*, and this module sits inside
+the repro-lint monotonic-clock scope.  Operator-facing timestamps
+belong to report fields outside this package.
+
+Spans nest per thread (a contextvar-free thread-local stack, since the
+refresh orchestrator and the coordinator both drive spans from plain
+threads), and :meth:`Tracer.export` emits the same
+``schema_version``-stamped JSON shape the metrics snapshots use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "TRACE_SCHEMA_VERSION"]
+
+#: Version stamped into every trace export; bump on format changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One completed (or open) interval in a trace."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float               # seconds since the tracer's epoch
+    duration_s: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "span_id": self.span_id,
+                "parent_id": self.parent_id, "start_s": self.start_s,
+                "duration_s": self.duration_s, "meta": dict(self.meta)}
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = time.perf_counter()
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.span.duration_s = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.span.meta.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects spans; thread-safe, nesting tracked per thread."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_id = 0
+        self._stacks = threading.local()
+
+    def span(self, name: str, **meta: Any) -> _SpanContext:
+        """Open a span; nests under the thread's current span."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = self._current()
+        span = Span(name=name, span_id=span_id,
+                    parent_id=parent.span_id if parent else None,
+                    start_s=time.perf_counter() - self._epoch,
+                    meta=dict(meta))
+        return _SpanContext(self, span)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def _current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Completed spans, oldest first (optionally one name only)."""
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    def duration(self, name: str) -> float:
+        """Total seconds across all completed spans named ``name``."""
+        return sum(span.duration_s for span in self.spans(name))
+
+    def export(self) -> Dict[str, Any]:
+        """JSON-safe trace: versioned, spans in completion order."""
+        return {"schema_version": TRACE_SCHEMA_VERSION,
+                "spans": [span.as_dict() for span in self.spans()]}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"Tracer(n_spans={len(self._spans)})"

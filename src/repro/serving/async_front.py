@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.model import GraphExModel
 from ..core.serialization import open_model
+from ..obs import MetricsRegistry
 from .kvstore import KeyValueStore
 from .nrt import ItemEvent, NRTService, WindowStats, next_generation
 
@@ -76,6 +77,10 @@ class StreamStats:
     ``n_pending`` is a point-in-time queue+buffer depth; a snapshot
     taken while :meth:`AsyncNRTFront.stop` is draining may transiently
     count the queued shutdown sentinel as one extra pending event.
+    ``n_queue_hwm`` is the ingestion queue's high-water mark — the
+    deepest the queue ever got, recorded at enqueue time, so
+    saturation *between* two stats polls is visible even though
+    ``n_pending`` at both polls reads near zero.
     """
 
     name: str
@@ -86,6 +91,7 @@ class StreamStats:
     n_deleted: int
     n_flush_failures: int
     n_dropped: int
+    n_queue_hwm: int = 0
 
 
 class _Stream:
@@ -102,6 +108,7 @@ class _Stream:
         self.n_submitted = 0
         self.n_flush_failures = 0
         self.n_dropped = 0
+        self.queue_hwm = 0
 
 
 class AsyncNRTFront:
@@ -132,6 +139,12 @@ class AsyncNRTFront:
             sized to the stream count (processes make no sense here —
             the service mutates its own buffer); pass a wider pool to
             overlap more concurrent flushes.
+        metrics: A :class:`repro.obs.MetricsRegistry` shared by the
+            front and every stream's :class:`NRTService` (and its
+            executor), so one snapshot covers the whole front.  A
+            fresh private one is created by default — queue-depth
+            high-water marks and staleness gauges are recorded without
+            any wiring.
 
     Usage::
 
@@ -152,7 +165,8 @@ class AsyncNRTFront:
                  engine: str = "fast", workers: int = 1,
                  parallel: Optional[str] = None,
                  executor=None,
-                 flush_executor: Optional[Executor] = None) -> None:
+                 flush_executor: Optional[Executor] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1, got {max_pending}")
@@ -173,6 +187,7 @@ class AsyncNRTFront:
             flush_executor = executor
             executor = None
         self._model = model
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._service_kwargs = dict(
             window_size=window_size, window_seconds=window_seconds,
             k=k, hard_limit=hard_limit, enrich=enrich, engine=engine,
@@ -220,7 +235,8 @@ class AsyncNRTFront:
         if lock is None:
             lock = self._store_locks.setdefault(id(store),
                                                 threading.Lock())
-        service = NRTService(self._model, store, **self._service_kwargs)
+        service = NRTService(self._model, store, metrics=self.metrics,
+                             stream=name, **self._service_kwargs)
         if self._generation:
             # A stream added after a hot-swap starts on the refreshed
             # model already (self._model tracks it); align its window
@@ -297,6 +313,15 @@ class AsyncNRTFront:
         stream = self._stream(name)
         await stream.queue.put(event)
         stream.n_submitted += 1
+        # High-water mark at ENQUEUE time: stats() polls only see the
+        # depth of the moment, so a burst fully drained between two
+        # polls would otherwise be invisible.  The gauge's max tracks
+        # the same mark in registry snapshots.
+        depth = stream.queue.qsize()
+        if depth > stream.queue_hwm:
+            stream.queue_hwm = depth
+        self.metrics.inc("front.submitted", stream=name)
+        self.metrics.gauge("front.queue.depth", float(depth), stream=name)
 
     async def join(self) -> None:
         """Block until every queued event has been *consumed* (pulled
@@ -400,6 +425,10 @@ class AsyncNRTFront:
         """Observability snapshot of one stream."""
         stream = self._stream(name)
         windows = stream.service.processed_windows
+        # A stats poll is a natural observation point: refresh the
+        # stream's staleness gauge so a registry snapshot taken right
+        # after reflects staleness as of now, not the last window.
+        stream.service.record_staleness()
         return StreamStats(
             name=name,
             n_submitted=stream.n_submitted,
@@ -409,7 +438,8 @@ class AsyncNRTFront:
             n_inferred=sum(w.n_inferred for w in windows),
             n_deleted=sum(w.n_deleted for w in windows),
             n_flush_failures=stream.n_flush_failures,
-            n_dropped=stream.n_dropped)
+            n_dropped=stream.n_dropped,
+            n_queue_hwm=stream.queue_hwm)
 
     def all_stats(self) -> List[StreamStats]:
         """Snapshots of every stream, in registration order."""
@@ -461,6 +491,7 @@ class AsyncNRTFront:
                 stream.service.flush)
         except Exception:
             stream.n_flush_failures += 1
+            self.metrics.inc("front.flush.failures", stream=stream.name)
             # Back the timer off one full window before retrying.
             stream.opened_wall = loop.time()
         else:

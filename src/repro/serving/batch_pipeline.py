@@ -13,6 +13,7 @@ to cross-check against the scalar path (identical output, slower).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -21,6 +22,7 @@ from ..core.batch import (BatchResult, InferenceRequest, batch_recommend,
                           validate_hard_limit, validate_model_for_engine)
 from ..core.model import GraphExModel
 from ..core.serialization import open_model
+from ..obs import MetricsRegistry
 from .kvstore import KeyValueStore, transaction_lock
 from .nrt import next_generation
 
@@ -57,6 +59,9 @@ class BatchPipeline:
             ``"cluster"``); identical output for every substrate (see
             :func:`repro.core.batch.batch_recommend`).  Resolved once
             here, so shard timings accumulate across loads.
+        metrics: A :class:`repro.obs.MetricsRegistry` to record load
+            counters and latency histograms into, shared with the
+            executor resolved here (fresh private one by default).
     """
 
     def __init__(self, model: GraphExModel,
@@ -64,11 +69,14 @@ class BatchPipeline:
                  k: int = 20, hard_limit: int = 40,
                  workers: int = 1, engine: str = "fast",
                  parallel: Optional[str] = None,
-                 executor=None) -> None:
+                 executor=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         from ..core.execution import resolve_executor
 
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor = resolve_executor(executor, parallel=parallel,
-                                          workers=workers, engine=engine)
+                                          workers=workers, engine=engine,
+                                          metrics=self.metrics)
         validate_model_for_engine(model, engine,
                                   executor=self._executor)
         validate_hard_limit(hard_limit)
@@ -87,6 +95,19 @@ class BatchPipeline:
             hard_limit=self._hard_limit, workers=self._workers,
             engine=self._engine, executor=self._executor)
 
+    def _record_load(self, kind: str, started: float,
+                     report: BatchRunReport) -> BatchRunReport:
+        """Fold one promoted load into the registry (successes only —
+        a failed load abandoned its version and raised)."""
+        self.metrics.observe("batch.load_seconds",
+                             time.perf_counter() - started, kind=kind)
+        self.metrics.inc("batch.loads", kind=kind)
+        self.metrics.inc("batch.inferred", report.n_inferred, kind=kind)
+        if report.n_deleted:
+            self.metrics.inc("batch.deleted", report.n_deleted, kind=kind)
+        self.metrics.gauge("batch.served_items", float(report.n_served))
+        return report
+
     def full_load(self, requests: Sequence[InferenceRequest]
                   ) -> BatchRunReport:
         """Part 1: infer every item and promote a fresh version.
@@ -98,6 +119,7 @@ class BatchPipeline:
         sharing its store with live NRT writers (the orchestrated daily
         refresh) serializes against their window flushes.
         """
+        started = time.perf_counter()
         results = self._infer(requests)
         with transaction_lock(self.store):
             version = self.store.create_version()
@@ -115,8 +137,9 @@ class BatchPipeline:
             # historical table ever promoted.
             self.store.prune()
             n_served = self.store.size()
-        return BatchRunReport(version=version, n_inferred=len(results),
-                              n_served=n_served)
+        return self._record_load("full", started, BatchRunReport(
+            version=version, n_inferred=len(results),
+            n_served=n_served))
 
     def daily_differential(self, changed: Sequence[InferenceRequest],
                            deleted_item_ids: Iterable[int] = ()
@@ -125,6 +148,7 @@ class BatchPipeline:
         table, promote atomically.  A staging failure abandons the
         version, like :meth:`full_load` (which also documents the store
         transaction lock both loads hold)."""
+        started = time.perf_counter()
         results = self._infer(changed)
         with transaction_lock(self.store):
             version = self.store.create_version()
@@ -144,8 +168,9 @@ class BatchPipeline:
             self.store.promote(version)
             self.store.prune()
             n_served = self.store.size()
-        return BatchRunReport(version=version, n_inferred=len(results),
-                              n_served=n_served, n_deleted=n_deleted)
+        return self._record_load("differential", started, BatchRunReport(
+            version=version, n_inferred=len(results),
+            n_served=n_served, n_deleted=n_deleted))
 
     def serve(self, item_id: int) -> List[str]:
         """The seller-facing read path: keyphrases for one item."""

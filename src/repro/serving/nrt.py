@@ -13,6 +13,7 @@ and written through to the KV store.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
@@ -22,6 +23,7 @@ from ..core.batch import (batch_recommend, validate_hard_limit,
                           validate_model_for_engine)
 from ..core.model import GraphExModel
 from ..core.serialization import open_model
+from ..obs import MetricsRegistry
 from .kvstore import KeyValueStore, transaction_lock
 
 
@@ -95,6 +97,16 @@ class NRTService:
             :func:`repro.core.batch.batch_recommend`).  Resolved once
             here, so shard timings accumulate in one
             :class:`~repro.core.execution.CostModel` across windows.
+        metrics: A :class:`repro.obs.MetricsRegistry` to record the
+            service's counters, window-latency histogram, and model
+            staleness gauge into (a fresh private one by default).
+            The registry is also handed to the resolved executor when
+            one is built here, so shard timings land in the same
+            snapshot.  Instrumentation is observation only — it never
+            changes what a window serves.
+        stream: Label stamped on every metric this service records
+            (the async front names each stream; a standalone service
+            defaults to ``"default"``).
     """
 
     def __init__(self, model: GraphExModel, store: KeyValueStore,
@@ -103,13 +115,18 @@ class NRTService:
                  enrich: Optional[Callable[[ItemEvent], str]] = None,
                  engine: str = "fast", workers: int = 1,
                  parallel: Optional[str] = None,
-                 executor=None) -> None:
+                 executor=None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 stream: str = "default") -> None:
         from ..core.execution import resolve_executor
 
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stream_label = stream
         # Fail here, not mid-flush where the window's events would
         # already be drained and lost.
         self._executor = resolve_executor(executor, parallel=parallel,
-                                          workers=workers, engine=engine)
+                                          workers=workers, engine=engine,
+                                          metrics=self.metrics)
         validate_model_for_engine(model, engine,
                                   executor=self._executor)
         validate_hard_limit(hard_limit)
@@ -126,6 +143,11 @@ class NRTService:
         self._buffer: List[ItemEvent] = []
         self._window_opened_at: Optional[float] = None
         self._processed_windows: List[WindowStats] = []
+        # Monotonic load stamp behind the staleness gauge: how long the
+        # currently served model has been in place (reset on every
+        # hot-swap).  Monotonic, never wall clock — a clock step must
+        # not fake a refresh or an outage.
+        self._model_loaded_at = time.monotonic()
 
     @property
     def pending_events(self) -> int:
@@ -138,6 +160,26 @@ class NRTService:
         construction-time model).  Every :class:`WindowStats` carries
         the generation that served it."""
         return self._generation
+
+    @property
+    def model_staleness_seconds(self) -> float:
+        """Age of the currently served model: monotonic seconds since
+        construction or the last :meth:`refresh_model`.  The value the
+        ``nrt.staleness_seconds`` gauge tracks — its max is the worst
+        staleness the service reached between refreshes."""
+        return time.monotonic() - self._model_loaded_at
+
+    def record_staleness(self) -> float:
+        """Record the staleness gauge now and return the reading.
+
+        Flush and refresh record it on their own; pollers (the async
+        front's stats, a metrics dump on a quiet service) call this so
+        a snapshot reflects staleness *as of the read*, not as of the
+        last window."""
+        staleness = self.model_staleness_seconds
+        self.metrics.gauge("nrt.staleness_seconds", staleness,
+                           stream=self._stream_label)
+        return staleness
 
     def refresh_model(self, model: Union[GraphExModel, str, Path],
                       generation: Optional[int] = None) -> int:
@@ -176,6 +218,9 @@ class NRTService:
                                   executor=self._executor)
         self._generation = next_generation(self._generation, generation)
         self.model = model
+        self._model_loaded_at = time.monotonic()
+        self.metrics.inc("nrt.refreshes", stream=self._stream_label)
+        self.record_staleness()
         return self._generation
 
     def event_retained(self, event: ItemEvent) -> bool:
@@ -225,6 +270,7 @@ class NRTService:
         buffer before the exception propagates, so a later retry
         (:meth:`flush` or the next submit) replays every event.
         """
+        self.metrics.inc("nrt.events", stream=self._stream_label)
         # Compute before mutating: a malformed timestamp must die here
         # WITHOUT adopting itself as the window-open time, or it would
         # poison the arithmetic for every later well-formed event.
@@ -246,6 +292,10 @@ class NRTService:
                 raise
             self._window_opened_at = event.timestamp
         self._buffer.append(event)
+        # Gauge, not counter: its max is the deepest the open window
+        # ever got — visible even after the window flushes.
+        self.metrics.gauge("nrt.window.depth", float(len(self._buffer)),
+                           stream=self._stream_label)
         if len(self._buffer) >= self._window_size:
             closed = self.flush() or closed
         return closed
@@ -263,6 +313,7 @@ class NRTService:
         """
         if not self._buffer:
             return None
+        flush_started = time.perf_counter()
         events, self._buffer = self._buffer, []
         opened_at, self._window_opened_at = self._window_opened_at, None
         # Snapshot at drain time: a concurrent refresh_model (the async
@@ -311,9 +362,23 @@ class NRTService:
                 self._store.abandon(version)
                 self._buffer[:0] = events
                 self._window_opened_at = opened_at
+                self.metrics.inc("nrt.flush.failures",
+                                 stream=self._stream_label)
                 raise
             self._store.promote(version)
             self._store.prune()
+        # Served windows only: the histogram's count equals the
+        # ``nrt.windows`` counter, and failed attempts are counted
+        # separately above rather than polluting the latency profile.
+        self.metrics.observe("nrt.window.flush_seconds",
+                             time.perf_counter() - flush_started,
+                             stream=self._stream_label)
+        self.metrics.inc("nrt.windows", stream=self._stream_label)
+        self.metrics.inc("nrt.inferred", n_inferred,
+                         stream=self._stream_label)
+        self.metrics.inc("nrt.deleted", n_deleted,
+                         stream=self._stream_label)
+        self.record_staleness()
         stats = WindowStats(n_events=len(events), n_inferred=n_inferred,
                             n_deleted=n_deleted,
                             model_generation=generation)

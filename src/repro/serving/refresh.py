@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import asyncio
 import inspect
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
@@ -41,6 +40,7 @@ from ..core.batch import InferenceRequest
 from ..core.curation import CuratedKeyphrases
 from ..core.model import GraphExModel
 from ..core.serialization import load_model, save_model
+from ..obs import MetricsRegistry, Tracer
 from .batch_pipeline import BatchPipeline
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -51,7 +51,15 @@ __all__ = ["DailyRefreshOrchestrator", "RefreshReport"]
 
 @dataclass
 class RefreshReport:
-    """What one orchestrated daily refresh did."""
+    """What one orchestrated daily refresh did.
+
+    The ``*_seconds`` fields are *views over the orchestrator's
+    tracer*: each is the duration of the matching ``refresh.*`` span
+    of this refresh (``construct_seconds`` folds the persist span in,
+    as it always has), so the report, the exported trace, and the
+    ``refresh.*_seconds`` histograms in the metrics registry can never
+    disagree about where the time went.
+    """
 
     generation: int
     n_leaves: int
@@ -134,6 +142,13 @@ class DailyRefreshOrchestrator:
             executor host after the local stack is swapped (requires
             ``artifact_dir``, and :meth:`refresh` must run on the
             coordinator's event loop).
+        metrics: A :class:`repro.obs.MetricsRegistry` for the
+            orchestrator's refresh counters/histograms, shared with
+            the construction executor it resolves (fresh private one
+            by default).  Each refresh's construct → load → swap
+            lifecycle is additionally traced as spans on
+            :attr:`tracer`, and the report's timing fields are views
+            over those spans.
 
     Usage::
 
@@ -150,7 +165,8 @@ class DailyRefreshOrchestrator:
                  build_pooled: bool = False,
                  artifact_dir: Optional[Union[str, Path]] = None,
                  retry: Optional[RetryPolicy] = None,
-                 cluster: Optional["ClusterCoordinator"] = None) -> None:
+                 cluster: Optional["ClusterCoordinator"] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         from ..core.execution import resolve_executor
 
         if cluster is not None and artifact_dir is None:
@@ -158,12 +174,15 @@ class DailyRefreshOrchestrator:
                 "cluster deployment needs artifact_dir: remote hosts "
                 "open the day's model by artifact, not by pickle")
         self.pipeline = pipeline
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer()
         self._builder = builder
         self._workers = workers
         # One executor for the orchestrator's lifetime: its CostModel
         # carries yesterday's observed build rates into today's plan.
         self._executor = resolve_executor(executor, parallel=parallel,
-                                          workers=workers, engine=builder)
+                                          workers=workers, engine=builder,
+                                          metrics=self.metrics)
         self._alignment = alignment
         self._build_pooled = build_pooled
         self._artifact_dir = (None if artifact_dir is None
@@ -289,29 +308,30 @@ class DailyRefreshOrchestrator:
             self._executor.cost_model, proxy,
             getattr(self._executor, "workers", 0), kind="construction")
 
-        start = time.perf_counter()
         try:
-            model = await loop.run_in_executor(
-                None, attempt(lambda: GraphExModel.construct(
-                    curated, alignment=self._alignment,
-                    build_pooled=self._build_pooled,
-                    builder=self._builder, workers=self._workers,
-                    executor=self._executor)))
+            with self.tracer.span("refresh.construct",
+                                  builder=self._builder) as construct_span:
+                model = await loop.run_in_executor(
+                    None, attempt(lambda: GraphExModel.construct(
+                        curated, alignment=self._alignment,
+                        build_pooled=self._build_pooled,
+                        builder=self._builder, workers=self._workers,
+                        executor=self._executor)))
         except RetriesExhausted as exc:
             # The step is dead for today; record the miss instead of
             # aborting the daily loop.  No generation was burned — the
             # next cycle's refresh starts clean.
-            return RefreshReport(
+            return self._finish(RefreshReport(
                 generation=self._generation, n_leaves=0, n_keyphrases=0,
                 n_inferred=0, n_served=0, n_targets=len(self._targets),
-                construct_seconds=time.perf_counter() - start,
+                construct_seconds=construct_span.duration_s,
                 load_seconds=0.0, swap_seconds=0.0, n_retries=n_retries,
                 failure=f"construct exhausted {exc.attempts} attempts: "
                         f"{exc.__cause__!r}",
                 n_cost_observations=
                 self._executor.cost_model.n_observations(),
-                rebalance_gain=rebalance_gain)
-        construct_seconds = time.perf_counter() - start
+                rebalance_gain=rebalance_gain))
+        construct_seconds = construct_span.duration_s
         # Issue a number strictly above every deployment's local
         # history — a target may have been hot-swapped directly since
         # the last orchestrated refresh — so each adopts it verbatim
@@ -333,45 +353,52 @@ class DailyRefreshOrchestrator:
         artifact_path: Optional[str] = None
         if self._artifact_dir is not None:
             artifact = self._artifact_dir / f"gen-{generation}"
-            persist_start = time.perf_counter()
-            model = await loop.run_in_executor(
-                None, self._persist_and_map, model, artifact)
+            with self.tracer.span("refresh.persist",
+                                  generation=generation) as persist_span:
+                model = await loop.run_in_executor(
+                    None, self._persist_and_map, model, artifact)
             artifact_path = str(artifact)
-            construct_seconds += time.perf_counter() - persist_start
+            # construct_seconds has always folded persist time in; the
+            # trace keeps the two spans distinct.
+            construct_seconds += persist_span.duration_s
 
         # Batch first: the fresh catalog-wide table must be promoted
         # before the NRT edge starts writing new-model windows on top.
-        start = time.perf_counter()
-        self.pipeline.refresh_model(model, generation=generation)
-        request_list = list(requests)
         try:
-            # full_load re-infers the whole catalog and promotes its
-            # table atomically, so re-running a failed attempt is safe.
-            report = await loop.run_in_executor(
-                None,
-                attempt(lambda: self.pipeline.full_load(request_list)))
+            with self.tracer.span("refresh.load",
+                                  generation=generation) as load_span:
+                self.pipeline.refresh_model(model, generation=generation)
+                request_list = list(requests)
+                # full_load re-infers the whole catalog and promotes its
+                # table atomically, so re-running a failed attempt is
+                # safe.
+                report = await loop.run_in_executor(
+                    None,
+                    attempt(lambda: self.pipeline.full_load(request_list)))
         except RetriesExhausted as exc:
-            return RefreshReport(
+            return self._finish(RefreshReport(
                 generation=generation, n_leaves=model.n_leaves,
                 n_keyphrases=model.n_keyphrases, n_inferred=0,
                 n_served=0, n_targets=len(self._targets),
                 construct_seconds=construct_seconds,
-                load_seconds=time.perf_counter() - start,
+                load_seconds=load_span.duration_s,
                 swap_seconds=0.0, artifact_path=artifact_path,
                 n_retries=n_retries,
                 failure=f"batch load exhausted {exc.attempts} "
                         f"attempts: {exc.__cause__!r}",
                 n_cost_observations=
                 self._executor.cost_model.n_observations(),
-                rebalance_gain=rebalance_gain)
-        load_seconds = time.perf_counter() - start
+                rebalance_gain=rebalance_gain))
+        load_seconds = load_span.duration_s
 
-        start = time.perf_counter()
-        for target in self._targets:
-            result = target.refresh_model(model, generation=generation)
-            if inspect.isawaitable(result):
-                await result
-        swap_seconds = time.perf_counter() - start
+        with self.tracer.span("refresh.swap", generation=generation,
+                              n_targets=len(self._targets)) as swap_span:
+            for target in self._targets:
+                result = target.refresh_model(model,
+                                              generation=generation)
+                if inspect.isawaitable(result):
+                    await result
+        swap_seconds = swap_span.duration_s
 
         # Remote plane last: every executor host of the cluster opens
         # (and caches) the day's artifact so the first cluster job of
@@ -379,10 +406,12 @@ class DailyRefreshOrchestrator:
         # marked dead and planned around, never a refresh failure.
         n_remote_deployed = 0
         if self._cluster is not None and artifact_path is not None:
-            n_remote_deployed = await self._cluster.deploy_artifact(
-                artifact_path, generation=generation)
+            with self.tracer.span("refresh.deploy_remote",
+                                  generation=generation):
+                n_remote_deployed = await self._cluster.deploy_artifact(
+                    artifact_path, generation=generation)
 
-        return RefreshReport(
+        return self._finish(RefreshReport(
             generation=generation,
             n_leaves=model.n_leaves,
             n_keyphrases=model.n_keyphrases,
@@ -397,7 +426,26 @@ class DailyRefreshOrchestrator:
             n_remote_deployed=n_remote_deployed,
             n_cost_observations=
             self._executor.cost_model.n_observations(),
-            rebalance_gain=rebalance_gain)
+            rebalance_gain=rebalance_gain))
+
+    def _finish(self, report: RefreshReport) -> RefreshReport:
+        """Fold one refresh's outcome into the metrics registry.
+
+        Every :meth:`refresh` exit — success or recorded failure —
+        passes through here, so the ``refresh.*`` series and the
+        returned reports always agree."""
+        metrics = self.metrics
+        metrics.inc("refresh.runs")
+        if report.failure is not None:
+            metrics.inc("refresh.failures")
+        if report.n_retries:
+            metrics.inc("refresh.retries", report.n_retries)
+        metrics.observe("refresh.construct_seconds",
+                        report.construct_seconds)
+        metrics.observe("refresh.load_seconds", report.load_seconds)
+        metrics.observe("refresh.swap_seconds", report.swap_seconds)
+        metrics.gauge("refresh.generation", float(report.generation))
+        return report
 
     def refresh_sync(self, curated: CuratedKeyphrases,
                      requests: Sequence[InferenceRequest]

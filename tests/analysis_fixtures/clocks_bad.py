@@ -11,3 +11,16 @@ def deadline_expired(started_at, timeout):
 
 def heartbeat_stamp():
     return datetime.now()
+# lint-fixture-module: repro.obs.fixture_clocks_bad
+import time
+from datetime import datetime
+
+
+def span_duration(started_at):
+    # An observability plane on the wall clock measures the very
+    # anomalies it exists to detect.
+    return time.time() - started_at
+
+
+def snapshot_stamp():
+    return datetime.now()

@@ -16,3 +16,13 @@ async def window_deadline(loop, window_seconds):
 def report_stamp():
     # lint: waive monotonic-clock: operator-facing report timestamp, not a timer
     return time.time()
+# lint-fixture-module: repro.obs.fixture_clocks_good
+import time
+
+
+def span_duration(started_at):
+    return time.perf_counter() - started_at
+
+
+def staleness(loaded_at):
+    return time.monotonic() - loaded_at

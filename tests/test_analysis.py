@@ -88,6 +88,19 @@ class TestRuleFixtures:
                               MmapWriteSafetyRule())
         assert len(report.violations) == 3
 
+    def test_clock_rule_scope_covers_obs_plane(self):
+        # The observability package joined the monotonic-clock scope:
+        # wall-clock reads fire in BOTH the cluster and obs sections
+        # of the bad fixture, and the good obs section stays silent.
+        report = lint_fixture("clocks_bad.py", MonotonicClockRule())
+        fired = {v.module for v in report.violations}
+        assert "repro.cluster.fixture_clocks_bad" in fired
+        assert "repro.obs.fixture_clocks_bad" in fired
+        rule = MonotonicClockRule()
+        assert any(module.startswith("repro.obs.")
+                   for module in rule.SCOPES)
+        assert "repro.obs" in rule.SCOPE_MODULES
+
 
 class TestLazyImportFixtures:
     DECLARED = {("fix.eager", "fix.util"), ("fix.stale", "fix.util")}

@@ -792,3 +792,79 @@ class TestZeroEventLoss:
             for item_id in {e.item_id for e in events}:
                 assert front.serve(name, item_id) \
                     == clean.serve(item_id), (name, item_id)
+
+
+class TestQueueHighWaterMark:
+    """Satellite regression: ``StreamStats.n_pending`` is a
+    point-in-time read, so a burst enqueued and fully drained between
+    two stats() polls used to be invisible — the front looked idle
+    even though its queue had saturated.  ``n_queue_hwm`` (and the
+    ``front.queue.depth`` gauge's max) record depth at enqueue time."""
+
+    def test_burst_drained_between_polls_is_still_visible(
+            self, fig3_model):
+        n = 12
+
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=100,
+                                  window_seconds=100.0,
+                                  wall_clock_seconds=100.0,
+                                  max_pending=64)
+            front.add_stream("s")
+            async with front:
+                # queue.put on a non-full queue never suspends, so the
+                # whole burst lands before the consumer task gets a
+                # turn — the queue deterministically climbs to n.
+                for i in range(n):
+                    await front.submit("s", make_event(i, 0.01 * i))
+                await front.join()
+                await front.flush_all()
+                stats = front.stats("s")
+            return front, stats
+
+        front, stats = asyncio.run(drive())
+        # The poll sees an idle stream ... n_pending has forgotten the
+        # burst entirely ...
+        assert stats.n_pending == 0
+        # ... but the high-water mark kept it, in the dataclass and in
+        # the registry gauge alike.
+        assert stats.n_queue_hwm == n
+        assert front.metrics.gauge_max("front.queue.depth",
+                                       stream="s") == float(n)
+        assert front.metrics.counter_value("front.submitted",
+                                           stream="s") == n
+
+    def test_hwm_defaults_to_zero_for_quiet_stream(self, fig3_model):
+        async def drive():
+            front = AsyncNRTFront(fig3_model)
+            front.add_stream("quiet")
+            async with front:
+                pass
+            return front.stats("quiet")
+
+        stats = asyncio.run(drive())
+        assert stats.n_queue_hwm == 0
+
+    def test_staleness_gauge_tracks_refresh(self, fig3_model):
+        async def drive():
+            front = AsyncNRTFront(fig3_model, window_size=2,
+                                  window_seconds=100.0,
+                                  wall_clock_seconds=100.0)
+            front.add_stream("s")
+            async with front:
+                await front.submit("s", make_event(1, 0.0))
+                await front.submit("s", make_event(2, 0.01))
+                await front.join()
+                await front.flush_all()
+                before = front.metrics.gauge_value(
+                    "nrt.staleness_seconds", stream="s")
+                await front.refresh_model(fig3_model)
+                after = front.metrics.gauge_value(
+                    "nrt.staleness_seconds", stream="s")
+            return before, after
+
+        before, after = asyncio.run(drive())
+        assert before is not None and before >= 0.0
+        # The refresh reset the load stamp: the gauge's last reading
+        # is the freshly swapped model's (near-zero) age.
+        assert after is not None and after <= before + 1.0

@@ -407,3 +407,70 @@ class TestLintCLI:
             encoding="utf-8")
         assert main(["lint", "--root", str(package)]) == 1
         assert "monotonic-clock" in capsys.readouterr().out
+
+
+class TestMetricsCLI:
+    """ISSUE 10: snapshot export flags and the `metrics` subcommand."""
+
+    def _two_snapshots(self, tmp_path):
+        from repro.obs import MetricsRegistry, dump_snapshot
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("nrt.events", 3, stream="s")
+        a.observe("nrt.window.flush_seconds", 0.002, stream="s")
+        a.gauge("nrt.window.depth", 5.0, stream="s")
+        b.inc("nrt.events", 4, stream="s")
+        b.observe("nrt.window.flush_seconds", 0.004, stream="s")
+        b.gauge("nrt.window.depth", 2.0, stream="s")
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        dump_snapshot(a.snapshot(), str(path_a))
+        dump_snapshot(b.snapshot(), str(path_b))
+        return path_a, path_b
+
+    def test_serve_nrt_metrics_out_writes_valid_snapshot(
+            self, workflow_dir, tmp_path, capsys):
+        from repro.obs import load_snapshot
+
+        out = tmp_path / "nrt-metrics.json"
+        assert main(["serve-nrt", "--model",
+                     str(workflow_dir / "model"), "--streams", "2",
+                     "--events", "40", "--metrics-out", str(out)]) == 0
+        snapshot = load_snapshot(str(out))  # validates the schema
+        counters = snapshot["counters"]
+        per_stream = [counters[f"nrt.events{{stream=stream-{i}}}"]
+                      for i in range(2)]
+        assert per_stream == [40, 40]  # --events is per stream
+        assert counters["front.submitted{stream=stream-0}"] \
+            == per_stream[0]
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+
+    def test_metrics_renders_single_snapshot(self, tmp_path, capsys):
+        path_a, _ = self._two_snapshots(tmp_path)
+        assert main(["metrics", str(path_a)]) == 0
+        out = capsys.readouterr().out
+        assert "nrt.events{stream=s} = 3" in out
+        assert "nrt.window.flush_seconds{stream=s}: n=1" in out
+
+    def test_metrics_merges_exactly(self, tmp_path, capsys):
+        from repro.obs import load_snapshot
+
+        path_a, path_b = self._two_snapshots(tmp_path)
+        merged_path = tmp_path / "merged.json"
+        assert main(["metrics", str(path_a), str(path_b),
+                     "--merge-out", str(merged_path)]) == 0
+        merged = load_snapshot(str(merged_path))
+        assert merged["counters"]["nrt.events{stream=s}"] == 7
+        hist = merged["histograms"][
+            "nrt.window.flush_seconds{stream=s}"]
+        assert hist["count"] == 2
+        # Gauge extremes survive the merge (value is last-writer-wins).
+        value, vmax, vmin = merged["gauges"][
+            "nrt.window.depth{stream=s}"]
+        assert (vmax, vmin) == (5.0, 2.0)
+
+    def test_metrics_rejects_malformed_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 999}', encoding="utf-8")
+        assert main(["metrics", str(bad)]) == 2
+        assert "cannot read/merge" in capsys.readouterr().err

@@ -760,3 +760,117 @@ class TestWorkerKillSwitch:
                 await teardown(coord, [t2])
 
         asyncio.run(drive())
+
+
+# ---------------------------------------------------------------------------
+# Fleet metrics (observability plane)
+
+
+class TestFleetMetrics:
+    """Worker registries ride heartbeats AND shard_result frames; the
+    coordinator keeps the *latest* snapshot per worker and merges once
+    — so fleet counters are exactly-once and equal the single-process
+    totals, however the units were scheduled."""
+
+    def test_two_worker_fleet_snapshot_is_valid_and_exact(
+            self, artifact, requests, expected):
+        from repro.obs import validate_snapshot
+
+        async def drive():
+            async with ClusterCoordinator(rpc_timeout=20.0) as coord:
+                _w, t1 = await spawn_worker(coord, name="a")
+                _w, t2 = await spawn_worker(coord, name="b")
+                await coord.wait_for_workers(2, timeout=10.0)
+                got = await coord.run_inference(str(artifact), requests,
+                                                k=5)
+                fleet = coord.fleet_snapshot()
+                await teardown(coord, [t1, t2])
+                return got, coord.last_report, fleet
+
+        got, report, fleet = asyncio.run(drive())
+        assert got == expected
+        assert report.n_retries == 0
+        for snapshot in (report.fleet_metrics, fleet):
+            validate_snapshot(snapshot)
+            counters = snapshot["counters"]
+            # Exactly-once merge: every request merged once, whichever
+            # worker ran it, and the workers' own execution counters
+            # agree (no retries, so executed == merged).
+            assert counters["cluster.requests.merged"] == len(requests)
+            assert counters["worker.requests"] == len(requests)
+        assert "cluster.requests.merged" in report.as_dict()[
+            "fleet_metrics"]["counters"]
+
+    def test_fleet_counters_equal_single_process_run(
+            self, artifact, requests, expected):
+        async def fleet_run():
+            async with ClusterCoordinator(rpc_timeout=20.0) as coord:
+                _w, t1 = await spawn_worker(coord, name="a")
+                _w, t2 = await spawn_worker(coord, name="b")
+                await coord.wait_for_workers(2, timeout=10.0)
+                got = await coord.run_inference(str(artifact), requests,
+                                                k=5)
+                await teardown(coord, [t1, t2])
+                return got, coord.last_report
+
+        async def local_run():
+            async with ClusterCoordinator() as coord:
+                got = await coord.run_inference(str(artifact), requests,
+                                                k=5)
+                return got, coord.last_report
+
+        fleet_got, fleet_report = asyncio.run(fleet_run())
+        local_got, local_report = asyncio.run(local_run())
+        assert fleet_got == local_got == expected
+        fleet_merged = fleet_report.fleet_metrics["counters"][
+            "cluster.requests.merged"]
+        local_merged = local_report.fleet_metrics["counters"][
+            "cluster.requests.merged"]
+        assert fleet_merged == local_merged == len(requests)
+
+    def test_construction_fleet_counters(self, curated):
+        async def drive():
+            async with ClusterCoordinator(rpc_timeout=20.0) as coord:
+                _w, t1 = await spawn_worker(coord, name="a")
+                await coord.wait_for_workers(1, timeout=10.0)
+                graphs, _cache = await coord.run_construction(
+                    curated, DEFAULT_TOKENIZER)
+                await teardown(coord, [t1])
+                return graphs, coord.last_report
+
+        graphs, report = asyncio.run(drive())
+        n_leaves = sum(1 for leaf in curated.leaves.values()
+                       if len(leaf) > 0)
+        assert len(graphs) == n_leaves
+        counters = report.fleet_metrics["counters"]
+        assert counters["cluster.leaves.merged"] == n_leaves
+
+    def test_malformed_worker_snapshot_is_rejected_not_merged(
+            self, artifact, requests, expected):
+        from repro.serving.kvstore import KeyValueStore  # noqa: F401
+
+        async def drive():
+            async with ClusterCoordinator(rpc_timeout=20.0) as coord:
+                _w, t1 = await spawn_worker(coord, name="a")
+                await coord.wait_for_workers(1, timeout=10.0)
+                # Inject a poisoned heartbeat-shaped frame by hand.
+                worker = next(iter(coord._workers.values()))
+                coord._stash_worker_metrics(
+                    worker, {"metrics": {"schema_version": 999}})
+                got = await coord.run_inference(str(artifact), requests,
+                                                k=5)
+                fleet = coord.fleet_snapshot()
+                await teardown(coord, [t1])
+                return got, fleet, coord
+
+        got, fleet, coord = asyncio.run(drive())
+        assert got == expected
+        # The bad snapshot was counted and dropped; the fleet view
+        # still validates and still reflects the worker's good
+        # (shard_result-borne) snapshots.
+        from repro.obs import validate_snapshot
+        validate_snapshot(fleet)
+        assert fleet["counters"][
+            "coordinator.metrics.rejected_snapshots"] == 1
+        assert fleet["counters"]["cluster.requests.merged"] \
+            == len(requests)
